@@ -1,0 +1,14 @@
+//! Ablation A2: sensitivity of the adaptive protocol to the home access
+//! coefficient α and the feedback coefficient λ under the transient
+//! single-writer pattern (r = 2).
+//!
+//! Usage: `cargo run -p dsm-bench --release --bin ablation_alpha [--full]`
+
+use dsm_bench::{ablation, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let points = ablation::coefficient_sensitivity(scale);
+    println!("Ablation A2 — home access coefficient / feedback coefficient sensitivity (synthetic, r = 2)\n");
+    println!("{}", ablation::render(&points).render());
+}

@@ -1,0 +1,13 @@
+//! Ablation A1: new-home notification mechanisms (forwarding pointer vs.
+//! home manager vs. broadcast) under the synthetic workload.
+//!
+//! Usage: `cargo run -p dsm-bench --release --bin ablation_notify [--full]`
+
+use dsm_bench::{ablation, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let points = ablation::notification_comparison(scale);
+    println!("Ablation A1 — notification mechanism comparison (synthetic, r = 8)\n");
+    println!("{}", ablation::render(&points).render());
+}

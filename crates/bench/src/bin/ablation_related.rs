@@ -1,0 +1,14 @@
+//! Ablation A3: the paper's adaptive policy against related-work policies
+//! (JUMP migrating-home, Jackal lazy flushing, fixed threshold, none) on the
+//! SOR workload.
+//!
+//! Usage: `cargo run -p dsm-bench --release --bin ablation_related [--full]`
+
+use dsm_bench::{ablation, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let points = ablation::related_work_comparison(scale);
+    println!("Ablation A3 — migration policy comparison on SOR (8 nodes)\n");
+    println!("{}", ablation::render(&points).render());
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 2 of the paper: execution time vs. number of
+//! processors for ASP, SOR, Nbody and TSP, with and without home migration.
+//!
+//! Usage: `cargo run -p dsm-bench --release --bin fig2 [--full]`
+
+use dsm_bench::{fig2, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("collecting Figure 2 data at {scale:?} scale ...");
+    let points = fig2::collect(scale);
+    let table = fig2::render(&points);
+    println!("Figure 2 — execution time vs. number of processors (HM = adaptive migration, NoHM = disabled)\n");
+    println!("{}", table.render());
+    println!("shape check (HM wins on ASP/SOR, neutral on Nbody/TSP): {}", fig2::shape_holds(&points));
+    println!("\nCSV:\n{}", table.to_csv());
+}

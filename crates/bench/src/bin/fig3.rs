@@ -1,0 +1,18 @@
+//! Regenerates Figure 3 of the paper: improvement of the adaptive-threshold
+//! protocol (AT) over the fixed threshold FT2 against problem size, for ASP
+//! and SOR on eight nodes.
+//!
+//! Usage: `cargo run -p dsm-bench --release --bin fig3 [--full]`
+
+use dsm_bench::{fig3, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("collecting Figure 3 data at {scale:?} scale ...");
+    let points = fig3::collect(scale);
+    let table = fig3::render(&points);
+    println!("Figure 3 — improvement of AT over FT2 against problem size (8 nodes)\n");
+    println!("{}", table.render());
+    println!("shape check (AT never worse than FT2): {}", fig3::shape_holds(&points));
+    println!("\nCSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 5 of the paper: the synthetic single-writer benchmark.
+//! Panel (a) normalized execution time and panel (b) normalized message
+//! breakdown for NM, FT1, FT2 and AT against the repetition of the
+//! single-writer pattern.
+//!
+//! Usage: `cargo run -p dsm-bench --release --bin fig5 [--full]`
+
+use dsm_bench::{fig5, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("collecting Figure 5 data at {scale:?} scale ...");
+    let points = fig5::collect(scale);
+    println!("Figure 5(a) — normalized execution time vs. repetition of the single-writer pattern\n");
+    println!("{}", fig5::render_times(&points).render());
+    println!("Figure 5(b) — normalized message breakdown (obj / mig / diff / redir)\n");
+    println!("{}", fig5::render_messages(&points).render());
+    println!("shape checks (paper §5.2 observations):");
+    for (name, ok) in fig5::shape_holds(&points) {
+        println!("  [{}] {}", if ok { "ok" } else { "FAIL" }, name);
+    }
+    println!("\nCSV (messages):\n{}", fig5::render_messages(&points).to_csv());
+}

@@ -1,0 +1,170 @@
+//! Figure 2 — application execution time against the number of processors,
+//! with home migration enabled (HM = adaptive threshold) and disabled
+//! (NoHM), for ASP, SOR, Nbody and TSP.
+
+use crate::table::{fmt_f, Table};
+use crate::{cluster, Scale};
+use dsm_apps::{asp, nbody, sor, tsp};
+use dsm_core::ProtocolConfig;
+use serde::{Deserialize, Serialize};
+
+/// One measurement point of Figure 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Point {
+    /// Application name (ASP, SOR, Nbody, TSP).
+    pub app: String,
+    /// Number of cluster nodes.
+    pub nodes: usize,
+    /// Policy label ("HM" = adaptive migration, "NoHM" = disabled).
+    pub policy: String,
+    /// Virtual execution time in milliseconds.
+    pub time_ms: f64,
+    /// Total protocol messages.
+    pub messages: u64,
+    /// Home migrations performed.
+    pub migrations: u64,
+}
+
+/// Node counts swept by the figure.
+pub fn node_counts(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Small => vec![2, 4, 8],
+        Scale::Paper => vec![2, 4, 8, 16],
+    }
+}
+
+fn policies() -> Vec<(&'static str, ProtocolConfig)> {
+    vec![
+        ("NoHM", ProtocolConfig::no_migration()),
+        ("HM", ProtocolConfig::adaptive()),
+    ]
+}
+
+/// Produce every point of Figure 2 (all four applications).
+pub fn collect(scale: Scale) -> Vec<Fig2Point> {
+    let mut points = Vec::new();
+    for nodes in node_counts(scale) {
+        for (label, protocol) in policies() {
+            // ASP
+            let params = match scale {
+                Scale::Small => asp::AspParams::small(96),
+                Scale::Paper => asp::AspParams::paper(),
+            };
+            let run = asp::run(cluster(nodes, protocol.clone()), &params);
+            points.push(point("ASP", nodes, label, &run.report));
+
+            // SOR
+            let params = match scale {
+                Scale::Small => sor::SorParams::small(96, 6),
+                Scale::Paper => sor::SorParams::paper(),
+            };
+            let run = sor::run(cluster(nodes, protocol.clone()), &params);
+            points.push(point("SOR", nodes, label, &run.report));
+
+            // Nbody
+            let params = match scale {
+                Scale::Small => nbody::NbodyParams::small(256, 3),
+                Scale::Paper => nbody::NbodyParams::paper(),
+            };
+            let run = nbody::run(cluster(nodes, protocol.clone()), &params);
+            points.push(point("Nbody", nodes, label, &run.report));
+
+            // TSP
+            let params = match scale {
+                Scale::Small => tsp::TspParams::small(10),
+                Scale::Paper => tsp::TspParams::paper(),
+            };
+            let run = tsp::run(cluster(nodes, protocol.clone()), &params);
+            points.push(point("TSP", nodes, label, &run.report));
+        }
+    }
+    points
+}
+
+fn point(app: &str, nodes: usize, policy: &str, report: &dsm_runtime::ExecutionReport) -> Fig2Point {
+    Fig2Point {
+        app: app.to_string(),
+        nodes,
+        policy: policy.to_string(),
+        time_ms: report.execution_time.as_millis(),
+        messages: report.total_messages(),
+        migrations: report.migrations(),
+    }
+}
+
+/// Render the collected points as the figure's table.
+pub fn render(points: &[Fig2Point]) -> Table {
+    let mut table = Table::new(&["app", "nodes", "policy", "time_ms", "messages", "migrations"]);
+    for p in points {
+        table.row(vec![
+            p.app.clone(),
+            p.nodes.to_string(),
+            p.policy.clone(),
+            fmt_f(p.time_ms),
+            p.messages.to_string(),
+            p.migrations.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Shape checks for the figure (used by tests and EXPERIMENTS.md):
+/// HM must clearly beat NoHM for ASP and SOR and stay within noise for
+/// Nbody and TSP.
+pub fn shape_holds(points: &[Fig2Point]) -> bool {
+    let time = |app: &str, nodes: usize, policy: &str| -> Option<f64> {
+        points
+            .iter()
+            .find(|p| p.app == app && p.nodes == nodes && p.policy == policy)
+            .map(|p| p.time_ms)
+    };
+    let mut ok = true;
+    for p in points {
+        if p.policy != "HM" {
+            continue;
+        }
+        let Some(nohm) = time(&p.app, p.nodes, "NoHM") else {
+            continue;
+        };
+        match p.app.as_str() {
+            "ASP" | "SOR" => {
+                if p.nodes >= 4 {
+                    ok &= p.time_ms < nohm;
+                }
+            }
+            _ => {
+                // Nbody/TSP: within 25 % either way.
+                ok &= (p.time_ms - nohm).abs() / nohm < 0.25;
+            }
+        }
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_counts_match_scale() {
+        assert_eq!(node_counts(Scale::Small), vec![2, 4, 8]);
+        assert_eq!(node_counts(Scale::Paper), vec![2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn tiny_fig2_sweep_produces_expected_shape() {
+        // A miniature sweep (one node count) exercising the full pipeline.
+        let mut points = Vec::new();
+        for (label, protocol) in policies() {
+            let run = asp::run(cluster(4, protocol.clone()), &asp::AspParams::small(24));
+            points.push(point("ASP", 4, label, &run.report));
+            let run = sor::run(cluster(4, protocol.clone()), &sor::SorParams::small(24, 2));
+            points.push(point("SOR", 4, label, &run.report));
+            let run = nbody::run(cluster(4, protocol), &nbody::NbodyParams::small(48, 1));
+            points.push(point("Nbody", 4, label, &run.report));
+        }
+        assert!(shape_holds(&points), "figure 2 shape violated: {points:?}");
+        let table = render(&points);
+        assert_eq!(table.len(), points.len());
+    }
+}

@@ -1,0 +1,75 @@
+//! # dsm-bench — the experiment harness
+//!
+//! One function per figure of the paper's evaluation (Section 5), each
+//! returning the rows/series the paper plots, plus report binaries
+//! (`fig2`, `fig3`, `fig5`, `ablation_notify`, `ablation_alpha`,
+//! `ablation_related`) that print the same data as aligned text tables and
+//! CSV. Criterion benches wrap the same entry points so `cargo bench`
+//! exercises every experiment end to end.
+//!
+//! Paper workload sizes (1024-vertex ASP, 2048×2048 SOR, 16 nodes) take a
+//! while on a single development machine because the whole cluster is
+//! simulated in one process; every harness therefore takes a [`Scale`]
+//! knob. `Scale::Small` keeps the shapes of the figures while running in
+//! seconds; `Scale::Paper` uses the paper's sizes. Binaries accept `--full`
+//! to select the paper scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod ablation;
+pub mod table;
+
+use dsm_core::ProtocolConfig;
+use dsm_model::ComputeModel;
+use dsm_runtime::ClusterConfig;
+use serde::{Deserialize, Serialize};
+
+/// Workload scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Reduced sizes: same shapes, seconds of runtime. Used by tests and the
+    /// default benchmark run.
+    Small,
+    /// The paper's sizes (1024-vertex ASP, 2048×2048 SOR, 2048-body Nbody,
+    /// 12-city TSP, 16 nodes).
+    Paper,
+}
+
+impl Scale {
+    /// Parse the scale from process arguments (`--full` selects
+    /// [`Scale::Paper`]).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full" || a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Small
+        }
+    }
+}
+
+/// Build a cluster configuration for an experiment run: the paper's Fast
+/// Ethernet network and Pentium-4-class compute model.
+pub fn cluster(nodes: usize, protocol: ProtocolConfig) -> ClusterConfig {
+    ClusterConfig::new(nodes, protocol).with_compute(ComputeModel::pentium4_2ghz())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_is_small() {
+        // The test binary has no --full flag.
+        assert_eq!(Scale::from_args(), Scale::Small);
+    }
+
+    #[test]
+    fn cluster_builder_uses_requested_nodes() {
+        let cfg = cluster(8, ProtocolConfig::adaptive());
+        assert_eq!(cfg.num_nodes, 8);
+    }
+}

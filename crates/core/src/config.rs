@@ -1,0 +1,158 @@
+//! Protocol configuration.
+
+use crate::migration::MigrationPolicy;
+use dsm_model::{NetworkParams, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// How other nodes learn the new home location after a migration (§3.2 of
+/// the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NotificationMechanism {
+    /// A forwarding pointer is left at the former home; requests reaching an
+    /// obsolete home are answered with the current home location and the
+    /// requester retries. This is the mechanism the paper adopts: no
+    /// notification traffic at migration time, at the price of possible
+    /// redirection accumulation.
+    ForwardingPointer,
+    /// The most up-to-date home location is recorded at a designated manager
+    /// node (we use the object's *initial* home as its manager, which every
+    /// node can compute). On migration the new home posts a notification to
+    /// the manager; a node that misses asks the manager where the home is.
+    HomeManager,
+    /// On migration the new home broadcasts its location to all other nodes
+    /// at the next opportunity. Until the broadcast is processed, stale
+    /// requests are still redirected like the forwarding-pointer mechanism.
+    Broadcast,
+}
+
+impl Default for NotificationMechanism {
+    fn default() -> Self {
+        NotificationMechanism::ForwardingPointer
+    }
+}
+
+/// Complete configuration of the coherence protocol on every node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Home migration policy (the independent variable of every experiment).
+    pub migration: MigrationPolicy,
+    /// New-home notification mechanism.
+    pub notification: NotificationMechanism,
+    /// Network parameters; used to derive the half-peak length `m_½` that
+    /// enters the home access coefficient, and by the runtime for virtual
+    /// time stamping.
+    pub network: NetworkParams,
+    /// Objects flagged immutable by the application (e.g. the TSP distance
+    /// matrix) stay cached across acquires. This reproduces the GOS
+    /// read-only object optimization of the paper's earlier system paper and
+    /// keeps synchronization-heavy applications from drowning in fault-ins
+    /// that the real system would not perform either.
+    pub cache_immutable_objects: bool,
+    /// Fixed protocol handling cost charged by the runtime for serving any
+    /// request at a node (added on top of the Hockney message cost).
+    pub handling_cost: SimDuration,
+}
+
+impl ProtocolConfig {
+    /// Configuration used by the paper's headline experiments: adaptive
+    /// threshold migration, forwarding pointers, Fast Ethernet.
+    pub fn adaptive() -> Self {
+        ProtocolConfig {
+            migration: MigrationPolicy::adaptive(),
+            ..ProtocolConfig::no_migration()
+        }
+    }
+
+    /// The `NoHM`/`NM` baseline: home migration disabled.
+    pub fn no_migration() -> Self {
+        let network = NetworkParams::fast_ethernet();
+        ProtocolConfig {
+            migration: MigrationPolicy::NoMigration,
+            notification: NotificationMechanism::ForwardingPointer,
+            network,
+            cache_immutable_objects: true,
+            handling_cost: network.handling_cost(),
+        }
+    }
+
+    /// The `FT` baseline with the given fixed threshold (the paper uses 1
+    /// and 2).
+    pub fn fixed_threshold(threshold: u32) -> Self {
+        ProtocolConfig {
+            migration: MigrationPolicy::fixed(threshold),
+            ..ProtocolConfig::no_migration()
+        }
+    }
+
+    /// Replace the network model (affects both virtual time and α).
+    #[must_use]
+    pub fn with_network(mut self, network: NetworkParams) -> Self {
+        self.network = network;
+        self.handling_cost = network.handling_cost();
+        self
+    }
+
+    /// Replace the migration policy.
+    #[must_use]
+    pub fn with_migration(mut self, migration: MigrationPolicy) -> Self {
+        self.migration = migration;
+        self
+    }
+
+    /// Replace the notification mechanism.
+    #[must_use]
+    pub fn with_notification(mut self, notification: NotificationMechanism) -> Self {
+        self.notification = notification;
+        self
+    }
+
+    /// Half-peak message length `m_½` of the configured network, in bytes.
+    pub fn half_peak_length(&self) -> f64 {
+        self.network.hockney.half_peak_length()
+    }
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig::adaptive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_select_expected_policies() {
+        assert_eq!(ProtocolConfig::no_migration().migration, MigrationPolicy::NoMigration);
+        assert!(matches!(
+            ProtocolConfig::adaptive().migration,
+            MigrationPolicy::AdaptiveThreshold { .. }
+        ));
+        assert!(matches!(
+            ProtocolConfig::fixed_threshold(2).migration,
+            MigrationPolicy::FixedThreshold { threshold: 2 }
+        ));
+    }
+
+    #[test]
+    fn default_notification_is_forwarding_pointer() {
+        assert_eq!(
+            ProtocolConfig::default().notification,
+            NotificationMechanism::ForwardingPointer
+        );
+        assert_eq!(NotificationMechanism::default(), NotificationMechanism::ForwardingPointer);
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let cfg = ProtocolConfig::adaptive()
+            .with_network(NetworkParams::myrinet())
+            .with_notification(NotificationMechanism::Broadcast)
+            .with_migration(MigrationPolicy::fixed(3));
+        assert_eq!(cfg.network, NetworkParams::myrinet());
+        assert_eq!(cfg.notification, NotificationMechanism::Broadcast);
+        assert!(matches!(cfg.migration, MigrationPolicy::FixedThreshold { threshold: 3 }));
+        assert!(cfg.half_peak_length() > 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! # dsm-core — the home-based coherence protocol with adaptive home migration
+//!
+//! This crate is the reproduction of the paper's contribution: a home-based
+//! lazy-release-consistency (HLRC) cache coherence protocol for a Global
+//! Object Space, extended with **home migration** driven by a **per-object
+//! adaptive threshold** (Fang, Wang, Zhu, Lau — IEEE CLUSTER 2004).
+//!
+//! ## Protocol overview
+//!
+//! Every shared object has a *home* node. The home copy is always valid:
+//! accesses at the home never communicate, while a non-home node must
+//! *fault-in* the object from the home before accessing it and must
+//! propagate a *diff* of its writes back to the home when it releases a lock
+//! or reaches a barrier (multiple-writer support through twins and diffs).
+//! The memory model is the Java-consistency variant of LRC used by the
+//! paper's distributed JVM: at every acquire (and barrier) a node
+//! conservatively invalidates its cached non-home copies, so each critical
+//! section that accesses a remote object costs one object fault-in and — if
+//! it wrote — one diff propagation.
+//!
+//! ## Home migration
+//!
+//! If an object is repeatedly written by a single non-home node (the
+//! *single-writer pattern*), migrating its home to that node converts the
+//! per-interval fault-in + diff pair into purely local accesses. Migration is
+//! not free: other nodes still address the old home and must be redirected
+//! (forwarding-pointer mechanism), so migrating on a *transient*
+//! single-writer pattern only adds overhead.
+//!
+//! The paper's policy keeps, per object, a threshold `T` on the number of
+//! *consecutive remote writes* `C` from one node; when `C ≥ T` and that node
+//! faults the object again, the home migrates to it. `T` adapts at run time:
+//!
+//! ```text
+//! T_i = max( T_{i-1} + λ·(R_i − α·E_i), T_init )      T_init = 1, λ = 1
+//! ```
+//!
+//! where, since the previous migration, `R_i` counts redirected requests
+//! (negative feedback — migration cost) and `E_i` counts exclusive home
+//! writes (positive feedback — migration benefit), weighted by the *home
+//! access coefficient* `α ≈ 2 + (o + d)/m_½` (Appendix A) because one
+//! eliminated fault-in/diff pair is worth more than one redirection.
+//!
+//! ## Crate layout
+//!
+//! * [`config`] — protocol configuration (migration policy, notification
+//!   mechanism, coefficients).
+//! * [`messages`] — the wire protocol between nodes.
+//! * [`migration`] — the migration policies: `NoMigration`, `FixedThreshold`
+//!   (FT), `AdaptiveThreshold` (AT, the contribution), plus the JUMP-style
+//!   `MigrateOnRequest` and Jackal-style `LazyFlushing` baselines from the
+//!   related-work section.
+//! * [`sync`] — distributed lock and barrier managers (the synchronization
+//!   substrate that delimits intervals).
+//! * [`engine`] — the per-node protocol engine gluing it all together.
+//! * [`stats`] — per-node protocol statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod messages;
+pub mod migration;
+pub mod stats;
+pub mod sync;
+
+pub use config::{NotificationMechanism, ProtocolConfig};
+pub use engine::{
+    AccessPlan, DiffOutcome, FlushPlan, MigrationGrant, ObjectRequestOutcome, ProtocolEngine,
+};
+pub use messages::{ProtocolMsg, ReqId};
+pub use migration::{MigrationPolicy, MigrationState};
+pub use stats::ProtocolStats;
+pub use sync::{BarrierOutcome, LockAcquireOutcome, LockReleaseOutcome};

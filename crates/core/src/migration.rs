@@ -1,0 +1,556 @@
+//! Home migration policies.
+//!
+//! The decision "should this object's home move to the node that is asking
+//! for it?" is taken at the object's current home, based on per-object
+//! bookkeeping ([`MigrationState`]) updated on every protocol event that the
+//! paper's GOS monitors:
+//!
+//! * a **remote write** — a diff received from a non-home node (one per
+//!   synchronization interval in which that node updated the object);
+//! * a **home write** — the first write fault at the home node in an
+//!   interval (the home copy is set to `Invalid` at acquire time purely so
+//!   this event can be observed);
+//! * a **redirected object request** — a request that had to be forwarded
+//!   because it reached an obsolete home (redirection accumulation counts
+//!   each hop);
+//! * an **object request** — the decision point: when the single-writer
+//!   pattern has been detected and the writing node faults the object again,
+//!   the reply both carries the data and migrates the home.
+//!
+//! Five policies are provided: the paper's adaptive threshold (AT), the
+//! fixed threshold (FT) of the authors' earlier work, no migration (NoHM),
+//! and two related-work baselines — JUMP's migrating-home protocol (always
+//! migrate to the requester) and Jackal's lazy-flushing-style exclusive
+//! ownership transfer capped at a maximum number of transitions.
+
+use dsm_objspace::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// The home migration policy, selected once per experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MigrationPolicy {
+    /// Never migrate (the paper's `NoHM` / `NM` baseline).
+    NoMigration,
+    /// Migrate when the number of consecutive remote writes from one node
+    /// reaches a fixed threshold (the authors' previous protocol; the paper
+    /// evaluates thresholds 1 and 2 as `FT1` and `FT2`).
+    FixedThreshold {
+        /// The fixed threshold value.
+        threshold: u32,
+    },
+    /// The paper's contribution: a per-object threshold that decreases with
+    /// evidence of a lasting single-writer pattern and increases with
+    /// evidence that migrations only caused redirections.
+    AdaptiveThreshold {
+        /// Feedback coefficient λ (the paper sets it to 1).
+        lambda: f64,
+        /// Initial (and minimum) threshold `T_init` (the paper sets it to 1
+        /// to speed up initial data relocation).
+        initial_threshold: f64,
+        /// If set, overrides the home access coefficient α instead of
+        /// deriving it from object/diff sizes and the network's half-peak
+        /// length. Used by the sensitivity ablation.
+        alpha_override: Option<f64>,
+    },
+    /// JUMP-style migrating-home protocol: the requester of a write fault
+    /// always becomes the new home, regardless of access history.
+    MigrateOnRequest,
+    /// Jackal-style lazy flushing: ownership moves to a writing requester as
+    /// long as the object has not changed home more than `max_transitions`
+    /// times (Jackal caps the transitions at five).
+    LazyFlushing {
+        /// Maximum number of home transitions allowed for one object.
+        max_transitions: u32,
+    },
+}
+
+impl MigrationPolicy {
+    /// The paper's adaptive policy with its published constants
+    /// (λ = 1, T_init = 1, α derived from the network model).
+    pub fn adaptive() -> Self {
+        MigrationPolicy::AdaptiveThreshold {
+            lambda: 1.0,
+            initial_threshold: 1.0,
+            alpha_override: None,
+        }
+    }
+
+    /// A fixed-threshold policy (`FT1`, `FT2`, ...).
+    pub fn fixed(threshold: u32) -> Self {
+        MigrationPolicy::FixedThreshold { threshold }
+    }
+
+    /// Jackal-style lazy flushing with the default cap of five transitions.
+    pub fn lazy_flushing() -> Self {
+        MigrationPolicy::LazyFlushing { max_transitions: 5 }
+    }
+
+    /// Short label used in reports ("NM", "FT2", "AT", ...).
+    pub fn label(&self) -> String {
+        match self {
+            MigrationPolicy::NoMigration => "NM".to_string(),
+            MigrationPolicy::FixedThreshold { threshold } => format!("FT{threshold}"),
+            MigrationPolicy::AdaptiveThreshold { .. } => "AT".to_string(),
+            MigrationPolicy::MigrateOnRequest => "JUMP".to_string(),
+            MigrationPolicy::LazyFlushing { .. } => "LAZY".to_string(),
+        }
+    }
+}
+
+/// Per-object migration bookkeeping kept at the object's current home.
+///
+/// Field names follow §4.2 of the paper: `C_i` consecutive remote writes,
+/// `T_i` the adaptive threshold, `R_i` redirected requests and `E_i`
+/// exclusive home writes since the previous migration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationState {
+    /// `C_i`: consecutive remote writes from `last_remote_writer`, not
+    /// interleaved with writes from the home or from other remote nodes.
+    pub consecutive_remote_writes: u32,
+    /// The node whose writes `consecutive_remote_writes` counts.
+    pub last_remote_writer: Option<NodeId>,
+    /// `T_{i-1}`: the threshold value inherited from the previous migration
+    /// epoch (1 initially).
+    pub threshold_base: f64,
+    /// `R_i`: redirected object requests observed since the previous
+    /// migration (each hop of a redirection chain counts once).
+    pub redirected_requests: u64,
+    /// `E_i`: exclusive home writes since the previous migration.
+    pub exclusive_home_writes: u64,
+    /// Whether the most recent recorded write event was a home write (used
+    /// to decide if the next home write is "exclusive").
+    pub last_write_was_home: bool,
+    /// Total number of migrations this object has undergone.
+    pub migrations: u32,
+    /// Running mean of observed diff wire sizes (bytes), the `d` of the home
+    /// access coefficient.
+    pub mean_diff_bytes: f64,
+    /// Number of diffs contributing to `mean_diff_bytes`.
+    pub diff_samples: u64,
+}
+
+impl Default for MigrationState {
+    fn default() -> Self {
+        MigrationState::new()
+    }
+}
+
+impl MigrationState {
+    /// Fresh state for an object that has never migrated.
+    pub fn new() -> Self {
+        MigrationState {
+            consecutive_remote_writes: 0,
+            last_remote_writer: None,
+            threshold_base: 1.0,
+            redirected_requests: 0,
+            exclusive_home_writes: 0,
+            last_write_was_home: false,
+            migrations: 0,
+            mean_diff_bytes: 0.0,
+            diff_samples: 0,
+        }
+    }
+
+    /// Record a remote write: a diff of `diff_bytes` wire bytes received from
+    /// `from`. Updates the consecutive-remote-write counter and the diff
+    /// size average, and breaks any exclusive-home-write chain.
+    pub fn record_remote_write(&mut self, from: NodeId, diff_bytes: u64) {
+        if self.last_remote_writer == Some(from) && !self.last_write_was_home {
+            self.consecutive_remote_writes += 1;
+        } else {
+            self.consecutive_remote_writes = 1;
+            self.last_remote_writer = Some(from);
+        }
+        self.last_write_was_home = false;
+        self.diff_samples += 1;
+        let n = self.diff_samples as f64;
+        self.mean_diff_bytes += (diff_bytes as f64 - self.mean_diff_bytes) / n;
+    }
+
+    /// Record a home write (the first write fault at the home node in an
+    /// interval). Returns `true` if the write was *exclusive*, i.e. no
+    /// remote write occurred since an earlier home write.
+    pub fn record_home_write(&mut self) -> bool {
+        let exclusive = self.last_write_was_home;
+        if exclusive {
+            self.exclusive_home_writes += 1;
+        }
+        self.last_write_was_home = true;
+        self.consecutive_remote_writes = 0;
+        self.last_remote_writer = None;
+        exclusive
+    }
+
+    /// Record `hops` redirections reported by an arriving request (negative
+    /// feedback: the cost of previous migrations).
+    pub fn record_redirections(&mut self, hops: u32) {
+        self.redirected_requests += u64::from(hops);
+    }
+
+    /// The home access coefficient α for this object: either the policy's
+    /// override or `2 + (o + d)/m_½` with `d` the observed mean diff size
+    /// (falling back to the object size before any diff has been seen, which
+    /// over-estimates α slightly and therefore errs on the eager side —
+    /// matching the paper's choice of a small initial threshold).
+    pub fn alpha(&self, policy: &MigrationPolicy, object_bytes: u64, half_peak_len: f64) -> f64 {
+        if let MigrationPolicy::AdaptiveThreshold {
+            alpha_override: Some(a),
+            ..
+        } = policy
+        {
+            return *a;
+        }
+        let d = if self.diff_samples > 0 {
+            self.mean_diff_bytes
+        } else {
+            object_bytes as f64
+        };
+        2.0 + (object_bytes as f64 + d) / half_peak_len.max(1.0)
+    }
+
+    /// The current value of the migration threshold `T_i` under `policy`.
+    ///
+    /// For the adaptive policy this is
+    /// `max(T_{i-1} + λ·(R_i − α·E_i), T_init)`, evaluated continuously as
+    /// feedback accumulates. Fixed policies return their constant; policies
+    /// without a threshold return 1 (they migrate on the first opportunity)
+    /// or infinity (never migrate).
+    pub fn current_threshold(
+        &self,
+        policy: &MigrationPolicy,
+        object_bytes: u64,
+        half_peak_len: f64,
+    ) -> f64 {
+        match policy {
+            MigrationPolicy::NoMigration => f64::INFINITY,
+            MigrationPolicy::FixedThreshold { threshold } => f64::from(*threshold),
+            MigrationPolicy::AdaptiveThreshold {
+                lambda,
+                initial_threshold,
+                ..
+            } => {
+                let alpha = self.alpha(policy, object_bytes, half_peak_len);
+                let feedback = self.redirected_requests as f64
+                    - alpha * self.exclusive_home_writes as f64;
+                (self.threshold_base + lambda * feedback).max(*initial_threshold)
+            }
+            MigrationPolicy::MigrateOnRequest => 0.0,
+            MigrationPolicy::LazyFlushing { .. } => 1.0,
+        }
+    }
+
+    /// Decide whether the home should migrate to `requester`, which has just
+    /// faulted the object (with `for_write` indicating a write fault).
+    pub fn should_migrate(
+        &self,
+        policy: &MigrationPolicy,
+        requester: NodeId,
+        for_write: bool,
+        object_bytes: u64,
+        half_peak_len: f64,
+    ) -> bool {
+        match policy {
+            MigrationPolicy::NoMigration => false,
+            MigrationPolicy::MigrateOnRequest => for_write,
+            MigrationPolicy::LazyFlushing { max_transitions } => {
+                for_write && self.migrations < *max_transitions
+            }
+            MigrationPolicy::FixedThreshold { .. } | MigrationPolicy::AdaptiveThreshold { .. } => {
+                if self.last_remote_writer != Some(requester) {
+                    return false;
+                }
+                let threshold = self.current_threshold(policy, object_bytes, half_peak_len);
+                f64::from(self.consecutive_remote_writes) >= threshold
+            }
+        }
+    }
+
+    /// Called at the old home when a migration is performed: returns the
+    /// state to be shipped to the new home (threshold carried over, per-epoch
+    /// counters reset, migration count incremented).
+    #[must_use]
+    pub fn migrate(
+        &self,
+        policy: &MigrationPolicy,
+        object_bytes: u64,
+        half_peak_len: f64,
+    ) -> MigrationState {
+        MigrationState {
+            consecutive_remote_writes: 0,
+            last_remote_writer: None,
+            threshold_base: self.current_threshold(policy, object_bytes, half_peak_len).min(1e9),
+            redirected_requests: 0,
+            exclusive_home_writes: 0,
+            last_write_was_home: false,
+            migrations: self.migrations + 1,
+            mean_diff_bytes: self.mean_diff_bytes,
+            diff_samples: self.diff_samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HALF_PEAK: f64 = 1150.0;
+    const OBJ: u64 = 1024;
+
+    fn adaptive() -> MigrationPolicy {
+        MigrationPolicy::adaptive()
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MigrationPolicy::NoMigration.label(), "NM");
+        assert_eq!(MigrationPolicy::fixed(1).label(), "FT1");
+        assert_eq!(MigrationPolicy::fixed(2).label(), "FT2");
+        assert_eq!(MigrationPolicy::adaptive().label(), "AT");
+        assert_eq!(MigrationPolicy::MigrateOnRequest.label(), "JUMP");
+        assert_eq!(MigrationPolicy::lazy_flushing().label(), "LAZY");
+    }
+
+    #[test]
+    fn consecutive_remote_writes_count_same_writer_only() {
+        let mut s = MigrationState::new();
+        s.record_remote_write(NodeId(1), 100);
+        s.record_remote_write(NodeId(1), 100);
+        assert_eq!(s.consecutive_remote_writes, 2);
+        // A different writer resets the run to 1 and retargets it.
+        s.record_remote_write(NodeId(2), 100);
+        assert_eq!(s.consecutive_remote_writes, 1);
+        assert_eq!(s.last_remote_writer, Some(NodeId(2)));
+        // A home write clears the run entirely.
+        s.record_home_write();
+        assert_eq!(s.consecutive_remote_writes, 0);
+        assert_eq!(s.last_remote_writer, None);
+    }
+
+    #[test]
+    fn home_write_after_home_write_is_exclusive() {
+        let mut s = MigrationState::new();
+        // The first home write has no earlier home write -> not exclusive.
+        assert!(!s.record_home_write());
+        assert!(s.record_home_write());
+        assert!(s.record_home_write());
+        assert_eq!(s.exclusive_home_writes, 2);
+        // A remote write breaks the chain.
+        s.record_remote_write(NodeId(1), 64);
+        assert!(!s.record_home_write());
+        assert!(s.record_home_write());
+        assert_eq!(s.exclusive_home_writes, 3);
+    }
+
+    #[test]
+    fn mean_diff_size_is_running_average() {
+        let mut s = MigrationState::new();
+        s.record_remote_write(NodeId(1), 100);
+        s.record_remote_write(NodeId(1), 300);
+        assert!((s.mean_diff_bytes - 200.0).abs() < 1e-9);
+        assert_eq!(s.diff_samples, 2);
+    }
+
+    #[test]
+    fn no_migration_policy_never_migrates() {
+        let mut s = MigrationState::new();
+        for _ in 0..100 {
+            s.record_remote_write(NodeId(1), 100);
+        }
+        assert!(!s.should_migrate(&MigrationPolicy::NoMigration, NodeId(1), true, OBJ, HALF_PEAK));
+        assert!(s
+            .current_threshold(&MigrationPolicy::NoMigration, OBJ, HALF_PEAK)
+            .is_infinite());
+    }
+
+    #[test]
+    fn fixed_threshold_requires_enough_consecutive_writes() {
+        let policy = MigrationPolicy::fixed(2);
+        let mut s = MigrationState::new();
+        s.record_remote_write(NodeId(1), 100);
+        assert!(!s.should_migrate(&policy, NodeId(1), true, OBJ, HALF_PEAK));
+        s.record_remote_write(NodeId(1), 100);
+        assert!(s.should_migrate(&policy, NodeId(1), true, OBJ, HALF_PEAK));
+        // A different node asking does not trigger migration.
+        assert!(!s.should_migrate(&policy, NodeId(2), true, OBJ, HALF_PEAK));
+    }
+
+    #[test]
+    fn adaptive_threshold_starts_at_one() {
+        let s = MigrationState::new();
+        assert!((s.current_threshold(&adaptive(), OBJ, HALF_PEAK) - 1.0).abs() < 1e-12);
+        // So a single remote write from a node already triggers migration on
+        // its next request (speeding up initial data relocation).
+        let mut s = MigrationState::new();
+        s.record_remote_write(NodeId(3), 100);
+        assert!(s.should_migrate(&adaptive(), NodeId(3), true, OBJ, HALF_PEAK));
+    }
+
+    #[test]
+    fn redirections_raise_the_adaptive_threshold() {
+        let mut s = MigrationState::new();
+        s.record_redirections(3);
+        let t = s.current_threshold(&adaptive(), OBJ, HALF_PEAK);
+        assert!((t - 4.0).abs() < 1e-12, "T = 1 + 3 redirections = 4, got {t}");
+        // Migration now requires 4 consecutive writes from the same node.
+        s.record_remote_write(NodeId(1), 100);
+        s.record_remote_write(NodeId(1), 100);
+        s.record_remote_write(NodeId(1), 100);
+        assert!(!s.should_migrate(&adaptive(), NodeId(1), true, OBJ, HALF_PEAK));
+        s.record_remote_write(NodeId(1), 100);
+        assert!(s.should_migrate(&adaptive(), NodeId(1), true, OBJ, HALF_PEAK));
+    }
+
+    #[test]
+    fn exclusive_home_writes_lower_the_adaptive_threshold() {
+        let mut s = MigrationState::new();
+        // Raise the threshold first so there is room to go down.
+        s.record_redirections(10);
+        let before = s.current_threshold(&adaptive(), OBJ, HALF_PEAK);
+        s.record_home_write();
+        s.record_home_write(); // exclusive
+        s.record_home_write(); // exclusive
+        let after = s.current_threshold(&adaptive(), OBJ, HALF_PEAK);
+        assert!(after < before, "exclusive home writes must lower T ({before} -> {after})");
+    }
+
+    #[test]
+    fn adaptive_threshold_never_drops_below_initial() {
+        let mut s = MigrationState::new();
+        for _ in 0..1000 {
+            s.record_home_write();
+        }
+        let t = s.current_threshold(&adaptive(), OBJ, HALF_PEAK);
+        assert!((t - 1.0).abs() < 1e-12, "threshold is clamped at T_init, got {t}");
+    }
+
+    #[test]
+    fn alpha_uses_observed_diff_sizes_and_override() {
+        let mut s = MigrationState::new();
+        let a0 = s.alpha(&adaptive(), 1024, HALF_PEAK);
+        assert!((a0 - (2.0 + 2048.0 / HALF_PEAK)).abs() < 1e-9);
+        s.record_remote_write(NodeId(1), 512);
+        let a1 = s.alpha(&adaptive(), 1024, HALF_PEAK);
+        assert!((a1 - (2.0 + 1536.0 / HALF_PEAK)).abs() < 1e-9);
+        let forced = MigrationPolicy::AdaptiveThreshold {
+            lambda: 1.0,
+            initial_threshold: 1.0,
+            alpha_override: Some(7.5),
+        };
+        assert_eq!(s.alpha(&forced, 1024, HALF_PEAK), 7.5);
+    }
+
+    #[test]
+    fn lambda_scales_feedback() {
+        let gentle = MigrationPolicy::AdaptiveThreshold {
+            lambda: 0.5,
+            initial_threshold: 1.0,
+            alpha_override: None,
+        };
+        let mut s = MigrationState::new();
+        s.record_redirections(4);
+        assert!((s.current_threshold(&gentle, OBJ, HALF_PEAK) - 3.0).abs() < 1e-12);
+        assert!((s.current_threshold(&adaptive(), OBJ, HALF_PEAK) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jump_policy_migrates_on_any_write_fault() {
+        let s = MigrationState::new();
+        assert!(s.should_migrate(&MigrationPolicy::MigrateOnRequest, NodeId(5), true, OBJ, HALF_PEAK));
+        assert!(!s.should_migrate(&MigrationPolicy::MigrateOnRequest, NodeId(5), false, OBJ, HALF_PEAK));
+    }
+
+    #[test]
+    fn lazy_flushing_caps_transitions() {
+        let policy = MigrationPolicy::lazy_flushing();
+        let mut s = MigrationState::new();
+        for i in 0..5 {
+            assert!(s.should_migrate(&policy, NodeId(1), true, OBJ, HALF_PEAK), "transition {i}");
+            s = s.migrate(&policy, OBJ, HALF_PEAK);
+        }
+        assert_eq!(s.migrations, 5);
+        assert!(!s.should_migrate(&policy, NodeId(1), true, OBJ, HALF_PEAK));
+    }
+
+    #[test]
+    fn migrate_carries_threshold_and_resets_epoch_counters() {
+        let mut s = MigrationState::new();
+        s.record_redirections(2);
+        s.record_remote_write(NodeId(1), 128);
+        s.record_home_write();
+        let t_before = s.current_threshold(&adaptive(), OBJ, HALF_PEAK);
+        let shipped = s.migrate(&adaptive(), OBJ, HALF_PEAK);
+        assert_eq!(shipped.migrations, 1);
+        assert_eq!(shipped.consecutive_remote_writes, 0);
+        assert_eq!(shipped.redirected_requests, 0);
+        assert_eq!(shipped.exclusive_home_writes, 0);
+        assert!(!shipped.last_write_was_home);
+        assert!((shipped.threshold_base - t_before).abs() < 1e-12);
+        // Diff size history is retained across migrations.
+        assert_eq!(shipped.diff_samples, s.diff_samples);
+    }
+
+    #[test]
+    fn transient_pattern_is_suppressed_after_feedback() {
+        // Scenario from §5.2: writers take turns in short bursts (transient
+        // single-writer pattern). After the first migration causes
+        // redirections, the adaptive threshold grows beyond the burst length
+        // and migration stops; a fixed threshold of 1 would keep migrating.
+        let policy = adaptive();
+        let burst = 2u32;
+        let mut s = MigrationState::new();
+        let mut migrations = 0;
+        for round in 0..20 {
+            let writer = NodeId(1 + (round % 2) as u16);
+            for _ in 0..burst {
+                s.record_remote_write(writer, 64);
+                if s.should_migrate(&policy, writer, true, OBJ, HALF_PEAK) {
+                    s = s.migrate(&policy, OBJ, HALF_PEAK);
+                    migrations += 1;
+                    // After migrating, the *other* node's next request is
+                    // redirected (it still points at the old home).
+                    s.record_redirections(1);
+                    s.record_redirections(1);
+                }
+            }
+        }
+        // The first burst may trigger a migration or two, but feedback must
+        // shut the behaviour down: far fewer migrations than rounds.
+        assert!(migrations <= 3, "adaptive policy kept migrating: {migrations}");
+
+        // The fixed threshold 1 policy, by contrast, migrates every burst.
+        let ft1 = MigrationPolicy::fixed(1);
+        let mut s = MigrationState::new();
+        let mut ft1_migrations = 0;
+        for round in 0..20 {
+            let writer = NodeId(1 + (round % 2) as u16);
+            for _ in 0..burst {
+                s.record_remote_write(writer, 64);
+                if s.should_migrate(&ft1, writer, true, OBJ, HALF_PEAK) {
+                    s = s.migrate(&ft1, OBJ, HALF_PEAK);
+                    ft1_migrations += 1;
+                }
+            }
+        }
+        assert!(ft1_migrations >= 15, "FT1 should migrate every burst: {ft1_migrations}");
+    }
+
+    #[test]
+    fn lasting_pattern_keeps_adaptive_threshold_low() {
+        // A lasting single-writer pattern: after migration the new home keeps
+        // writing exclusively. The threshold must stay at (or fall back to)
+        // its minimum so the protocol stays sensitive.
+        let policy = adaptive();
+        let mut s = MigrationState::new();
+        s.record_remote_write(NodeId(1), 256);
+        assert!(s.should_migrate(&policy, NodeId(1), true, OBJ, HALF_PEAK));
+        let mut at_new_home = s.migrate(&policy, OBJ, HALF_PEAK);
+        // One stray redirection from a reader...
+        at_new_home.record_redirections(1);
+        // ...followed by a long run of exclusive home writes.
+        for _ in 0..50 {
+            at_new_home.record_home_write();
+        }
+        let t = at_new_home.current_threshold(&policy, OBJ, HALF_PEAK);
+        assert!((t - 1.0).abs() < 1e-12, "threshold should be back at T_init, got {t}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-node protocol statistics.
+//!
+//! These complement the per-message network statistics of `dsm-net` with
+//! protocol-level events: local hits vs faults, home accesses, migrations,
+//! redirections and diff volume. The harness merges them across nodes into
+//! the experiment report.
+
+use serde::{Deserialize, Serialize};
+
+/// Protocol event counters for one node (or, after merging, a whole run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolStats {
+    /// Reads served from a valid local copy (home or cached).
+    pub local_read_hits: u64,
+    /// Writes served by a valid local read-write copy.
+    pub local_write_hits: u64,
+    /// Object fault-ins issued (remote reads from the home's perspective).
+    pub fault_ins: u64,
+    /// Diffs sent to remote homes.
+    pub diffs_sent: u64,
+    /// Diffs applied at this node as home.
+    pub diffs_applied: u64,
+    /// Object requests served at this node as home.
+    pub requests_served: u64,
+    /// Requests redirected because this node is no longer the home.
+    pub redirections_served: u64,
+    /// Redirection hops experienced by this node's own requests.
+    pub redirections_suffered: u64,
+    /// Home migrations granted by this node (it was the old home).
+    pub migrations_out: u64,
+    /// Home migrations received by this node (it became the new home).
+    pub migrations_in: u64,
+    /// Home read faults recorded (first read at home per interval).
+    pub home_reads: u64,
+    /// Home write faults recorded (first write at home per interval).
+    pub home_writes: u64,
+    /// Exclusive home writes (positive feedback of the adaptive protocol).
+    pub exclusive_home_writes: u64,
+    /// Twins created.
+    pub twins_created: u64,
+    /// Total wire bytes of diffs sent.
+    pub diff_bytes_sent: u64,
+    /// Cached copies invalidated at acquires.
+    pub invalidations: u64,
+    /// Lock acquires performed by this node's application thread.
+    pub lock_acquires: u64,
+    /// Barrier phases completed by this node's application thread.
+    pub barriers: u64,
+}
+
+impl ProtocolStats {
+    /// Merge counters from another node.
+    pub fn merge(&mut self, other: &ProtocolStats) {
+        self.local_read_hits += other.local_read_hits;
+        self.local_write_hits += other.local_write_hits;
+        self.fault_ins += other.fault_ins;
+        self.diffs_sent += other.diffs_sent;
+        self.diffs_applied += other.diffs_applied;
+        self.requests_served += other.requests_served;
+        self.redirections_served += other.redirections_served;
+        self.redirections_suffered += other.redirections_suffered;
+        self.migrations_out += other.migrations_out;
+        self.migrations_in += other.migrations_in;
+        self.home_reads += other.home_reads;
+        self.home_writes += other.home_writes;
+        self.exclusive_home_writes += other.exclusive_home_writes;
+        self.twins_created += other.twins_created;
+        self.diff_bytes_sent += other.diff_bytes_sent;
+        self.invalidations += other.invalidations;
+        self.lock_acquires += other.lock_acquires;
+        self.barriers += other.barriers;
+    }
+
+    /// Total home migrations in a merged record (each migration is counted
+    /// once as `migrations_out` by the old home and once as `migrations_in`
+    /// by the new home; this returns the out-count which equals the number
+    /// of migration events).
+    pub fn migrations(&self) -> u64 {
+        self.migrations_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero() {
+        let s = ProtocolStats::default();
+        assert_eq!(s.fault_ins, 0);
+        assert_eq!(s.migrations(), 0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ProtocolStats {
+            fault_ins: 2,
+            diffs_sent: 1,
+            migrations_out: 1,
+            ..ProtocolStats::default()
+        };
+        let b = ProtocolStats {
+            fault_ins: 3,
+            redirections_served: 4,
+            migrations_in: 1,
+            ..ProtocolStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.fault_ins, 5);
+        assert_eq!(a.diffs_sent, 1);
+        assert_eq!(a.redirections_served, 4);
+        assert_eq!(a.migrations_out, 1);
+        assert_eq!(a.migrations_in, 1);
+        assert_eq!(a.migrations(), 1);
+    }
+}

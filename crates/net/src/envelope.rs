@@ -1,0 +1,58 @@
+//! Messages in flight.
+
+use crate::category::MsgCategory;
+use dsm_model::SimTime;
+use dsm_objspace::NodeId;
+
+/// Fixed modelled header size (bytes) added to every message: source,
+/// destination, category, request id and protocol bookkeeping. Real DSM
+/// implementations on TCP pay at least this much per message.
+pub const MESSAGE_HEADER_BYTES: u64 = 32;
+
+/// A message travelling between two nodes of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Statistics/breakdown category.
+    pub category: MsgCategory,
+    /// Wire size in bytes (payload + header), used for traffic accounting
+    /// and the Hockney latency that produced `arrival`.
+    pub wire_bytes: u64,
+    /// Virtual time at which the sender issued the message.
+    pub sent_at: SimTime,
+    /// Virtual time at which the message reaches the destination
+    /// (`sent_at + t(wire_bytes)` under the Hockney model).
+    pub arrival: SimTime,
+    /// The protocol payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// One-way virtual latency experienced by this message.
+    pub fn latency(&self) -> dsm_model::SimDuration {
+        self.arrival - self.sent_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_model::SimDuration;
+
+    #[test]
+    fn latency_is_arrival_minus_send() {
+        let env = Envelope {
+            src: NodeId(0),
+            dst: NodeId(1),
+            category: MsgCategory::Control,
+            wire_bytes: 64,
+            sent_at: SimTime::from_micros(10.0),
+            arrival: SimTime::from_micros(25.0),
+            payload: (),
+        };
+        assert_eq!(env.latency(), SimDuration::from_micros(15.0));
+    }
+}

@@ -1,0 +1,250 @@
+//! The crossbeam-channel full-mesh fabric connecting node threads.
+//!
+//! Each simulated cluster node owns one [`Endpoint`]. Sending stamps the
+//! envelope with the Hockney-model arrival time, records statistics, and
+//! enqueues it on the destination's unbounded channel; the destination's
+//! protocol server thread drains the channel. The fabric performs no
+//! protocol logic.
+
+use crate::category::MsgCategory;
+use crate::envelope::{Envelope, MESSAGE_HEADER_BYTES};
+use crate::stats::StatsCollector;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dsm_model::{NetworkParams, SimTime};
+use dsm_objspace::NodeId;
+use std::time::Duration;
+
+/// Factory for the endpoints of an `n`-node cluster.
+#[derive(Debug)]
+pub struct Fabric<M> {
+    endpoints: Vec<Endpoint<M>>,
+}
+
+/// One node's attachment to the fabric.
+#[derive(Debug)]
+pub struct Endpoint<M> {
+    node: NodeId,
+    params: NetworkParams,
+    senders: Vec<Sender<Envelope<M>>>,
+    receiver: Receiver<Envelope<M>>,
+    stats: StatsCollector,
+}
+
+impl<M: Send> Fabric<M> {
+    /// Build a fully connected fabric for `num_nodes` nodes with the given
+    /// network parameters and a shared statistics collector.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes` is zero.
+    pub fn new(num_nodes: usize, params: NetworkParams, stats: StatsCollector) -> Self {
+        assert!(num_nodes > 0, "cluster must have at least one node");
+        let mut senders = Vec::with_capacity(num_nodes);
+        let mut receivers = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, receiver)| Endpoint {
+                node: NodeId::from(i),
+                params,
+                senders: senders.clone(),
+                receiver,
+                stats: stats.clone(),
+            })
+            .collect();
+        Fabric { endpoints }
+    }
+
+    /// Number of nodes in the fabric.
+    pub fn num_nodes(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Take ownership of all endpoints (one per node, in node order); called
+    /// once by the runtime when spawning node threads.
+    pub fn into_endpoints(self) -> Vec<Endpoint<M>> {
+        self.endpoints
+    }
+}
+
+impl<M: Send> Endpoint<M> {
+    /// The node this endpoint belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes reachable through this endpoint (including itself).
+    pub fn num_nodes(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The network parameters used for latency stamping.
+    pub fn params(&self) -> &NetworkParams {
+        &self.params
+    }
+
+    /// Send `payload` of `payload_bytes` bytes to `dst`. `sent_at` is the
+    /// sender's current virtual time; the arrival stamp adds the Hockney
+    /// latency for the wire size (payload + fixed header).
+    ///
+    /// Returns the arrival time so the caller can account for blocking
+    /// round trips.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or if the destination endpoint has
+    /// been dropped (the cluster is shutting down while messages are still
+    /// being sent — a protocol bug).
+    pub fn send(
+        &self,
+        dst: NodeId,
+        category: MsgCategory,
+        payload_bytes: u64,
+        sent_at: SimTime,
+        payload: M,
+    ) -> SimTime {
+        let wire_bytes = payload_bytes + MESSAGE_HEADER_BYTES;
+        let arrival = sent_at + self.params.hockney.latency(wire_bytes);
+        self.stats.record(self.node, category, wire_bytes);
+        let envelope = Envelope {
+            src: self.node,
+            dst,
+            category,
+            wire_bytes,
+            sent_at,
+            arrival,
+            payload,
+        };
+        self.senders
+            .get(dst.index())
+            .unwrap_or_else(|| panic!("destination {dst} out of range"))
+            .send(envelope)
+            .expect("destination endpoint dropped while cluster is running");
+        arrival
+    }
+
+    /// Blocking receive of the next incoming message.
+    ///
+    /// Returns `None` when every sender (i.e. every other endpoint clone)
+    /// has been dropped, which the runtime uses for orderly shutdown.
+    pub fn recv(&self) -> Option<Envelope<M>> {
+        self.receiver.recv().ok()
+    }
+
+    /// Receive with a real-time timeout; used by protocol server loops so
+    /// they can poll a shutdown flag even when no messages arrive.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, RecvTimeoutError> {
+        self.receiver.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Number of messages currently queued for this node.
+    pub fn pending(&self) -> usize {
+        self.receiver.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fabric_builds_one_endpoint_per_node() {
+        let fabric: Fabric<u32> = Fabric::new(4, NetworkParams::ideal(), StatsCollector::new());
+        assert_eq!(fabric.num_nodes(), 4);
+        let eps = fabric.into_endpoints();
+        assert_eq!(eps.len(), 4);
+        for (i, ep) in eps.iter().enumerate() {
+            assert_eq!(ep.node(), NodeId::from(i));
+            assert_eq!(ep.num_nodes(), 4);
+        }
+    }
+
+    #[test]
+    fn send_and_receive_between_nodes() {
+        let stats = StatsCollector::new();
+        let fabric: Fabric<String> = Fabric::new(2, NetworkParams::fast_ethernet(), stats.clone());
+        let mut eps = fabric.into_endpoints();
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+
+        let arrival = ep0.send(
+            NodeId(1),
+            MsgCategory::ObjRequest,
+            8,
+            SimTime::from_micros(5.0),
+            "hello".to_string(),
+        );
+        let env = ep1.recv().expect("message should arrive");
+        assert_eq!(env.src, NodeId(0));
+        assert_eq!(env.dst, NodeId(1));
+        assert_eq!(env.payload, "hello");
+        assert_eq!(env.arrival, arrival);
+        assert!(env.arrival > env.sent_at, "Hockney latency must be positive");
+        assert_eq!(env.wire_bytes, 8 + MESSAGE_HEADER_BYTES);
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.total_messages(), 1);
+        assert_eq!(snap.total_bytes(), 8 + MESSAGE_HEADER_BYTES);
+    }
+
+    #[test]
+    fn self_send_is_allowed() {
+        // The protocol never needs it, but the fabric supports loop-back
+        // delivery (used by some tests).
+        let fabric: Fabric<u8> = Fabric::new(1, NetworkParams::ideal(), StatsCollector::new());
+        let ep = fabric.into_endpoints().pop().unwrap();
+        ep.send(NodeId(0), MsgCategory::Control, 0, SimTime::ZERO, 9);
+        assert_eq!(ep.recv().unwrap().payload, 9);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let fabric: Fabric<u64> = Fabric::new(2, NetworkParams::ideal(), StatsCollector::new());
+        let mut eps = fabric.into_endpoints();
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let handle = thread::spawn(move || {
+            let mut sum = 0;
+            for _ in 0..100 {
+                sum += ep1.recv().unwrap().payload;
+            }
+            sum
+        });
+        for i in 0..100u64 {
+            ep0.send(NodeId(1), MsgCategory::Control, 8, SimTime::ZERO, i);
+        }
+        assert_eq!(handle.join().unwrap(), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn try_recv_and_pending() {
+        let fabric: Fabric<u8> = Fabric::new(2, NetworkParams::ideal(), StatsCollector::new());
+        let mut eps = fabric.into_endpoints();
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        assert!(ep1.try_recv().is_none());
+        assert_eq!(ep1.pending(), 0);
+        ep0.send(NodeId(1), MsgCategory::Control, 0, SimTime::ZERO, 1);
+        ep0.send(NodeId(1), MsgCategory::Control, 0, SimTime::ZERO, 2);
+        assert_eq!(ep1.pending(), 2);
+        assert_eq!(ep1.try_recv().unwrap().payload, 1);
+        assert_eq!(ep1.try_recv().unwrap().payload, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sending_to_unknown_node_panics() {
+        let fabric: Fabric<u8> = Fabric::new(2, NetworkParams::ideal(), StatsCollector::new());
+        let eps = fabric.into_endpoints();
+        eps[0].send(NodeId(5), MsgCategory::Control, 0, SimTime::ZERO, 0);
+    }
+}

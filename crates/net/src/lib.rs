@@ -1,0 +1,36 @@
+//! # dsm-net — the simulated cluster interconnect
+//!
+//! The paper's testbed is a 16-node PC cluster on a Fast-Ethernet switch.
+//! This crate replaces the physical interconnect with an in-process message
+//! fabric:
+//!
+//! * [`MsgCategory`] — every protocol message is tagged with the category the
+//!   paper's evaluation breaks messages into (`obj`, `mig`, `diff`, `redir`,
+//!   synchronization, ...).
+//! * [`NetworkStats`] / [`StatsCollector`] — message counts and byte volumes
+//!   per category and per node; these are the "number of messages" and
+//!   "network traffic" series of Figures 3 and 5(b).
+//! * [`Envelope`] — a message in flight, carrying virtual-time send and
+//!   arrival stamps computed with the Hockney model from `dsm-model`.
+//! * [`Fabric`] / [`Endpoint`] — a crossbeam-channel based full mesh between
+//!   node threads. Sending is non-blocking; each node's protocol server
+//!   drains its endpoint. The fabric also offers a deterministic single-
+//!   threaded [`Loopback`] used by protocol unit tests.
+//!
+//! The fabric is deliberately dumb: it moves payloads, stamps virtual times
+//! and counts bytes. All protocol semantics live in `dsm-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod category;
+pub mod envelope;
+pub mod fabric;
+pub mod loopback;
+pub mod stats;
+
+pub use category::MsgCategory;
+pub use envelope::Envelope;
+pub use fabric::{Endpoint, Fabric};
+pub use loopback::Loopback;
+pub use stats::{CategoryStats, NetworkStats, StatsCollector};

@@ -1,0 +1,138 @@
+//! Deterministic single-threaded transport used by protocol unit tests.
+//!
+//! Where the threaded [`crate::Fabric`] delivers messages whenever the
+//! destination's server thread gets scheduled, the loopback keeps per-node
+//! FIFO queues in one structure so a test can interleave protocol engines in
+//! a fully controlled order and assert on every intermediate state.
+
+use crate::category::MsgCategory;
+use crate::envelope::{Envelope, MESSAGE_HEADER_BYTES};
+use crate::stats::StatsCollector;
+use dsm_model::{NetworkParams, SimTime};
+use dsm_objspace::NodeId;
+use std::collections::VecDeque;
+
+/// A deterministic in-memory message switch.
+#[derive(Debug)]
+pub struct Loopback<M> {
+    params: NetworkParams,
+    queues: Vec<VecDeque<Envelope<M>>>,
+    stats: StatsCollector,
+}
+
+impl<M> Loopback<M> {
+    /// Create a switch for `num_nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes` is zero.
+    pub fn new(num_nodes: usize, params: NetworkParams, stats: StatsCollector) -> Self {
+        assert!(num_nodes > 0, "cluster must have at least one node");
+        Loopback {
+            params,
+            queues: (0..num_nodes).map(|_| VecDeque::new()).collect(),
+            stats,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Send a message from `src` to `dst` (same stamping and accounting as
+    /// the threaded fabric). Returns the arrival time.
+    pub fn send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        category: MsgCategory,
+        payload_bytes: u64,
+        sent_at: SimTime,
+        payload: M,
+    ) -> SimTime {
+        let wire_bytes = payload_bytes + MESSAGE_HEADER_BYTES;
+        let arrival = sent_at + self.params.hockney.latency(wire_bytes);
+        self.stats.record(src, category, wire_bytes);
+        let envelope = Envelope {
+            src,
+            dst,
+            category,
+            wire_bytes,
+            sent_at,
+            arrival,
+            payload,
+        };
+        self.queues
+            .get_mut(dst.index())
+            .unwrap_or_else(|| panic!("destination {dst} out of range"))
+            .push_back(envelope);
+        arrival
+    }
+
+    /// Pop the next message queued for `node`, if any.
+    pub fn pop(&mut self, node: NodeId) -> Option<Envelope<M>> {
+        self.queues[node.index()].pop_front()
+    }
+
+    /// Number of messages queued for `node`.
+    pub fn pending(&self, node: NodeId) -> usize {
+        self.queues[node.index()].len()
+    }
+
+    /// Total messages queued anywhere.
+    pub fn pending_total(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// True if no messages are in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending_total() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_per_destination() {
+        let mut lb: Loopback<u32> =
+            Loopback::new(3, NetworkParams::ideal(), StatsCollector::new());
+        lb.send(NodeId(0), NodeId(2), MsgCategory::Control, 0, SimTime::ZERO, 1);
+        lb.send(NodeId(1), NodeId(2), MsgCategory::Control, 0, SimTime::ZERO, 2);
+        lb.send(NodeId(0), NodeId(1), MsgCategory::Control, 0, SimTime::ZERO, 3);
+        assert_eq!(lb.pending(NodeId(2)), 2);
+        assert_eq!(lb.pending(NodeId(1)), 1);
+        assert_eq!(lb.pending_total(), 3);
+        assert!(!lb.is_quiescent());
+        assert_eq!(lb.pop(NodeId(2)).unwrap().payload, 1);
+        assert_eq!(lb.pop(NodeId(2)).unwrap().payload, 2);
+        assert!(lb.pop(NodeId(2)).is_none());
+        assert_eq!(lb.pop(NodeId(1)).unwrap().payload, 3);
+        assert!(lb.is_quiescent());
+    }
+
+    #[test]
+    fn stamps_arrival_with_hockney_latency() {
+        let stats = StatsCollector::new();
+        let mut lb: Loopback<()> = Loopback::new(2, NetworkParams::fast_ethernet(), stats.clone());
+        let sent = SimTime::from_micros(100.0);
+        let arrival = lb.send(NodeId(0), NodeId(1), MsgCategory::Diff, 1000, sent, ());
+        let env = lb.pop(NodeId(1)).unwrap();
+        assert_eq!(env.arrival, arrival);
+        assert!(env.arrival > sent);
+        assert_eq!(stats.snapshot().category(MsgCategory::Diff).count, 1);
+        assert_eq!(
+            stats.snapshot().category(MsgCategory::Diff).bytes,
+            1000 + MESSAGE_HEADER_BYTES
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unknown_destination_panics() {
+        let mut lb: Loopback<()> =
+            Loopback::new(1, NetworkParams::ideal(), StatsCollector::new());
+        lb.send(NodeId(0), NodeId(3), MsgCategory::Control, 0, SimTime::ZERO, ());
+    }
+}

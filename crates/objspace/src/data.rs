@@ -1,0 +1,194 @@
+//! Payload of one coherence unit.
+//!
+//! [`ObjectData`] is an owned, dynamically-sized byte buffer with typed
+//! accessors. The home copy of every object and every cached copy hold one
+//! `ObjectData`; twins are snapshots of it and diffs are deltas between two
+//! of them.
+
+use crate::element::{decode_slice, encode_slice, Element};
+use serde::{Deserialize, Serialize};
+
+/// The byte payload of a shared object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectData {
+    bytes: Vec<u8>,
+}
+
+impl ObjectData {
+    /// Create a zero-filled object of `len` bytes (the state of a freshly
+    /// allocated Java object / array).
+    pub fn zeroed(len: usize) -> Self {
+        ObjectData {
+            bytes: vec![0; len],
+        }
+    }
+
+    /// Create an object from raw bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        ObjectData { bytes }
+    }
+
+    /// Create an object holding the encoding of a typed slice.
+    pub fn from_elements<T: Element>(values: &[T]) -> Self {
+        ObjectData {
+            bytes: encode_slice(values),
+        }
+    }
+
+    /// Size of the payload in bytes. This is the `o` of the home access
+    /// coefficient (Appendix A).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Raw byte view.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable raw byte view.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Consume into raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Decode the whole payload as a typed vector.
+    ///
+    /// # Panics
+    /// Panics if the payload length is not a multiple of the element size.
+    pub fn as_elements<T: Element>(&self) -> Vec<T> {
+        decode_slice(&self.bytes)
+    }
+
+    /// Number of typed elements in the payload.
+    pub fn element_count<T: Element>(&self) -> usize {
+        self.bytes.len() / T::SIZE
+    }
+
+    /// Read one typed element at element index `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn get<T: Element>(&self, idx: usize) -> T {
+        let start = idx * T::SIZE;
+        let end = start + T::SIZE;
+        assert!(end <= self.bytes.len(), "element index {idx} out of range");
+        T::read_from(&self.bytes[start..end])
+    }
+
+    /// Overwrite one typed element at element index `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn set<T: Element>(&mut self, idx: usize, value: T) {
+        let start = idx * T::SIZE;
+        let end = start + T::SIZE;
+        assert!(end <= self.bytes.len(), "element index {idx} out of range");
+        value.store_into(&mut self.bytes[start..end]);
+    }
+
+    /// Overwrite the whole payload from a typed slice.
+    ///
+    /// # Panics
+    /// Panics if the encoded length differs from the current payload length
+    /// (coherence units never change size after allocation, mirroring Java
+    /// arrays).
+    pub fn overwrite_elements<T: Element>(&mut self, values: &[T]) {
+        let encoded = encode_slice(values);
+        assert_eq!(
+            encoded.len(),
+            self.bytes.len(),
+            "object payload size is fixed at allocation time"
+        );
+        self.bytes = encoded;
+    }
+
+    /// Overwrite the whole payload from raw bytes of identical length.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn overwrite_bytes(&mut self, bytes: &[u8]) {
+        assert_eq!(
+            bytes.len(),
+            self.bytes.len(),
+            "object payload size is fixed at allocation time"
+        );
+        self.bytes.copy_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_object_is_all_zero() {
+        let d = ObjectData::zeroed(16);
+        assert_eq!(d.len(), 16);
+        assert!(!d.is_empty());
+        assert!(d.bytes().iter().all(|&b| b == 0));
+        assert_eq!(d.as_elements::<f64>(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let d = ObjectData::from_elements(&[1.5f64, -2.5, 3.0]);
+        assert_eq!(d.len(), 24);
+        assert_eq!(d.element_count::<f64>(), 3);
+        assert_eq!(d.as_elements::<f64>(), vec![1.5, -2.5, 3.0]);
+        assert_eq!(d.get::<f64>(1), -2.5);
+    }
+
+    #[test]
+    fn set_updates_single_element() {
+        let mut d = ObjectData::from_elements(&[1u32, 2, 3, 4]);
+        d.set(2, 99u32);
+        assert_eq!(d.as_elements::<u32>(), vec![1, 2, 99, 4]);
+    }
+
+    #[test]
+    fn overwrite_keeps_length() {
+        let mut d = ObjectData::from_elements(&[0.0f64; 4]);
+        d.overwrite_elements(&[1.0f64, 2.0, 3.0, 4.0]);
+        assert_eq!(d.as_elements::<f64>(), vec![1.0, 2.0, 3.0, 4.0]);
+        let other = ObjectData::from_elements(&[9.0f64, 8.0, 7.0, 6.0]);
+        d.overwrite_bytes(other.bytes());
+        assert_eq!(d.as_elements::<f64>(), vec![9.0, 8.0, 7.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed at allocation time")]
+    fn overwrite_with_wrong_size_panics() {
+        let mut d = ObjectData::zeroed(8);
+        d.overwrite_elements(&[1.0f64, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let d = ObjectData::zeroed(8);
+        let _ = d.get::<f64>(1);
+    }
+
+    #[test]
+    fn empty_object() {
+        let d = ObjectData::zeroed(0);
+        assert!(d.is_empty());
+        assert_eq!(d.element_count::<u8>(), 0);
+    }
+
+    #[test]
+    fn into_bytes_returns_payload() {
+        let d = ObjectData::from_elements(&[7u8, 8, 9]);
+        assert_eq!(d.into_bytes(), vec![7, 8, 9]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Diffs — run-length deltas between a twin and the modified working copy.
+//!
+//! A diff is the set of contiguous byte runs that changed during an interval.
+//! At release time the writer sends the diff to the object's home, where it
+//! is applied to the home copy (home-based protocol: "each shared coherence
+//! unit has a home to which all writes (diffs) are propagated and from which
+//! all copies are derived").
+//!
+//! Diff size matters twice: it is the payload of a `diff` message (network
+//! traffic, Figure 3/5) and it is the `d` of the home access coefficient
+//! (Appendix A).
+
+use crate::data::ObjectData;
+use serde::{Deserialize, Serialize};
+
+/// One contiguous modified byte range.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiffRun {
+    /// Byte offset of the run within the object.
+    pub offset: u32,
+    /// The new bytes for the run.
+    pub bytes: Vec<u8>,
+}
+
+/// A complete diff for one object and one interval.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Diff {
+    runs: Vec<DiffRun>,
+    /// Length of the object the diff was computed against, used to validate
+    /// application targets.
+    object_len: u32,
+}
+
+/// Granularity (bytes) at which changes are detected and coalesced. Word
+/// granularity matches the paper's JVM implementation (Java fields/array
+/// elements are at least 4 bytes; doubles are 8). Two modified words closer
+/// than one gap word are merged into a single run to keep run bookkeeping
+/// small, like real diff implementations do.
+const WORD: usize = 4;
+
+impl Diff {
+    /// Compute the diff between `old` (the twin) and `new` (the working
+    /// copy).
+    ///
+    /// # Panics
+    /// Panics if the two buffers have different lengths.
+    pub fn between(old: &[u8], new: &[u8]) -> Diff {
+        assert_eq!(
+            old.len(),
+            new.len(),
+            "twin and working copy must have identical length"
+        );
+        let len = old.len();
+        let mut runs: Vec<DiffRun> = Vec::new();
+        let mut pos = 0usize;
+        while pos < len {
+            let chunk = WORD.min(len - pos);
+            if old[pos..pos + chunk] != new[pos..pos + chunk] {
+                // Start of a modified run; extend over consecutive modified
+                // words.
+                let start = pos;
+                let mut end = pos + chunk;
+                pos += chunk;
+                while pos < len {
+                    let c = WORD.min(len - pos);
+                    if old[pos..pos + c] != new[pos..pos + c] {
+                        end = pos + c;
+                        pos += c;
+                    } else {
+                        break;
+                    }
+                }
+                runs.push(DiffRun {
+                    offset: u32::try_from(start).expect("object larger than 4 GiB"),
+                    bytes: new[start..end].to_vec(),
+                });
+            } else {
+                pos += chunk;
+            }
+        }
+        Diff {
+            runs,
+            object_len: u32::try_from(len).expect("object larger than 4 GiB"),
+        }
+    }
+
+    /// A diff that replaces the entire object (used when a writer has no twin
+    /// because it allocated or wholly initialised the object).
+    pub fn full(new: &[u8]) -> Diff {
+        Diff {
+            runs: if new.is_empty() {
+                Vec::new()
+            } else {
+                vec![DiffRun {
+                    offset: 0,
+                    bytes: new.to_vec(),
+                }]
+            },
+            object_len: u32::try_from(new.len()).expect("object larger than 4 GiB"),
+        }
+    }
+
+    /// Whether the diff contains no modified bytes.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of modified runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The modified runs.
+    pub fn runs(&self) -> &[DiffRun] {
+        &self.runs
+    }
+
+    /// Total count of modified payload bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.bytes.len()).sum()
+    }
+
+    /// Wire size of the diff: payload plus a (offset,length) header per run.
+    /// This is the `d` used by the home access coefficient and the message
+    /// size accounting.
+    pub fn wire_bytes(&self) -> usize {
+        self.payload_bytes() + self.runs.len() * 8
+    }
+
+    /// Length of the object this diff applies to.
+    pub fn object_len(&self) -> usize {
+        self.object_len as usize
+    }
+
+    /// Apply the diff to an object (normally the home copy).
+    ///
+    /// # Panics
+    /// Panics if the target has a different length from the object the diff
+    /// was computed against, or if any run falls outside the target.
+    pub fn apply(&self, target: &mut ObjectData) {
+        assert_eq!(
+            target.len(),
+            self.object_len as usize,
+            "diff applied to object of different size"
+        );
+        let bytes = target.bytes_mut();
+        for run in &self.runs {
+            let start = run.offset as usize;
+            let end = start + run.bytes.len();
+            assert!(end <= bytes.len(), "diff run exceeds object bounds");
+            bytes[start..end].copy_from_slice(&run.bytes);
+        }
+    }
+
+    /// Merge another diff *computed against the same base object length* into
+    /// this one; later runs win on overlap. Used when a node accumulates
+    /// several intervals of local writes before flushing (lazy flush
+    /// extension) and by the homeless baseline.
+    pub fn merge(&mut self, later: &Diff) {
+        assert_eq!(
+            self.object_len, later.object_len,
+            "cannot merge diffs of different objects"
+        );
+        // Apply both onto a scratch representation keyed by byte offset.
+        // Diffs are small relative to objects, so a simple map-based merge is
+        // fine and obviously correct.
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<u32, u8> = BTreeMap::new();
+        for run in self.runs.iter().chain(later.runs.iter()) {
+            for (i, b) in run.bytes.iter().enumerate() {
+                map.insert(run.offset + i as u32, *b);
+            }
+        }
+        // Re-coalesce into contiguous runs.
+        let mut runs: Vec<DiffRun> = Vec::new();
+        for (off, b) in map {
+            match runs.last_mut() {
+                Some(last) if last.offset + last.bytes.len() as u32 == off => {
+                    last.bytes.push(b);
+                }
+                _ => runs.push(DiffRun {
+                    offset: off,
+                    bytes: vec![b],
+                }),
+            }
+        }
+        self.runs = runs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(vals: &[f64]) -> ObjectData {
+        ObjectData::from_elements(vals)
+    }
+
+    #[test]
+    fn identical_buffers_give_empty_diff() {
+        let d = Diff::between(&[1, 2, 3, 4], &[1, 2, 3, 4]);
+        assert!(d.is_empty());
+        assert_eq!(d.payload_bytes(), 0);
+        assert_eq!(d.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn single_word_change_detected() {
+        let old = data(&[1.0, 2.0, 3.0]);
+        let mut new = old.clone();
+        new.set(1, 9.0f64);
+        let d = Diff::between(old.bytes(), new.bytes());
+        // 2.0 -> 9.0 only flips bits in the high-order word of the f64, so a
+        // word-granularity diff captures exactly one 4-byte run.
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.payload_bytes(), 4);
+        let mut target = old.clone();
+        d.apply(&mut target);
+        assert_eq!(target, new);
+    }
+
+    #[test]
+    fn adjacent_changes_coalesce_into_one_run() {
+        let old = data(&[0.0; 8]);
+        let mut new = old.clone();
+        // 1.1 and 2.2 have non-zero bits in every byte, so both full f64
+        // slots change and the two adjacent elements coalesce into one run.
+        new.set(2, 1.1f64);
+        new.set(3, 2.2f64);
+        let d = Diff::between(old.bytes(), new.bytes());
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.payload_bytes(), 16);
+    }
+
+    #[test]
+    fn separated_changes_produce_separate_runs() {
+        let old = data(&[0.0; 16]);
+        let mut new = old.clone();
+        new.set(0, 1.0f64);
+        new.set(10, 2.0f64);
+        let d = Diff::between(old.bytes(), new.bytes());
+        assert_eq!(d.run_count(), 2);
+        let mut target = old.clone();
+        d.apply(&mut target);
+        assert_eq!(target, new);
+    }
+
+    #[test]
+    fn wire_size_includes_run_headers() {
+        let old = data(&[0.0; 16]);
+        let mut new = old.clone();
+        new.set(0, 1.0f64);
+        new.set(10, 2.0f64);
+        let d = Diff::between(old.bytes(), new.bytes());
+        assert_eq!(d.wire_bytes(), d.payload_bytes() + 16);
+    }
+
+    #[test]
+    fn full_diff_replaces_everything() {
+        let old = data(&[0.0; 4]);
+        let new = data(&[1.0, 2.0, 3.0, 4.0]);
+        let d = Diff::full(new.bytes());
+        let mut target = old.clone();
+        d.apply(&mut target);
+        assert_eq!(target, new);
+        assert_eq!(d.run_count(), 1);
+        assert!(Diff::full(&[]).is_empty());
+    }
+
+    #[test]
+    fn merge_later_wins_on_overlap() {
+        let base = data(&[0.0; 4]);
+        let mut v1 = base.clone();
+        v1.set(1, 1.0f64);
+        v1.set(2, 1.0f64);
+        let mut v2 = base.clone();
+        v2.set(2, 2.0f64);
+        let mut d1 = Diff::between(base.bytes(), v1.bytes());
+        let d2 = Diff::between(base.bytes(), v2.bytes());
+        d1.merge(&d2);
+        let mut target = base.clone();
+        d1.apply(&mut target);
+        assert_eq!(target.get::<f64>(1), 1.0);
+        assert_eq!(target.get::<f64>(2), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical length")]
+    fn between_rejects_length_mismatch() {
+        let _ = Diff::between(&[0u8; 4], &[0u8; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different size")]
+    fn apply_rejects_wrong_target() {
+        let old = data(&[0.0; 4]);
+        let mut new = old.clone();
+        new.set(0, 5.0f64);
+        let d = Diff::between(old.bytes(), new.bytes());
+        let mut wrong = ObjectData::zeroed(8);
+        d.apply(&mut wrong);
+    }
+
+    #[test]
+    fn non_word_multiple_lengths_are_handled() {
+        // 10-byte object: trailing 2-byte chunk must still be diffed.
+        let old = vec![0u8; 10];
+        let mut new = old.clone();
+        new[9] = 7;
+        let d = Diff::between(&old, &new);
+        assert_eq!(d.run_count(), 1);
+        let mut target = ObjectData::from_bytes(old);
+        d.apply(&mut target);
+        assert_eq!(target.bytes()[9], 7);
+    }
+}

@@ -1,0 +1,137 @@
+//! Initial home assignment.
+//!
+//! From the paper's §5: "When an object is created, the creation node becomes
+//! its default home node. Exceptionally, we distribute the homes of large
+//! objects, such as array objects, among the nodes in a round-robin fashion
+//! in order to achieve load balance." We reproduce both policies, plus the
+//! hash policy mentioned in §3.2 ("all units are initially assigned a home
+//! node by a well known hash function") for the ablation experiments.
+
+use crate::id::{NodeId, ObjectId};
+use serde::{Deserialize, Serialize};
+
+/// Policy deciding the *initial* home of an object (before any migration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HomeAssignment {
+    /// The node that allocated the object is its home (the paper's default
+    /// for ordinary objects).
+    CreationNode,
+    /// Homes are spread over all nodes round-robin by allocation index (the
+    /// paper's policy for large array objects; this is precisely what makes
+    /// the "original homes are not the writing nodes" situation of ASP/SOR
+    /// arise and gives home migration its opportunity).
+    RoundRobin,
+    /// A well-known hash of the object id chooses the home (§3.2).
+    Hash,
+    /// All objects are homed on the master node (worst-case baseline used in
+    /// ablations; every non-master access is remote until migration).
+    Master,
+}
+
+/// Static description of one shared object: identity, payload size, and the
+/// information needed to compute its initial home deterministically on every
+/// node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectDescriptor {
+    /// The object's identity.
+    pub id: ObjectId,
+    /// Payload size in bytes (fixed at allocation).
+    pub size_bytes: usize,
+    /// The node that logically allocates/initialises the object.
+    pub creator: NodeId,
+    /// Allocation index within the creating collection (e.g. row number);
+    /// used by the round-robin policy.
+    pub allocation_index: u64,
+    /// Which initial-home policy applies to this object.
+    pub assignment: HomeAssignment,
+    /// Whether the application declares the object immutable after
+    /// initialization (e.g. the TSP distance matrix). Immutable objects may
+    /// stay cached across acquires — the GOS read-only object optimization.
+    pub immutable: bool,
+}
+
+impl ObjectDescriptor {
+    /// Whether the object is declared immutable after initialization.
+    pub fn is_immutable(&self) -> bool {
+        self.immutable
+    }
+
+    /// Compute the initial home under the descriptor's policy for a cluster
+    /// of `num_nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes` is zero.
+    pub fn initial_home(&self, num_nodes: usize) -> NodeId {
+        assert!(num_nodes > 0, "cluster must have at least one node");
+        match self.assignment {
+            HomeAssignment::CreationNode => self.creator,
+            HomeAssignment::RoundRobin => NodeId::from(self.allocation_index as usize % num_nodes),
+            HomeAssignment::Hash => {
+                NodeId::from((self.id.raw() % num_nodes as u64) as usize)
+            }
+            HomeAssignment::Master => NodeId::MASTER,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(policy: HomeAssignment, index: u64) -> ObjectDescriptor {
+        ObjectDescriptor {
+            id: ObjectId::derive("test", index),
+            size_bytes: 64,
+            creator: NodeId(3),
+            allocation_index: index,
+            assignment: policy,
+            immutable: false,
+        }
+    }
+
+    #[test]
+    fn creation_node_policy_uses_creator() {
+        assert_eq!(desc(HomeAssignment::CreationNode, 5).initial_home(8), NodeId(3));
+    }
+
+    #[test]
+    fn round_robin_spreads_homes() {
+        let homes: Vec<NodeId> = (0..8)
+            .map(|i| desc(HomeAssignment::RoundRobin, i).initial_home(4))
+            .collect();
+        assert_eq!(
+            homes,
+            vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(2),
+                NodeId(3),
+                NodeId(0),
+                NodeId(1),
+                NodeId(2),
+                NodeId(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_policy_is_deterministic_and_in_range() {
+        for i in 0..64 {
+            let d = desc(HomeAssignment::Hash, i);
+            let h = d.initial_home(7);
+            assert_eq!(h, d.initial_home(7));
+            assert!(h.index() < 7);
+        }
+    }
+
+    #[test]
+    fn master_policy_always_master() {
+        assert_eq!(desc(HomeAssignment::Master, 9).initial_home(16), NodeId::MASTER);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = desc(HomeAssignment::RoundRobin, 0).initial_home(0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # dsm-objspace — the shared object space substrate
+//!
+//! The paper's Global Object Space (GOS) virtualizes a single Java object
+//! heap across the cluster: every shared Java object is a coherence unit of
+//! the home-based protocol. This crate provides the object-level building
+//! blocks that the protocol engine (`dsm-core`) and runtime (`dsm-runtime`)
+//! are built on:
+//!
+//! * [`ObjectId`], [`NodeId`], [`LockId`], [`BarrierId`] — identities.
+//! * [`ObjectData`] — the byte-level payload of one coherence unit, with safe
+//!   typed views ([`Element`]) so applications can treat units as `f64`/`i64`
+//!   arrays (the Java 2-D matrices of ASP/SOR become arrays of row objects).
+//! * [`Twin`] and [`Diff`] — the multiple-writer machinery: a twin is the
+//!   pristine copy made before the first local write in an interval; a diff
+//!   is the word-granularity delta between the current copy and the twin,
+//!   propagated to the home at release time (HLRC).
+//! * [`AccessState`] — the explicit access-state machine that replaces the
+//!   paper's virtual-memory/page-fault trapping (see DESIGN.md §1): caches
+//!   and home copies move between `Invalid`, `ReadOnly` and `ReadWrite`, and
+//!   every upgrade is observable by the protocol (home reads, home writes,
+//!   remote faults).
+//! * [`HomeAssignment`] / [`ObjectDescriptor`] — deterministic initial home
+//!   placement (creation node by default, round-robin for large array
+//!   objects, exactly as in the paper's §5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod data;
+pub mod diff;
+pub mod element;
+pub mod home;
+pub mod id;
+pub mod registry;
+pub mod twin;
+pub mod version;
+
+pub use access::AccessState;
+pub use data::ObjectData;
+pub use diff::Diff;
+pub use element::Element;
+pub use home::{HomeAssignment, ObjectDescriptor};
+pub use id::{BarrierId, LockId, NodeId, ObjectId};
+pub use registry::ObjectRegistry;
+pub use twin::Twin;
+pub use version::Version;

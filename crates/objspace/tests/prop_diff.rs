@@ -1,0 +1,130 @@
+//! Property-based tests for the twin/diff machinery — the correctness core
+//! of the multiple-writer protocol. If diffs ever lose or corrupt writes, the
+//! whole DSM silently computes wrong answers, so these invariants get the
+//! heaviest random testing.
+
+use dsm_objspace::{ObjectData, Twin};
+use proptest::prelude::*;
+
+/// Strategy: an object payload plus a set of (index, new_value) writes.
+fn payload_and_writes() -> impl Strategy<Value = (Vec<u8>, Vec<(usize, u8)>)> {
+    (1usize..512).prop_flat_map(|len| {
+        (
+            proptest::collection::vec(any::<u8>(), len),
+            proptest::collection::vec((0..len, any::<u8>()), 0..64),
+        )
+    })
+}
+
+proptest! {
+    /// twin -> write -> diff -> apply reproduces the working copy exactly,
+    /// for arbitrary contents and arbitrary write sets.
+    #[test]
+    fn diff_roundtrip_reconstructs_writes((bytes, writes) in payload_and_writes()) {
+        let original = ObjectData::from_bytes(bytes);
+        let twin = Twin::capture(&original);
+        let mut working = original.clone();
+        for (idx, val) in &writes {
+            working.bytes_mut()[*idx] = *val;
+        }
+        let diff = twin.diff_against(&working);
+        let mut home_copy = original.clone();
+        diff.apply(&mut home_copy);
+        prop_assert_eq!(home_copy, working);
+    }
+
+    /// A diff never claims more payload than the object size and its wire
+    /// size is payload + 8 bytes per run.
+    #[test]
+    fn diff_size_bounds((bytes, writes) in payload_and_writes()) {
+        let original = ObjectData::from_bytes(bytes);
+        let twin = Twin::capture(&original);
+        let mut working = original.clone();
+        for (idx, val) in &writes {
+            working.bytes_mut()[*idx] = *val;
+        }
+        let diff = twin.diff_against(&working);
+        prop_assert!(diff.payload_bytes() <= original.len() + 3); // word rounding
+        prop_assert_eq!(diff.wire_bytes(), diff.payload_bytes() + 8 * diff.run_count());
+    }
+
+    /// Diffs from two writers touching disjoint regions can be applied in
+    /// either order with the same result (the multiple-writer guarantee under
+    /// false sharing).
+    #[test]
+    fn disjoint_diffs_commute(len in 2usize..256, seed in any::<u64>()) {
+        // Split the object in two halves; writer A modifies the first half,
+        // writer B the second (word-aligned halves to avoid false sharing at
+        // the word granularity of the diff).
+        let half = ((len / 2) / 4) * 4;
+        prop_assume!(half >= 4 && len - half >= 4);
+        let base = ObjectData::from_bytes((0..len).map(|i| (i as u8).wrapping_mul(31)).collect());
+
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let twin_a = Twin::capture(&a);
+        let twin_b = Twin::capture(&b);
+        // Deterministic pseudo-writes derived from the seed.
+        let mut s = seed;
+        let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1); (s >> 32) as u8 };
+        for i in 0..half { a.bytes_mut()[i] = next(); }
+        for i in half..len { b.bytes_mut()[i] = next(); }
+
+        let da = twin_a.diff_against(&a);
+        let db = twin_b.diff_against(&b);
+
+        let mut ab = base.clone();
+        da.apply(&mut ab);
+        db.apply(&mut ab);
+        let mut ba = base.clone();
+        db.apply(&mut ba);
+        da.apply(&mut ba);
+        prop_assert_eq!(&ab, &ba);
+        // And the merged state contains both writers' updates.
+        prop_assert_eq!(&ab.bytes()[..half], &a.bytes()[..half]);
+        prop_assert_eq!(&ab.bytes()[half..], &b.bytes()[half..]);
+    }
+
+    /// Merging two sequential diffs is equivalent to applying them in order.
+    #[test]
+    fn merge_equals_sequential_application((bytes, writes) in payload_and_writes()) {
+        prop_assume!(writes.len() >= 2);
+        let split = writes.len() / 2;
+        let base = ObjectData::from_bytes(bytes);
+
+        // Interval 1.
+        let twin1 = Twin::capture(&base);
+        let mut v1 = base.clone();
+        for (idx, val) in &writes[..split] { v1.bytes_mut()[*idx] = *val; }
+        let d1 = twin1.diff_against(&v1);
+
+        // Interval 2 continues from v1.
+        let twin2 = Twin::capture(&v1);
+        let mut v2 = v1.clone();
+        for (idx, val) in &writes[split..] { v2.bytes_mut()[*idx] = *val; }
+        let d2 = twin2.diff_against(&v2);
+
+        // Sequential application.
+        let mut seq = base.clone();
+        d1.apply(&mut seq);
+        d2.apply(&mut seq);
+
+        // Merged application.
+        let mut merged = d1.clone();
+        merged.merge(&d2);
+        let mut via_merge = base.clone();
+        merged.apply(&mut via_merge);
+
+        prop_assert_eq!(seq, via_merge);
+    }
+
+    /// An unmodified working copy always produces an empty diff.
+    #[test]
+    fn no_writes_empty_diff(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let base = ObjectData::from_bytes(bytes);
+        let twin = Twin::capture(&base);
+        let diff = twin.diff_against(&base);
+        prop_assert!(diff.is_empty());
+        prop_assert_eq!(diff.wire_bytes(), 0);
+    }
+}

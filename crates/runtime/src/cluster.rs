@@ -1,0 +1,146 @@
+//! Cluster construction and execution.
+
+use crate::ctx::NodeCtx;
+use crate::node::{server_loop, NodeShared};
+use crate::report::ExecutionReport;
+use dsm_core::{ProtocolConfig, ProtocolEngine, ProtocolMsg, ProtocolStats};
+use dsm_model::ComputeModel;
+use dsm_net::{Fabric, StatsCollector};
+use dsm_objspace::ObjectRegistry;
+use std::sync::Arc;
+use std::thread;
+
+/// Configuration of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of simulated cluster nodes (the paper evaluates 2–16).
+    pub num_nodes: usize,
+    /// Coherence protocol configuration (migration policy, notification
+    /// mechanism, network model).
+    pub protocol: ProtocolConfig,
+    /// Computation cost model used by `NodeCtx::compute`.
+    pub compute: ComputeModel,
+}
+
+impl ClusterConfig {
+    /// Create a configuration with the default computation model
+    /// (≈ 2 GHz Pentium 4).
+    pub fn new(num_nodes: usize, protocol: ProtocolConfig) -> Self {
+        assert!(num_nodes > 0, "cluster must have at least one node");
+        ClusterConfig {
+            num_nodes,
+            protocol,
+            compute: ComputeModel::default(),
+        }
+    }
+
+    /// Replace the computation cost model.
+    #[must_use]
+    pub fn with_compute(mut self, compute: ComputeModel) -> Self {
+        self.compute = compute;
+        self
+    }
+}
+
+/// A simulated cluster ready to run one application.
+pub struct Cluster {
+    config: ClusterConfig,
+    registry: ObjectRegistry,
+}
+
+impl Cluster {
+    /// Build a cluster from a configuration and the registry of shared
+    /// objects the application will use.
+    pub fn new(config: ClusterConfig, registry: ObjectRegistry) -> Self {
+        Cluster { config, registry }
+    }
+
+    /// Run `app` on every node (one application thread per node, exactly as
+    /// the paper's distributed JVM dispatches one Java thread per cluster
+    /// node) and return the merged execution report.
+    ///
+    /// # Panics
+    /// Propagates a panic from any application thread after shutting the
+    /// cluster down.
+    pub fn run<F>(self, app: F) -> ExecutionReport
+    where
+        F: Fn(&NodeCtx) + Send + Sync,
+    {
+        let Cluster { config, registry } = self;
+        let num_nodes = config.num_nodes;
+        let registry = Arc::new(registry);
+        let stats = StatsCollector::new();
+        let fabric: Fabric<ProtocolMsg> =
+            Fabric::new(num_nodes, config.protocol.network, stats.clone());
+
+        let shareds: Vec<Arc<NodeShared>> = fabric
+            .into_endpoints()
+            .into_iter()
+            .map(|endpoint| {
+                let engine = ProtocolEngine::new(
+                    endpoint.node(),
+                    num_nodes,
+                    config.protocol.clone(),
+                    Arc::clone(&registry),
+                );
+                NodeShared::new(
+                    engine,
+                    endpoint,
+                    config.compute,
+                    config.protocol.handling_cost,
+                )
+            })
+            .collect();
+
+        thread::scope(|scope| {
+            // Protocol server threads.
+            for shared in &shareds {
+                let shared = Arc::clone(shared);
+                scope.spawn(move || server_loop(&shared));
+            }
+            // Application threads.
+            let app = &app;
+            let mut handles = Vec::with_capacity(num_nodes);
+            for shared in &shareds {
+                let shared = Arc::clone(shared);
+                handles.push(scope.spawn(move || {
+                    let ctx = NodeCtx::new(shared);
+                    app(&ctx);
+                }));
+            }
+            // Join application threads, then stop the servers even if an
+            // application thread panicked (otherwise the scope would wait on
+            // server loops forever).
+            let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            for shared in &shareds {
+                shared.request_shutdown();
+            }
+            for result in results {
+                if let Err(payload) = result {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+
+        // Assemble the report.
+        let node_times: Vec<_> = shareds.iter().map(|s| s.clock.now()).collect();
+        let execution_time = node_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or_default()
+            .saturating_since(dsm_model::SimTime::ZERO);
+        let mut protocol = ProtocolStats::default();
+        for shared in &shareds {
+            protocol.merge(shared.engine.lock().stats());
+        }
+        ExecutionReport {
+            execution_time,
+            node_times,
+            network: stats.snapshot(),
+            protocol,
+            num_nodes,
+            policy_label: config.protocol.migration.label(),
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The application-facing node context.
+//!
+//! A [`NodeCtx`] is handed to the application closure on every node. It is
+//! the analogue of the paper's GOS runtime interface as seen by a Java
+//! thread: transparent object access (fault-ins, twins and diffs happen
+//! behind the scenes), `synchronized`-style locking, barriers, and a hook to
+//! charge modelled computation time.
+
+use crate::handle::ArrayHandle;
+use crate::node::{dispatch_barrier_release, dispatch_lock_grant, NodeShared};
+use dsm_core::sync::{BarrierOutcome, LockAcquireOutcome};
+use dsm_core::{AccessPlan, ProtocolMsg};
+use dsm_model::{SimDuration, SimTime};
+use dsm_objspace::{BarrierId, Element, LockId, NodeId, ObjectData, ObjectId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Node of the cluster that hosts the distributed lock and barrier managers.
+/// The paper's applications start on one node and send all distributed
+/// synchronization there.
+const SYNC_MANAGER: NodeId = NodeId::MASTER;
+
+/// The per-node application context.
+pub struct NodeCtx {
+    shared: Arc<NodeShared>,
+    barrier_epochs: RefCell<HashMap<BarrierId, u64>>,
+}
+
+impl NodeCtx {
+    pub(crate) fn new(shared: Arc<NodeShared>) -> Self {
+        NodeCtx {
+            shared,
+            barrier_epochs: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// This node's identity.
+    pub fn node_id(&self) -> NodeId {
+        self.shared.node
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn num_nodes(&self) -> usize {
+        self.shared.num_nodes
+    }
+
+    /// Whether this node is the master (the node the application starts on).
+    pub fn is_master(&self) -> bool {
+        self.shared.node == NodeId::MASTER
+    }
+
+    /// Current virtual time at this node.
+    pub fn now(&self) -> SimTime {
+        self.shared.clock.now()
+    }
+
+    /// Charge `ops` abstract operations of computation to the virtual clock.
+    pub fn compute(&self, ops: u64) {
+        let cost = self.shared.compute.ops(ops);
+        self.shared.clock.advance(cost);
+    }
+
+    /// Charge computation for touching `elements` elements with
+    /// `ops_per_element` operations each.
+    pub fn compute_elements(&self, elements: u64, ops_per_element: u64) {
+        let cost = self.shared.compute.elements(elements, ops_per_element);
+        self.shared.clock.advance(cost);
+    }
+
+    /// Charge an explicit virtual duration (used by workloads that model
+    /// phases not expressed in element counts).
+    pub fn charge(&self, duration: SimDuration) {
+        self.shared.clock.advance(duration);
+    }
+
+    // ------------------------------------------------------------------
+    // Shared object access
+    // ------------------------------------------------------------------
+
+    /// Seed the initial contents of a shared object. Must be called on every
+    /// node *before* any node accesses the object through the protocol
+    /// (typically followed by a [`Self::barrier`]); only the object's home
+    /// actually stores the data, and no messages are exchanged because every
+    /// node computes identical contents.
+    pub fn bootstrap<T: Element>(&self, handle: &ArrayHandle<T>, values: &[T]) {
+        assert_eq!(values.len(), handle.len, "bootstrap length mismatch");
+        self.shared
+            .engine
+            .lock()
+            .bootstrap_object(handle.id, ObjectData::from_elements(values));
+    }
+
+    /// Read the whole object into a typed vector (faulting it in if needed).
+    pub fn read<T: Element>(&self, handle: &ArrayHandle<T>) -> Vec<T> {
+        self.ensure_readable(handle.id);
+        self.shared
+            .engine
+            .lock()
+            .with_object(handle.id, |d| d.as_elements())
+    }
+
+    /// Read a single element (faulting the object in if needed).
+    pub fn read_element<T: Element>(&self, handle: &ArrayHandle<T>, index: usize) -> T {
+        assert!(index < handle.len, "element index out of range");
+        self.ensure_readable(handle.id);
+        self.shared
+            .engine
+            .lock()
+            .with_object(handle.id, |d| d.get(index))
+    }
+
+    /// Read-modify-write the whole object through a closure over its typed
+    /// contents.
+    pub fn update<T: Element>(&self, handle: &ArrayHandle<T>, f: impl FnOnce(&mut Vec<T>)) {
+        self.ensure_writable(handle.id);
+        self.shared.engine.lock().with_object_mut(handle.id, |d| {
+            let mut values = d.as_elements::<T>();
+            f(&mut values);
+            d.overwrite_elements(&values);
+        });
+    }
+
+    /// Overwrite the whole object with new contents.
+    pub fn write_all<T: Element>(&self, handle: &ArrayHandle<T>, values: &[T]) {
+        assert_eq!(values.len(), handle.len, "write length mismatch");
+        self.ensure_writable(handle.id);
+        self.shared
+            .engine
+            .lock()
+            .with_object_mut(handle.id, |d| d.overwrite_elements(values));
+    }
+
+    /// Overwrite a single element.
+    pub fn write_element<T: Element>(&self, handle: &ArrayHandle<T>, index: usize, value: T) {
+        assert!(index < handle.len, "element index out of range");
+        self.ensure_writable(handle.id);
+        self.shared
+            .engine
+            .lock()
+            .with_object_mut(handle.id, |d| d.set(index, value));
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------------
+
+    /// Acquire a distributed lock (entering a `synchronized` block). Opens a
+    /// new consistency interval: cached copies are conservatively
+    /// invalidated, exactly as the paper's Java-consistency GOS does.
+    pub fn acquire(&self, lock: LockId) {
+        let node = self.shared.node;
+        if SYNC_MANAGER == node {
+            let req = self.shared.new_req();
+            let rx = self.shared.register_pending(req);
+            let outcome = self.shared.engine.lock().lock_acquire(lock, node, req);
+            match outcome {
+                LockAcquireOutcome::Granted => {
+                    // Nobody will ever send the grant; complete it ourselves
+                    // so the pending table stays clean.
+                    self.shared.deliver_local(req, ProtocolMsg::LockGrant { req, lock });
+                }
+                LockAcquireOutcome::Queued => {}
+            }
+            let reply = rx.recv().expect("cluster shut down during lock acquire");
+            self.shared.clock.merge(reply.arrival);
+        } else {
+            let req = self.shared.new_req();
+            let reply = self.shared.request(
+                SYNC_MANAGER,
+                req,
+                ProtocolMsg::LockAcquire {
+                    req,
+                    lock,
+                    requester: node,
+                },
+            );
+            assert!(
+                matches!(reply, ProtocolMsg::LockGrant { .. }),
+                "unexpected reply to lock acquire: {reply:?}"
+            );
+        }
+        let mut engine = self.shared.engine.lock();
+        engine.note_lock_acquire();
+        engine.begin_interval();
+    }
+
+    /// Release a distributed lock (leaving a `synchronized` block). All
+    /// local writes of the interval are flushed to their homes (diff
+    /// propagation) before the lock is handed back.
+    pub fn release(&self, lock: LockId) {
+        self.flush_interval();
+        let node = self.shared.node;
+        if SYNC_MANAGER == node {
+            let outcome = self.shared.engine.lock().lock_release(lock, node);
+            if let Some((next, req)) = outcome.grant_next {
+                dispatch_lock_grant(&self.shared, lock, next, req);
+            }
+        } else {
+            self.shared.send(
+                SYNC_MANAGER,
+                ProtocolMsg::LockRelease { lock, holder: node },
+            );
+        }
+    }
+
+    /// Run `f` inside a `synchronized` block on `lock`.
+    pub fn synchronized<R>(&self, lock: LockId, f: impl FnOnce() -> R) -> R {
+        self.acquire(lock);
+        let result = f();
+        self.release(lock);
+        result
+    }
+
+    /// Wait at a global barrier (all nodes participate). Acts as a release
+    /// (local writes flushed) followed by an acquire (cached copies
+    /// invalidated), exactly like the barriers the paper's iterative
+    /// applications are built around.
+    pub fn barrier(&self, barrier: BarrierId) {
+        self.flush_interval();
+        let node = self.shared.node;
+        let epoch = {
+            let mut epochs = self.barrier_epochs.borrow_mut();
+            let e = epochs.entry(barrier).or_insert(0);
+            let current = *e;
+            *e += 1;
+            current
+        };
+        let req = self.shared.new_req();
+        if SYNC_MANAGER == node {
+            let rx = self.shared.register_pending(req);
+            let outcome = self.shared.engine.lock().barrier_arrive(barrier, node, req);
+            if let BarrierOutcome::Complete { waiters, epoch: done } = outcome {
+                dispatch_barrier_release(&self.shared, barrier, done, waiters);
+            }
+            let reply = rx.recv().expect("cluster shut down during barrier");
+            self.shared.clock.merge(reply.arrival);
+        } else {
+            let reply = self.shared.request(
+                SYNC_MANAGER,
+                req,
+                ProtocolMsg::BarrierArrive {
+                    req,
+                    barrier,
+                    node,
+                    epoch,
+                },
+            );
+            assert!(
+                matches!(reply, ProtocolMsg::BarrierRelease { .. }),
+                "unexpected reply to barrier arrive: {reply:?}"
+            );
+        }
+        let mut engine = self.shared.engine.lock();
+        engine.note_barrier();
+        engine.begin_interval();
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Make sure a valid local copy exists for reading.
+    fn ensure_readable(&self, obj: ObjectId) {
+        loop {
+            let plan = self.shared.engine.lock().plan_read(obj);
+            match plan {
+                AccessPlan::LocalHit => return,
+                AccessPlan::Fetch { target } => self.fault_in(obj, false, target),
+            }
+        }
+    }
+
+    /// Make sure a writable local copy exists (twin created as needed).
+    fn ensure_writable(&self, obj: ObjectId) {
+        loop {
+            let plan = self.shared.engine.lock().plan_write(obj);
+            match plan {
+                AccessPlan::LocalHit => return,
+                AccessPlan::Fetch { target } => self.fault_in(obj, true, target),
+            }
+        }
+    }
+
+    /// Fault an object in from its (believed) home, following forwarding
+    /// pointers until the current home is found.
+    fn fault_in(&self, obj: ObjectId, for_write: bool, mut target: NodeId) {
+        let node = self.shared.node;
+        let mut redirections = 0u32;
+        loop {
+            let req = self.shared.new_req();
+            let reply = self.shared.request(
+                target,
+                req,
+                ProtocolMsg::ObjectRequest {
+                    req,
+                    obj,
+                    requester: node,
+                    for_write,
+                    redirections,
+                },
+            );
+            match reply {
+                ProtocolMsg::ObjectReply {
+                    data,
+                    version,
+                    migration,
+                    ..
+                } => {
+                    self.shared
+                        .engine
+                        .lock()
+                        .install_object(obj, data, version, migration);
+                    return;
+                }
+                ProtocolMsg::ObjectRedirect { new_home, .. } => {
+                    self.shared.engine.lock().note_redirect(obj, new_home);
+                    redirections += 1;
+                    assert!(
+                        redirections <= self.shared.num_nodes as u32 + 2,
+                        "redirection chain for {obj} did not converge"
+                    );
+                    target = new_home;
+                }
+                other => panic!("unexpected reply to object request: {other:?}"),
+            }
+        }
+    }
+
+    /// Flush every dirty object of the current interval to its home and
+    /// close the interval.
+    fn flush_interval(&self) {
+        let node = self.shared.node;
+        let plans = self.shared.engine.lock().prepare_release();
+        for plan in plans {
+            let mut target = plan.target;
+            let mut redirections = 0u32;
+            loop {
+                let req = self.shared.new_req();
+                let reply = self.shared.request(
+                    target,
+                    req,
+                    ProtocolMsg::DiffFlush {
+                        req,
+                        obj: plan.obj,
+                        diff: plan.diff.clone(),
+                        from: node,
+                        redirections,
+                    },
+                );
+                match reply {
+                    ProtocolMsg::DiffAck { version, .. } => {
+                        self.shared.engine.lock().complete_flush(plan.obj, version);
+                        break;
+                    }
+                    ProtocolMsg::DiffRedirect { new_home, .. } => {
+                        self.shared.engine.lock().note_redirect(plan.obj, new_home);
+                        redirections += 1;
+                        assert!(
+                            redirections <= self.shared.num_nodes as u32 + 2,
+                            "diff redirection chain for {} did not converge",
+                            plan.obj
+                        );
+                        target = new_home;
+                    }
+                    other => panic!("unexpected reply to diff flush: {other:?}"),
+                }
+            }
+        }
+        self.shared.engine.lock().finish_release();
+    }
+}

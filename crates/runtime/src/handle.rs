@@ -1,0 +1,163 @@
+//! Typed handles to shared objects.
+//!
+//! A handle is a cheap, copiable description of one coherence unit: its
+//! deterministic [`ObjectId`], its element type and its element count. All
+//! nodes construct identical handles from the same `(name, index)` pair —
+//! the analogue of every JVM node resolving the same array object — so no
+//! handle exchange protocol is needed.
+
+use dsm_objspace::{Element, HomeAssignment, NodeId, ObjectId, ObjectRegistry};
+use std::marker::PhantomData;
+
+/// A typed handle to a shared array object (a coherence unit whose payload
+/// is `len` elements of `T`).
+#[derive(Debug)]
+pub struct ArrayHandle<T> {
+    /// The object's identity.
+    pub id: ObjectId,
+    /// Number of `T` elements in the object.
+    pub len: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+// Manual impls so handles are Copy/Clone regardless of T.
+impl<T> Clone for ArrayHandle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for ArrayHandle<T> {}
+
+impl<T: Element> ArrayHandle<T> {
+    /// Construct a handle without registering it (the object must already be
+    /// registered under the same name/index/length by every node).
+    pub fn lookup(name: &str, index: u64, len: usize) -> Self {
+        ArrayHandle {
+            id: ObjectId::derive(name, index),
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Register the object in `registry` and return its handle.
+    pub fn register(
+        registry: &mut ObjectRegistry,
+        name: &str,
+        index: u64,
+        len: usize,
+        creator: NodeId,
+        assignment: HomeAssignment,
+    ) -> Self {
+        let id = registry.register_named(name, index, len * T::SIZE, creator, assignment);
+        ArrayHandle {
+            id,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Register an immutable object (never invalidated once cached; the GOS
+    /// read-only optimization) and return its handle.
+    pub fn register_immutable(
+        registry: &mut ObjectRegistry,
+        name: &str,
+        index: u64,
+        len: usize,
+        creator: NodeId,
+        assignment: HomeAssignment,
+    ) -> Self {
+        let id =
+            registry.register_named_immutable(name, index, len * T::SIZE, creator, assignment);
+        ArrayHandle {
+            id,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Payload size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.len * T::SIZE
+    }
+}
+
+/// Register a whole family of row objects (e.g. the rows of a 2-D matrix,
+/// which in Java is an array of row array objects) and return their handles.
+pub fn register_rows<T: Element>(
+    registry: &mut ObjectRegistry,
+    name: &str,
+    rows: usize,
+    row_len: usize,
+    creator: NodeId,
+    assignment: HomeAssignment,
+) -> Vec<ArrayHandle<T>> {
+    (0..rows)
+        .map(|r| ArrayHandle::<T>::register(registry, name, r as u64, row_len, creator, assignment))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup_agree_on_ids() {
+        let mut reg = ObjectRegistry::new();
+        let h = ArrayHandle::<f64>::register(
+            &mut reg,
+            "m",
+            3,
+            16,
+            NodeId::MASTER,
+            HomeAssignment::RoundRobin,
+        );
+        let l = ArrayHandle::<f64>::lookup("m", 3, 16);
+        assert_eq!(h.id, l.id);
+        assert_eq!(h.len, 16);
+        assert_eq!(h.size_bytes(), 128);
+        assert_eq!(reg.expect(h.id).size_bytes, 128);
+        assert!(!reg.expect(h.id).is_immutable());
+    }
+
+    #[test]
+    fn immutable_registration_sets_flag() {
+        let mut reg = ObjectRegistry::new();
+        let h = ArrayHandle::<u32>::register_immutable(
+            &mut reg,
+            "dist",
+            0,
+            144,
+            NodeId::MASTER,
+            HomeAssignment::Master,
+        );
+        assert!(reg.expect(h.id).is_immutable());
+        assert_eq!(h.size_bytes(), 576);
+    }
+
+    #[test]
+    fn register_rows_creates_one_object_per_row() {
+        let mut reg = ObjectRegistry::new();
+        let rows = register_rows::<f64>(
+            &mut reg,
+            "sor",
+            8,
+            32,
+            NodeId::MASTER,
+            HomeAssignment::RoundRobin,
+        );
+        assert_eq!(rows.len(), 8);
+        assert_eq!(reg.len(), 8);
+        // Round-robin homes spread across a 4-node cluster.
+        let homes: Vec<NodeId> = rows.iter().map(|h| reg.expect(h.id).initial_home(4)).collect();
+        assert_eq!(homes[0], NodeId(0));
+        assert_eq!(homes[1], NodeId(1));
+        assert_eq!(homes[5], NodeId(1));
+    }
+
+    #[test]
+    fn handles_are_copy() {
+        let h = ArrayHandle::<f64>::lookup("x", 0, 4);
+        let h2 = h;
+        assert_eq!(h.id, h2.id);
+    }
+}

@@ -1,0 +1,53 @@
+//! # dsm-runtime — the simulated cluster runtime
+//!
+//! This crate turns the transport-agnostic protocol engine of `dsm-core`
+//! into a running "cluster": one application thread and one protocol server
+//! thread per simulated node, connected by the `dsm-net` fabric, with
+//! per-node virtual clocks advanced by the Hockney network model and a
+//! configurable computation cost model.
+//!
+//! The programming model mirrors the paper's distributed JVM: the same
+//! application closure runs on every node (like a Java thread dispatched to
+//! each cluster node), shares objects through typed handles
+//! ([`ArrayHandle`]), and synchronizes with distributed locks and barriers.
+//! All coherence traffic, home migrations and statistics fall out of the
+//! protocol engine; at the end of a run the [`Cluster`] returns an
+//! [`ExecutionReport`] with the virtual execution time, the message/traffic
+//! statistics and the protocol counters that the benchmark harness turns
+//! into the paper's figures.
+//!
+//! ```no_run
+//! use dsm_runtime::{Cluster, ClusterConfig, ArrayHandle};
+//! use dsm_core::ProtocolConfig;
+//! use dsm_objspace::{HomeAssignment, NodeId, ObjectRegistry, LockId};
+//!
+//! let mut registry = ObjectRegistry::new();
+//! let counter: ArrayHandle<u64> = ArrayHandle::register(
+//!     &mut registry, "counter", 0, 1, NodeId::MASTER, HomeAssignment::Master);
+//! let config = ClusterConfig::new(4, ProtocolConfig::adaptive());
+//! let report = Cluster::new(config, registry).run(move |ctx| {
+//!     let lock = LockId::derive("counter.lock");
+//!     for _ in 0..10 {
+//!         ctx.acquire(lock);
+//!         ctx.update(&counter, |v| v[0] += 1);
+//!         ctx.release(lock);
+//!     }
+//! });
+//! assert!(report.execution_time.as_micros() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod ctx;
+pub mod handle;
+pub mod node;
+pub mod report;
+pub mod vclock;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use ctx::NodeCtx;
+pub use handle::ArrayHandle;
+pub use report::ExecutionReport;
+pub use vclock::VirtualClock;

@@ -1,0 +1,335 @@
+//! Per-node shared state and the protocol server loop.
+//!
+//! Every simulated node consists of two OS threads sharing a [`NodeShared`]:
+//!
+//! * the **application thread** runs the user closure through
+//!   [`crate::NodeCtx`]; when it needs the network it issues blocking
+//!   requests (fault-ins, diff flushes, lock acquires, barrier arrivals) and
+//!   parks on a reply channel;
+//! * the **protocol server thread** drains the node's fabric endpoint,
+//!   dispatches requests to the protocol engine, sends the produced replies
+//!   and wakes local waiters.
+
+use crate::vclock::VirtualClock;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use dsm_core::{
+    DiffOutcome, ObjectRequestOutcome, ProtocolEngine, ProtocolMsg, ReqId,
+};
+use dsm_core::sync::{BarrierOutcome, LockAcquireOutcome};
+use dsm_model::{ComputeModel, SimDuration, SimTime};
+use dsm_net::Endpoint;
+use dsm_objspace::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A reply delivered to a blocked application-thread request.
+#[derive(Debug)]
+pub(crate) struct Reply {
+    /// The reply message.
+    pub msg: ProtocolMsg,
+    /// Virtual arrival time of the reply at this node.
+    pub arrival: SimTime,
+}
+
+/// State shared between one node's application thread and server thread.
+pub(crate) struct NodeShared {
+    pub node: NodeId,
+    pub num_nodes: usize,
+    pub engine: Mutex<ProtocolEngine>,
+    pub endpoint: Endpoint<ProtocolMsg>,
+    pub clock: VirtualClock,
+    pub compute: ComputeModel,
+    pub handling_cost: SimDuration,
+    pending: Mutex<HashMap<ReqId, Sender<Reply>>>,
+    next_req: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl NodeShared {
+    pub fn new(
+        engine: ProtocolEngine,
+        endpoint: Endpoint<ProtocolMsg>,
+        compute: ComputeModel,
+        handling_cost: SimDuration,
+    ) -> Arc<Self> {
+        Arc::new(NodeShared {
+            node: engine.node(),
+            num_nodes: engine.num_nodes(),
+            engine: Mutex::new(engine),
+            endpoint,
+            clock: VirtualClock::new(),
+            compute,
+            handling_cost,
+            pending: Mutex::new(HashMap::new()),
+            next_req: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Allocate a request id unique within this node.
+    pub fn new_req(&self) -> ReqId {
+        // The node id is folded into the high bits so request ids are unique
+        // cluster-wide, which makes debugging message traces easier.
+        let seq = self.next_req.fetch_add(1, Ordering::Relaxed);
+        ReqId((u64::from(self.node.0) << 48) | seq)
+    }
+
+    /// Register interest in the reply to `req` and return the channel to
+    /// wait on.
+    pub fn register_pending(&self, req: ReqId) -> Receiver<Reply> {
+        let (tx, rx) = bounded(1);
+        let previous = self.pending.lock().insert(req, tx);
+        assert!(previous.is_none(), "duplicate pending request id {req:?}");
+        rx
+    }
+
+    /// Deliver a reply to a locally blocked request (no network involved,
+    /// e.g. the manager node granting its own lock request).
+    pub fn deliver_local(&self, req: ReqId, msg: ProtocolMsg) {
+        let arrival = self.clock.now();
+        self.complete(req, msg, arrival);
+    }
+
+    /// Complete a pending request with a reply that arrived at `arrival`.
+    pub fn complete(&self, req: ReqId, msg: ProtocolMsg, arrival: SimTime) {
+        let slot = self.pending.lock().remove(&req);
+        match slot {
+            Some(tx) => {
+                // The application thread may have already given up only if the
+                // whole run is being torn down; losing the reply is then fine.
+                let _ = tx.send(Reply { msg, arrival });
+            }
+            None => panic!(
+                "reply for unknown request {req:?} delivered to {} ({msg:?})",
+                self.node
+            ),
+        }
+    }
+
+    /// Send a one-way protocol message; virtual send time is the node's
+    /// current clock.
+    pub fn send(&self, dst: NodeId, msg: ProtocolMsg) {
+        let category = msg.category();
+        let bytes = msg.payload_bytes();
+        let now = self.clock.now();
+        self.endpoint.send(dst, category, bytes, now, msg);
+    }
+
+    /// Issue a blocking request: send `msg` to `dst`, park until the reply
+    /// arrives, merge the reply's arrival time into the local clock and
+    /// return the reply message.
+    pub fn request(&self, dst: NodeId, req: ReqId, msg: ProtocolMsg) -> ProtocolMsg {
+        let rx = self.register_pending(req);
+        self.send(dst, msg);
+        let reply = rx.recv().expect("cluster shut down while a request was outstanding");
+        self.clock.merge(reply.arrival);
+        reply.msg
+    }
+
+    /// Request the server loop to stop after the current message.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn should_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// The protocol server loop for one node. Runs until shutdown is requested
+/// and the endpoint has been drained.
+pub(crate) fn server_loop(shared: &Arc<NodeShared>) {
+    loop {
+        match shared.endpoint.recv_timeout(Duration::from_millis(2)) {
+            Ok(envelope) => {
+                // Protocol handling shares the node's (virtual) CPU.
+                shared
+                    .clock
+                    .merge_and_advance(envelope.arrival, shared.handling_cost);
+                let arrival = envelope.arrival;
+                let src = envelope.src;
+                let msg = envelope.payload;
+                if msg.is_reply() {
+                    let req = msg.reply_req().expect("reply carries request id");
+                    shared.complete(req, msg, arrival);
+                } else {
+                    handle_request(shared, src, msg);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.should_shutdown() && shared.endpoint.pending() == 0 {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Dispatch one incoming (non-reply) protocol message.
+fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) {
+    match msg {
+        ProtocolMsg::ObjectRequest {
+            req,
+            obj,
+            requester,
+            for_write,
+            redirections,
+        } => {
+            let outcome = shared
+                .engine
+                .lock()
+                .handle_object_request(obj, requester, for_write, redirections);
+            match outcome {
+                ObjectRequestOutcome::Reply {
+                    data,
+                    version,
+                    migration,
+                    notify,
+                } => {
+                    // New-home notifications (broadcast / manager mechanisms)
+                    // are sent before the reply so their virtual send time is
+                    // the migration instant.
+                    for target in notify {
+                        shared.send(
+                            target,
+                            ProtocolMsg::HomeNotify {
+                                obj,
+                                new_home: requester,
+                            },
+                        );
+                    }
+                    shared.send(
+                        requester,
+                        ProtocolMsg::ObjectReply {
+                            req,
+                            obj,
+                            data,
+                            version,
+                            migration,
+                        },
+                    );
+                }
+                ObjectRequestOutcome::Redirect { hint } => {
+                    shared.send(
+                        requester,
+                        ProtocolMsg::ObjectRedirect {
+                            req,
+                            obj,
+                            new_home: hint,
+                        },
+                    );
+                }
+            }
+        }
+        ProtocolMsg::DiffFlush {
+            req,
+            obj,
+            diff,
+            from,
+            redirections,
+        } => {
+            let outcome = shared
+                .engine
+                .lock()
+                .handle_diff(obj, &diff, from, redirections);
+            match outcome {
+                DiffOutcome::Applied { new_version } => {
+                    shared.send(
+                        from,
+                        ProtocolMsg::DiffAck {
+                            req,
+                            obj,
+                            version: new_version,
+                        },
+                    );
+                }
+                DiffOutcome::Redirect { hint } => {
+                    shared.send(
+                        from,
+                        ProtocolMsg::DiffRedirect {
+                            req,
+                            obj,
+                            new_home: hint,
+                        },
+                    );
+                }
+            }
+        }
+        ProtocolMsg::LockAcquire {
+            req,
+            lock,
+            requester,
+        } => {
+            let outcome = shared.engine.lock().lock_acquire(lock, requester, req);
+            if outcome == LockAcquireOutcome::Granted {
+                shared.send(requester, ProtocolMsg::LockGrant { req, lock });
+            }
+            // Queued: the grant is sent when the current holder releases.
+        }
+        ProtocolMsg::LockRelease { lock, holder } => {
+            let outcome = shared.engine.lock().lock_release(lock, holder);
+            if let Some((next, req)) = outcome.grant_next {
+                dispatch_lock_grant(shared, lock, next, req);
+            }
+        }
+        ProtocolMsg::BarrierArrive {
+            req,
+            barrier,
+            node,
+            epoch,
+        } => {
+            let outcome = shared.engine.lock().barrier_arrive(barrier, node, req);
+            if let BarrierOutcome::Complete { waiters, epoch: done } = outcome {
+                debug_assert_eq!(done, epoch, "barrier epoch mismatch");
+                dispatch_barrier_release(shared, barrier, done, waiters);
+            }
+        }
+        ProtocolMsg::HomeNotify { obj, new_home } => {
+            shared.engine.lock().handle_home_notify(obj, new_home);
+        }
+        ProtocolMsg::HomeLookup { req, obj } => {
+            let home = shared.engine.lock().handle_home_lookup(obj);
+            shared.send(src, ProtocolMsg::HomeLookupReply { req, obj, home });
+        }
+        ProtocolMsg::Shutdown => {
+            shared.request_shutdown();
+        }
+        other => panic!("server received unexpected message {other:?}"),
+    }
+}
+
+/// Send (or locally deliver) a lock grant to the next holder.
+pub(crate) fn dispatch_lock_grant(shared: &Arc<NodeShared>, lock: dsm_objspace::LockId, next: NodeId, req: ReqId) {
+    let grant = ProtocolMsg::LockGrant { req, lock };
+    if next == shared.node {
+        shared.deliver_local(req, grant);
+    } else {
+        shared.send(next, grant);
+    }
+}
+
+/// Send (or locally deliver) barrier releases to every waiter of a completed
+/// phase.
+pub(crate) fn dispatch_barrier_release(
+    shared: &Arc<NodeShared>,
+    barrier: dsm_objspace::BarrierId,
+    epoch: u64,
+    waiters: Vec<(NodeId, ReqId)>,
+) {
+    for (node, req) in waiters {
+        let release = ProtocolMsg::BarrierRelease {
+            req,
+            barrier,
+            epoch,
+        };
+        if node == shared.node {
+            shared.deliver_local(req, release);
+        } else {
+            shared.send(node, release);
+        }
+    }
+}

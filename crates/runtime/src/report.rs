@@ -1,0 +1,134 @@
+//! Experiment reports.
+//!
+//! One [`ExecutionReport`] summarizes a cluster run: virtual execution time
+//! (what Figure 2/3/5(a) plot), network statistics (message counts and bytes
+//! — Figures 3 and 5(b)) and merged protocol counters (migrations,
+//! redirections, fault-ins — used for the analysis sections).
+
+use dsm_core::ProtocolStats;
+use dsm_model::{SimDuration, SimTime};
+use dsm_net::{MsgCategory, NetworkStats};
+use serde::{Deserialize, Serialize};
+
+/// Summary of one cluster run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Virtual execution time of the run: the maximum final clock over all
+    /// nodes (the slowest node defines completion, as on a real cluster).
+    pub execution_time: SimDuration,
+    /// Final virtual clock of every node, in node order.
+    pub node_times: Vec<SimTime>,
+    /// Aggregated network statistics (all nodes).
+    pub network: NetworkStats,
+    /// Merged protocol statistics (all nodes).
+    pub protocol: ProtocolStats,
+    /// Number of simulated cluster nodes.
+    pub num_nodes: usize,
+    /// Label of the migration policy that produced this run ("AT", "FT2", ...).
+    pub policy_label: String,
+}
+
+impl ExecutionReport {
+    /// Total protocol messages (all categories).
+    pub fn total_messages(&self) -> u64 {
+        self.network.total_messages()
+    }
+
+    /// Total network traffic in bytes.
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.network.total_bytes()
+    }
+
+    /// Message count for the paper's Figure 5(b) breakdown (obj + mig +
+    /// diff + redir; synchronization excluded).
+    pub fn breakdown_messages(&self) -> u64 {
+        self.network.breakdown_messages()
+    }
+
+    /// Messages of one category.
+    pub fn messages(&self, category: MsgCategory) -> u64 {
+        self.network.category(category).count
+    }
+
+    /// Number of home migrations performed during the run.
+    pub fn migrations(&self) -> u64 {
+        self.protocol.migrations()
+    }
+
+    /// Number of redirection replies served during the run.
+    pub fn redirections(&self) -> u64 {
+        self.protocol.redirections_served
+    }
+
+    /// Relative improvement of this run over a `baseline` run in execution
+    /// time, as a fraction (0.25 = 25 % faster). Matches the "improvement of
+    /// AT over FT" metric of Figure 3.
+    pub fn time_improvement_over(&self, baseline: &ExecutionReport) -> f64 {
+        let base = baseline.execution_time.as_micros();
+        if base == 0.0 {
+            return 0.0;
+        }
+        (base - self.execution_time.as_micros()) / base
+    }
+
+    /// Relative reduction in total message count compared to `baseline`.
+    pub fn message_improvement_over(&self, baseline: &ExecutionReport) -> f64 {
+        let base = baseline.total_messages() as f64;
+        if base == 0.0 {
+            return 0.0;
+        }
+        (base - self.total_messages() as f64) / base
+    }
+
+    /// Relative reduction in network traffic compared to `baseline`.
+    pub fn traffic_improvement_over(&self, baseline: &ExecutionReport) -> f64 {
+        let base = baseline.total_traffic_bytes() as f64;
+        if base == 0.0 {
+            return 0.0;
+        }
+        (base - self.total_traffic_bytes() as f64) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ms: f64, messages: u64) -> ExecutionReport {
+        let mut network = NetworkStats::new();
+        for _ in 0..messages {
+            network.record(dsm_objspace::NodeId(0), MsgCategory::ObjReply, 100);
+        }
+        ExecutionReport {
+            execution_time: SimDuration::from_millis(ms),
+            node_times: vec![SimTime::from_micros(ms * 1000.0)],
+            network,
+            protocol: ProtocolStats::default(),
+            num_nodes: 1,
+            policy_label: "AT".to_string(),
+        }
+    }
+
+    #[test]
+    fn improvements_are_relative_to_baseline() {
+        let fast = report(50.0, 10);
+        let slow = report(100.0, 40);
+        assert!((fast.time_improvement_over(&slow) - 0.5).abs() < 1e-9);
+        assert!((fast.message_improvement_over(&slow) - 0.75).abs() < 1e-9);
+        assert!((fast.traffic_improvement_over(&slow) - 0.75).abs() < 1e-9);
+        // Improvement over itself is zero.
+        assert_eq!(fast.time_improvement_over(&fast), 0.0);
+    }
+
+    #[test]
+    fn accessors_expose_counters() {
+        let r = report(10.0, 3);
+        assert_eq!(r.total_messages(), 3);
+        assert_eq!(r.messages(MsgCategory::ObjReply), 3);
+        assert_eq!(r.messages(MsgCategory::Diff), 0);
+        assert_eq!(r.breakdown_messages(), 3);
+        assert_eq!(r.migrations(), 0);
+        assert_eq!(r.redirections(), 0);
+        assert_eq!(r.total_traffic_bytes(), 300);
+    }
+}

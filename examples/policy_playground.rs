@@ -1,0 +1,51 @@
+//! Domain example: compare every implemented home-migration policy —
+//! including the related-work baselines (JUMP migrating-home, Jackal lazy
+//! flushing) — on the ASP workload, and show the effect of the new-home
+//! notification mechanism.
+//!
+//! Run with: `cargo run --release --example policy_playground`
+
+use adaptive_dsm::apps::asp::{self, AspParams};
+use adaptive_dsm::prelude::*;
+
+fn main() {
+    let params = AspParams::small(96);
+    println!("ASP on a {}-vertex graph, 8 nodes\n", params.vertices);
+
+    println!("-- migration policies (forwarding-pointer notification) --");
+    for (name, policy) in [
+        ("NoMigration", MigrationPolicy::NoMigration),
+        ("FixedThreshold(1)", MigrationPolicy::fixed(1)),
+        ("FixedThreshold(2)", MigrationPolicy::fixed(2)),
+        ("AdaptiveThreshold", MigrationPolicy::adaptive()),
+        ("JUMP MigrateOnRequest", MigrationPolicy::MigrateOnRequest),
+        ("Jackal LazyFlushing", MigrationPolicy::lazy_flushing()),
+    ] {
+        let protocol = ProtocolConfig::adaptive().with_migration(policy);
+        let run = asp::run(ClusterConfig::new(8, protocol), &params);
+        println!(
+            "{name:>22}: time {:>10}  msgs {:>7}  migrations {:>5}  redirections {:>5}",
+            format!("{}", run.report.execution_time),
+            run.report.breakdown_messages(),
+            run.report.migrations(),
+            run.report.messages(MsgCategory::Redirect),
+        );
+    }
+
+    println!("\n-- notification mechanisms (adaptive threshold) --");
+    for (name, mechanism) in [
+        ("ForwardingPointer", NotificationMechanism::ForwardingPointer),
+        ("HomeManager", NotificationMechanism::HomeManager),
+        ("Broadcast", NotificationMechanism::Broadcast),
+    ] {
+        let protocol = ProtocolConfig::adaptive().with_notification(mechanism);
+        let run = asp::run(ClusterConfig::new(8, protocol), &params);
+        println!(
+            "{name:>22}: time {:>10}  msgs {:>7}  redirections {:>5}  notifications {:>5}",
+            format!("{}", run.report.execution_time),
+            run.report.breakdown_messages(),
+            run.report.messages(MsgCategory::Redirect),
+            run.report.messages(MsgCategory::HomeNotify) + run.report.messages(MsgCategory::HomeLookup),
+        );
+    }
+}

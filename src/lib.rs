@@ -1,0 +1,94 @@
+//! # adaptive-dsm
+//!
+//! A home-based software Distributed Shared Memory (DSM) with an **adaptive
+//! home migration protocol**, reproducing *"A Novel Adaptive Home Migration
+//! Protocol in Home-based DSM"* (Fang, Wang, Zhu, Lau — IEEE CLUSTER 2004).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`model`] — virtual time, the Hockney communication model, the home
+//!   access coefficient (Appendix A of the paper);
+//! * [`objspace`] — shared objects, twins, diffs, access states, home
+//!   assignment;
+//! * [`net`] — the simulated cluster fabric and message statistics;
+//! * [`protocol`] — the home-based LRC coherence engine and the migration
+//!   policies (`NoMigration`, `FixedThreshold`, `AdaptiveThreshold`,
+//!   `MigrateOnRequest`, `LazyFlushing`);
+//! * [`runtime`] — the threaded cluster runtime and the typed GOS API
+//!   (`NodeCtx`, `ArrayHandle`, locks, barriers);
+//! * [`apps`] — the paper's workloads (ASP, SOR, Barnes–Hut Nbody, TSP and
+//!   the synthetic single-writer benchmark).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use adaptive_dsm::prelude::*;
+//!
+//! // Declare the shared objects (every node derives the same ids).
+//! let mut registry = ObjectRegistry::new();
+//! let counter: ArrayHandle<u64> = ArrayHandle::register(
+//!     &mut registry, "counter", 0, 1, NodeId::MASTER, HomeAssignment::Master);
+//!
+//! // Pick a cluster size and a home-migration policy.
+//! let config = ClusterConfig::new(8, ProtocolConfig::adaptive());
+//!
+//! // Run the same closure on every node, exactly like a Java thread
+//! // dispatched to each node of the paper's distributed JVM.
+//! let report = Cluster::new(config, registry).run(move |ctx| {
+//!     let lock = LockId::derive("counter.lock");
+//!     for _ in 0..100 {
+//!         ctx.synchronized(lock, || ctx.update(&counter, |v| v[0] += 1));
+//!     }
+//! });
+//! println!("virtual time: {}, messages: {}, migrations: {}",
+//!          report.execution_time, report.total_messages(), report.migrations());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dsm_apps as apps;
+pub use dsm_core as protocol;
+pub use dsm_model as model;
+pub use dsm_net as net;
+pub use dsm_objspace as objspace;
+pub use dsm_runtime as runtime;
+
+/// The most commonly used types, re-exported in one place.
+pub mod prelude {
+    pub use dsm_core::{MigrationPolicy, NotificationMechanism, ProtocolConfig};
+    pub use dsm_model::{ComputeModel, HockneyModel, NetworkParams, SimDuration, SimTime};
+    pub use dsm_net::MsgCategory;
+    pub use dsm_objspace::{
+        BarrierId, HomeAssignment, LockId, NodeId, ObjectId, ObjectRegistry,
+    };
+    pub use dsm_runtime::{ArrayHandle, Cluster, ClusterConfig, ExecutionReport, NodeCtx};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let mut registry = ObjectRegistry::new();
+        let handle: ArrayHandle<u64> = ArrayHandle::register(
+            &mut registry,
+            "facade.test",
+            0,
+            4,
+            NodeId::MASTER,
+            HomeAssignment::Master,
+        );
+        let config = ClusterConfig::new(2, ProtocolConfig::adaptive())
+            .with_compute(ComputeModel::free());
+        let report = Cluster::new(config, registry).run(move |ctx| {
+            if ctx.is_master() {
+                ctx.update(&handle, |v| v[0] = 7);
+            }
+            ctx.barrier(BarrierId(1));
+            assert_eq!(ctx.read(&handle)[0], 7);
+        });
+        assert_eq!(report.num_nodes, 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! Cross-crate integration test package.
+//!
+//! The tests live in `tests/tests/*.rs` and exercise the whole stack —
+//! object space, protocol engine, threaded runtime and applications —
+//! against the paper's claims. This library target only hosts shared
+//! helpers.
+
+#![forbid(unsafe_code)]
+
+use dsm_core::ProtocolConfig;
+use dsm_model::ComputeModel;
+use dsm_runtime::ClusterConfig;
+
+/// Build a fast (zero-compute-cost) cluster configuration for tests.
+pub fn test_cluster(nodes: usize, protocol: ProtocolConfig) -> ClusterConfig {
+    ClusterConfig::new(nodes, protocol).with_compute(ComputeModel::free())
+}

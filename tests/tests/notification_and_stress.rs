@@ -1,0 +1,168 @@
+//! End-to-end tests of the new-home notification mechanisms and a
+//! multi-object stress test mixing access patterns, run on the threaded
+//! cluster runtime.
+
+use dsm_core::{NotificationMechanism, ProtocolConfig};
+use dsm_integration_tests::test_cluster;
+use dsm_net::MsgCategory;
+use dsm_objspace::{BarrierId, HomeAssignment, LockId, NodeId, ObjectRegistry};
+use dsm_runtime::{ArrayHandle, Cluster};
+
+/// Run a single-writer workload under the given notification mechanism and
+/// return (redirect messages, notification messages, migrations).
+fn single_writer_with_mechanism(mechanism: NotificationMechanism) -> (u64, u64, u64) {
+    let nodes = 4;
+    let intervals = 12u64;
+    let mut registry = ObjectRegistry::new();
+    let data: ArrayHandle<u64> = ArrayHandle::register(
+        &mut registry,
+        "notify.obj",
+        0,
+        32,
+        NodeId::MASTER,
+        HomeAssignment::Master,
+    );
+    let lock = LockId::derive("notify.lock");
+    let barrier = BarrierId(77);
+    let protocol = ProtocolConfig::adaptive().with_notification(mechanism);
+    let report = Cluster::new(test_cluster(nodes, protocol), registry).run(move |ctx| {
+        // Node 1 is the single writer; node 2 and 3 are occasional readers
+        // whose stale home hints exercise the notification mechanism.
+        if ctx.node_id() == NodeId(1) {
+            for i in 0..intervals {
+                ctx.acquire(lock);
+                ctx.update(&data, |v| v[0] = i + 1);
+                ctx.release(lock);
+            }
+        }
+        ctx.barrier(barrier);
+        if ctx.node_id().index() >= 2 {
+            ctx.acquire(lock);
+            let seen = ctx.read(&data)[0];
+            assert_eq!(seen, intervals, "readers must observe the final value");
+            ctx.release(lock);
+        }
+        ctx.barrier(barrier);
+    });
+    (
+        report.messages(MsgCategory::Redirect),
+        report.messages(MsgCategory::HomeNotify) + report.messages(MsgCategory::HomeLookup),
+        report.migrations(),
+    )
+}
+
+#[test]
+fn forwarding_pointer_pays_redirections_but_no_notifications() {
+    let (redirects, notifications, migrations) =
+        single_writer_with_mechanism(NotificationMechanism::ForwardingPointer);
+    assert!(migrations >= 1);
+    assert_eq!(notifications, 0, "forwarding pointers never notify eagerly");
+    assert!(redirects >= 1, "stale readers must be redirected at least once");
+}
+
+#[test]
+fn broadcast_notification_informs_other_nodes_eagerly() {
+    let (_redirects, notifications, migrations) =
+        single_writer_with_mechanism(NotificationMechanism::Broadcast);
+    assert!(migrations >= 1);
+    assert!(
+        notifications >= migrations,
+        "each migration must broadcast to the remaining nodes"
+    );
+}
+
+#[test]
+fn home_manager_posts_updates_to_the_manager() {
+    let (_redirects, notifications, migrations) =
+        single_writer_with_mechanism(NotificationMechanism::HomeManager);
+    assert!(migrations >= 1);
+    // The manager of the object is its initial home (the master). Migrations
+    // away from the master need no post (the master already knows), but
+    // subsequent migrations between workers do; with a single writer there
+    // is typically exactly one migration, so notifications may be zero —
+    // what matters is that readers still find the object (asserted inside
+    // the workload) and the mechanism stays consistent.
+    assert!(notifications <= migrations * 2);
+}
+
+#[test]
+fn mixed_pattern_stress_run_preserves_every_object() {
+    // 24 objects with three different access patterns, 4 nodes, adaptive
+    // policy: single-writer objects (one per node), rotating-writer objects
+    // and a lock-protected accumulator. After the run every object must hold
+    // exactly the expected value on every node.
+    let nodes = 4usize;
+    let rounds = 8u64;
+    let mut registry = ObjectRegistry::new();
+    let single: Vec<ArrayHandle<u64>> = (0..nodes)
+        .map(|i| {
+            ArrayHandle::register(
+                &mut registry,
+                "stress.single",
+                i as u64,
+                8,
+                NodeId::MASTER,
+                HomeAssignment::RoundRobin,
+            )
+        })
+        .collect();
+    let rotating: Vec<ArrayHandle<u64>> = (0..8)
+        .map(|i| {
+            ArrayHandle::register(
+                &mut registry,
+                "stress.rotating",
+                i as u64,
+                4,
+                NodeId::MASTER,
+                HomeAssignment::Hash,
+            )
+        })
+        .collect();
+    let accumulator: ArrayHandle<u64> = ArrayHandle::register(
+        &mut registry,
+        "stress.accumulator",
+        0,
+        1,
+        NodeId::MASTER,
+        HomeAssignment::Master,
+    );
+    let lock = LockId::derive("stress.lock");
+    let barrier = BarrierId(88);
+
+    let report = Cluster::new(test_cluster(nodes, ProtocolConfig::adaptive()), registry).run(
+        move |ctx| {
+            let me = ctx.node_id().index();
+            for round in 0..rounds {
+                // Pattern 1: a lasting single writer per object.
+                ctx.update(&single[me], |v| {
+                    for slot in v.iter_mut() {
+                        *slot = round + 1;
+                    }
+                });
+                // Pattern 2: the writer of each rotating object changes every
+                // round (transient single-writer pattern).
+                for (i, handle) in rotating.iter().enumerate() {
+                    if (round as usize + i) % nodes == me {
+                        ctx.update(handle, |v| v[0] = round + 1);
+                    }
+                }
+                // Pattern 3: a lock-protected shared accumulator.
+                ctx.synchronized(lock, || ctx.update(&accumulator, |v| v[0] += 1));
+                ctx.barrier(barrier);
+            }
+            // Verification on every node.
+            assert_eq!(ctx.read(&accumulator)[0], rounds * nodes as u64);
+            for handle in &single {
+                assert_eq!(ctx.read(handle)[0], rounds);
+            }
+            for handle in &rotating {
+                assert_eq!(ctx.read(handle)[0], rounds);
+            }
+            ctx.barrier(barrier);
+        },
+    );
+    // The lasting single-writer objects should have migrated to their
+    // writers; the exact count for the rotating ones depends on feedback.
+    assert!(report.migrations() >= 2);
+    assert!(report.protocol.diffs_applied > 0);
+}

@@ -1,0 +1,173 @@
+//! Property-based integration tests of the protocol engine driven at the
+//! message level (no threads): random schedules of single-writer and
+//! multi-writer intervals across a small cluster must never violate the
+//! protocol's core invariants:
+//!
+//! * exactly one node is the home of an object at any time;
+//! * forwarding-pointer chains always resolve to the current home within
+//!   `num_nodes` hops;
+//! * no write is ever lost: after every interval the home copy equals the
+//!   writer's view;
+//! * the adaptive threshold never drops below its initial value.
+
+use dsm_core::{
+    AccessPlan, DiffOutcome, ObjectRequestOutcome, ProtocolConfig, ProtocolEngine,
+};
+use dsm_objspace::{HomeAssignment, NodeId, ObjectId, ObjectRegistry};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const OBJ_BYTES: usize = 64;
+
+fn registry() -> Arc<ObjectRegistry> {
+    let mut r = ObjectRegistry::new();
+    r.register_named("prop.obj", 0, OBJ_BYTES, NodeId::MASTER, HomeAssignment::Master);
+    Arc::new(r)
+}
+
+fn obj() -> ObjectId {
+    ObjectId::derive("prop.obj", 0)
+}
+
+fn engines(nodes: usize, config: ProtocolConfig) -> Vec<ProtocolEngine> {
+    let reg = registry();
+    (0..nodes)
+        .map(|i| ProtocolEngine::new(NodeId::from(i), nodes, config.clone(), Arc::clone(&reg)))
+        .collect()
+}
+
+/// Run one write interval of `writer`, following redirects, and return the
+/// number of redirection hops.
+fn write_interval(engines: &mut [ProtocolEngine], writer: usize, value: u8) -> u32 {
+    let id = obj();
+    engines[writer].begin_interval();
+    let mut hops = 0;
+    if let AccessPlan::Fetch { mut target } = engines[writer].plan_write(id) {
+        loop {
+            assert_ne!(
+                target,
+                engines[writer].node(),
+                "engine redirected a request to itself"
+            );
+            let requester = engines[writer].node();
+            match engines[target.index()].handle_object_request(id, requester, true, hops) {
+                ObjectRequestOutcome::Reply {
+                    data,
+                    version,
+                    migration,
+                    ..
+                } => {
+                    engines[writer].install_object(id, data, version, migration);
+                    break;
+                }
+                ObjectRequestOutcome::Redirect { hint } => {
+                    engines[writer].note_redirect(id, hint);
+                    hops += 1;
+                    assert!(
+                        hops <= engines.len() as u32 + 1,
+                        "forwarding chain did not converge"
+                    );
+                    target = hint;
+                }
+            }
+        }
+        assert_eq!(engines[writer].plan_write(id), AccessPlan::LocalHit);
+    }
+    engines[writer].with_object_mut(id, |d| d.bytes_mut()[0] = value);
+    let plans = engines[writer].prepare_release();
+    for plan in plans {
+        let mut target = plan.target;
+        let mut flush_hops = 0;
+        loop {
+            let from = engines[writer].node();
+            match engines[target.index()].handle_diff(plan.obj, &plan.diff, from, flush_hops) {
+                DiffOutcome::Applied { new_version } => {
+                    engines[writer].complete_flush(plan.obj, new_version);
+                    break;
+                }
+                DiffOutcome::Redirect { hint } => {
+                    engines[writer].note_redirect(plan.obj, hint);
+                    flush_hops += 1;
+                    assert!(flush_hops <= engines.len() as u32 + 1);
+                    target = hint;
+                }
+            }
+        }
+    }
+    engines[writer].finish_release();
+    hops
+}
+
+fn home_count(engines: &[ProtocolEngine]) -> usize {
+    engines.iter().filter(|e| e.is_home(obj())).count()
+}
+
+fn home_value(engines: &[ProtocolEngine]) -> u8 {
+    engines
+        .iter()
+        .find_map(|e| e.home_bytes(obj()))
+        .expect("some node must be home")[0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under an arbitrary schedule of writers, with every migration policy,
+    /// there is always exactly one home, redirection chains converge and the
+    /// last write is never lost.
+    #[test]
+    fn random_schedules_preserve_protocol_invariants(
+        schedule in proptest::collection::vec(0usize..4, 1..60),
+        policy_idx in 0usize..4,
+    ) {
+        let config = match policy_idx {
+            0 => ProtocolConfig::no_migration(),
+            1 => ProtocolConfig::fixed_threshold(1),
+            2 => ProtocolConfig::fixed_threshold(2),
+            _ => ProtocolConfig::adaptive(),
+        };
+        let mut cluster = engines(4, config);
+        for (step, &writer) in schedule.iter().enumerate() {
+            let value = (step % 250) as u8 + 1;
+            write_interval(&mut cluster, writer, value);
+            prop_assert_eq!(home_count(&cluster), 1, "exactly one home after every interval");
+            prop_assert_eq!(home_value(&cluster), value, "the home copy holds the last write");
+        }
+    }
+
+    /// The adaptive threshold of the object's current home never drops below
+    /// the initial threshold, whatever the access history.
+    #[test]
+    fn adaptive_threshold_never_below_initial(
+        schedule in proptest::collection::vec(0usize..4, 1..40),
+    ) {
+        let mut cluster = engines(4, ProtocolConfig::adaptive());
+        let half_peak = ProtocolConfig::adaptive().half_peak_length();
+        for (step, &writer) in schedule.iter().enumerate() {
+            write_interval(&mut cluster, writer, (step % 250) as u8 + 1);
+            for engine in &cluster {
+                if let Some(state) = engine.migration_state(obj()) {
+                    let t = state.current_threshold(
+                        &engine.config().migration,
+                        OBJ_BYTES as u64,
+                        half_peak,
+                    );
+                    prop_assert!(t >= 1.0 - 1e-12, "threshold dropped below T_init: {}", t);
+                }
+            }
+        }
+    }
+
+    /// The no-migration baseline never moves the home, no matter the
+    /// schedule.
+    #[test]
+    fn no_migration_home_is_stable(
+        schedule in proptest::collection::vec(0usize..4, 1..40),
+    ) {
+        let mut cluster = engines(4, ProtocolConfig::no_migration());
+        for (step, &writer) in schedule.iter().enumerate() {
+            write_interval(&mut cluster, writer, (step % 250) as u8 + 1);
+        }
+        prop_assert!(cluster[0].is_home(obj()), "NoHM must keep the home on the master");
+    }
+}
