@@ -11,14 +11,11 @@
 use crate::outcome::{AppRun, ResultSlot};
 use crate::sor::band;
 use dsm_objspace::{BarrierId, HomeAssignment, NodeId, ObjectRegistry};
-use dsm_runtime::handle::register_rows;
-use dsm_runtime::{ArrayHandle, Cluster, ClusterConfig, NodeCtx};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use dsm_runtime::{Cluster, ClusterConfig, Matrix2dHandle, NodeCtx};
+use dsm_util::SmallRng;
 
 /// ASP workload parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AspParams {
     /// Number of graph vertices (the paper uses 1024).
     pub vertices: usize,
@@ -53,14 +50,12 @@ impl AspParams {
 /// every JVM node executing the same initialisation code).
 pub fn generate_graph(params: &AspParams) -> Vec<Vec<f64>> {
     let n = params.vertices;
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SmallRng::seed_from_u64(params.seed);
     let mut matrix = vec![vec![0.0f64; n]; n];
-    for i in 0..n {
-        for j in 0..n {
-            if i == j {
-                matrix[i][j] = 0.0;
-            } else {
-                matrix[i][j] = f64::from(rng.gen_range(1..=params.max_weight));
+    for (i, row) in matrix.iter_mut().enumerate() {
+        for (j, weight) in row.iter_mut().enumerate() {
+            if i != j {
+                *weight = f64::from(rng.gen_range_u32(1, params.max_weight));
             }
         }
     }
@@ -72,12 +67,13 @@ pub fn sequential(params: &AspParams) -> Vec<Vec<f64>> {
     let mut dist = generate_graph(params);
     let n = params.vertices;
     for k in 0..n {
-        for i in 0..n {
-            let dik = dist[i][k];
-            for j in 0..n {
-                let candidate = dik + dist[k][j];
-                if candidate < dist[i][j] {
-                    dist[i][j] = candidate;
+        let pivot = dist[k].clone();
+        for row in dist.iter_mut() {
+            let dik = row[k];
+            for (cell, through_pivot) in row.iter_mut().zip(pivot.iter()) {
+                let candidate = dik + through_pivot;
+                if candidate < *cell {
+                    *cell = candidate;
                 }
             }
         }
@@ -96,7 +92,7 @@ pub fn checksum(matrix: &[Vec<f64>]) -> f64 {
 
 fn asp_node(
     ctx: &NodeCtx,
-    rows: &[ArrayHandle<f64>],
+    rows: &Matrix2dHandle<f64>,
     params: &AspParams,
     slot: &ResultSlot<Vec<Vec<f64>>>,
 ) {
@@ -113,34 +109,43 @@ fn asp_node(
 
     let (lo, hi) = band(ctx.node_id().index(), ctx.num_nodes(), n);
     for k in 0..n {
-        let pivot_row = ctx.read(&rows[k]);
+        // The pivot row is shared read-only this iteration: a zero-copy
+        // read view (at its home this borrows the home copy in place).
+        let pivot_row = ctx.view(rows.row(k));
         for i in lo..hi {
             if i == k {
                 // Row k cannot be improved through itself.
                 continue;
             }
-            let current = ctx.read(&rows[i]);
+            // First pass over a read view decides whether the row improves
+            // at all, so unchanged rows never take a write fault (their
+            // interval stays read-only, exactly like the old copy-out code).
+            let current = ctx.view(rows.row(i));
             let dik = current[k];
-            let mut updated = current.clone();
-            let mut changed = false;
-            for j in 0..n {
-                let candidate = dik + pivot_row[j];
-                if candidate < updated[j] {
-                    updated[j] = candidate;
-                    changed = true;
-                }
-            }
+            let changed = (0..n).any(|j| dik + pivot_row[j] < current[j]);
+            drop(current);
             if changed {
-                ctx.write_all(&rows[i], &updated);
+                // Second pass relaxes the row in place through a write
+                // view. In-place is exact: column k can only tighten to
+                // dik + pivot[k] = dik (pivot diagonal is zero), so later
+                // columns read the same dik the copy-out version used.
+                let mut row = ctx.view_mut(rows.row(i));
+                for j in 0..n {
+                    let candidate = dik + pivot_row[j];
+                    if candidate < row[j] {
+                        row[j] = candidate;
+                    }
+                }
             }
             // One add + compare per column.
             ctx.compute_elements(n as u64, 2);
         }
+        drop(pivot_row);
         ctx.barrier(pivot_barrier);
     }
 
     if ctx.is_master() {
-        let result: Vec<Vec<f64>> = rows.iter().map(|h| ctx.read(h)).collect();
+        let result: Vec<Vec<f64>> = rows.iter().map(|h| ctx.view(h).to_vec()).collect();
         slot.publish(result);
     }
     ctx.barrier(done_barrier);
@@ -152,7 +157,7 @@ pub fn run(config: ClusterConfig, params: &AspParams) -> AppRun<Vec<Vec<f64>>> {
     let n = params.vertices;
     assert!(n >= 2, "ASP needs at least two vertices");
     let mut registry = ObjectRegistry::new();
-    let rows = register_rows::<f64>(
+    let rows = Matrix2dHandle::<f64>::register(
         &mut registry,
         "asp.dist",
         n,
@@ -215,9 +220,9 @@ mod tests {
         let p = AspParams::small(20);
         let seq = sequential(&p);
         let run = run(cfg(4, ProtocolConfig::adaptive()), &p);
-        for i in 0..20 {
-            for j in 0..20 {
-                assert_eq!(run.result[i][j], seq[i][j], "mismatch at ({i},{j})");
+        for (i, (got, want)) in run.result.iter().zip(seq.iter()).enumerate() {
+            for (j, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                assert_eq!(g, w, "mismatch at ({i},{j})");
             }
         }
         assert!(run.report.migrations() > 0);

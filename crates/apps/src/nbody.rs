@@ -16,9 +16,7 @@
 use crate::outcome::{AppRun, ResultSlot};
 use dsm_objspace::{BarrierId, HomeAssignment, NodeId, ObjectRegistry};
 use dsm_runtime::{ArrayHandle, Cluster, ClusterConfig, NodeCtx};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use dsm_util::SmallRng;
 
 /// Fields stored per body inside a block object: x, y, vx, vy, mass.
 const FIELDS: usize = 5;
@@ -28,7 +26,7 @@ const G: f64 = 6.674e-3;
 const SOFTENING: f64 = 1e-2;
 
 /// Nbody workload parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NbodyParams {
     /// Total number of bodies (the paper uses 2048).
     pub bodies: usize,
@@ -84,17 +82,17 @@ pub struct Body {
 /// Deterministic initial conditions: bodies on a disc with small random
 /// velocities.
 pub fn initial_bodies(params: &NbodyParams) -> Vec<Body> {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SmallRng::seed_from_u64(params.seed);
     (0..params.bodies)
         .map(|_| {
-            let r: f64 = rng.gen_range(0.1..1.0);
-            let angle: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let r: f64 = rng.gen_range_f64(0.1, 1.0);
+            let angle: f64 = rng.gen_range_f64(0.0, std::f64::consts::TAU);
             Body {
                 x: r * angle.cos(),
                 y: r * angle.sin(),
-                vx: rng.gen_range(-0.05..0.05),
-                vy: rng.gen_range(-0.05..0.05),
-                mass: rng.gen_range(0.5..2.0),
+                vx: rng.gen_range_f64(-0.05, 0.05),
+                vy: rng.gen_range_f64(-0.05, 0.05),
+                mass: rng.gen_range_f64(0.5, 2.0),
             }
         })
         .collect()
@@ -299,6 +297,7 @@ impl Tree {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // two bodies and a force accumulator; a struct would obscure the physics
 fn accumulate(x: f64, y: f64, mass: f64, ox: f64, oy: f64, omass: f64, fx: &mut f64, fy: &mut f64) {
     let dx = ox - x;
     let dy = oy - y;
@@ -407,10 +406,10 @@ fn nbody_node(
     let me = ctx.node_id().index();
     for _ in 0..params.steps {
         // Read every block to reconstruct the full body set as of the end of
-        // the previous step.
+        // the previous step (decoded straight out of zero-copy views).
         let mut all = Vec::with_capacity(params.bodies);
         for handle in blocks {
-            all.extend(decode_block(&ctx.read(handle)));
+            all.extend(decode_block(&ctx.view(handle)));
         }
         // A barrier separates the read phase from the update phase so no
         // node observes another node's current-step writes (the classic
@@ -421,7 +420,12 @@ fn nbody_node(
         // ~20 flops per interaction plus the tree build.
         ctx.compute(interactions * 20 + (params.bodies as u64) * 10);
         if lo < hi {
-            ctx.write_all(&blocks[me], &encode_block(&updated));
+            // Encode the updated bodies directly into the block's storage.
+            let mut block = ctx.view_mut(&blocks[me]);
+            for (b, body) in updated.iter().enumerate() {
+                block[b * FIELDS..(b + 1) * FIELDS]
+                    .copy_from_slice(&[body.x, body.y, body.vx, body.vy, body.mass]);
+            }
         }
         ctx.barrier(step_barrier);
     }
@@ -429,7 +433,7 @@ fn nbody_node(
     if ctx.is_master() {
         let mut all = Vec::with_capacity(params.bodies);
         for handle in blocks {
-            all.extend(decode_block(&ctx.read(handle)));
+            all.extend(decode_block(&ctx.view(handle)));
         }
         slot.publish(all);
     }
@@ -498,7 +502,9 @@ mod tests {
         let mut dx = 0.0;
         let mut dy = 0.0;
         for other in &bodies {
-            accumulate(probe.x, probe.y, probe.mass, other.x, other.y, other.mass, &mut dx, &mut dy);
+            accumulate(
+                probe.x, probe.y, probe.mass, other.x, other.y, other.mass, &mut dx, &mut dy,
+            );
         }
         let mag = (dx * dx + dy * dy).sqrt().max(1e-12);
         let err = ((fx - dx).powi(2) + (fy - dy).powi(2)).sqrt() / mag;
@@ -520,7 +526,10 @@ mod tests {
         let run = run(cfg(4, ProtocolConfig::adaptive()), &p);
         assert_eq!(run.result.len(), seq.len());
         for (a, b) in run.result.iter().zip(seq.iter()) {
-            assert_eq!(a, b, "parallel and sequential Barnes-Hut must agree exactly");
+            assert_eq!(
+                a, b,
+                "parallel and sequential Barnes-Hut must agree exactly"
+            );
         }
     }
 
@@ -534,6 +543,9 @@ mod tests {
         // next to nothing to move and the message counts stay close.
         let a = with.report.breakdown_messages() as f64;
         let b = without.report.breakdown_messages() as f64;
-        assert!((a - b).abs() / b < 0.15, "Nbody should be insensitive to HM: {a} vs {b}");
+        assert!(
+            (a - b).abs() / b < 0.15,
+            "Nbody should be insensitive to HM: {a} vs {b}"
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! report.
 
 use dsm_runtime::ExecutionReport;
-use parking_lot::Mutex;
+use dsm_util::Mutex;
 use std::sync::Arc;
 
 /// A cluster run's outcome: the application-level result plus the runtime's

@@ -11,12 +11,10 @@
 
 use crate::outcome::{AppRun, ResultSlot};
 use dsm_objspace::{BarrierId, HomeAssignment, NodeId, ObjectRegistry};
-use dsm_runtime::handle::register_rows;
-use dsm_runtime::{ArrayHandle, Cluster, ClusterConfig, NodeCtx};
-use serde::{Deserialize, Serialize};
+use dsm_runtime::{Cluster, ClusterConfig, Matrix2dHandle, NodeCtx};
 
 /// SOR workload parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SorParams {
     /// Matrix is `size × size`.
     pub size: usize,
@@ -106,7 +104,7 @@ pub fn checksum(matrix: &[Vec<f64>]) -> f64 {
 /// The per-node body of the DSM-parallel SOR.
 fn sor_node(
     ctx: &NodeCtx,
-    rows: &[ArrayHandle<f64>],
+    rows: &Matrix2dHandle<f64>,
     params: &SorParams,
     slot: &ResultSlot<Vec<Vec<f64>>>,
 ) {
@@ -130,18 +128,25 @@ fn sor_node(
                 if i == 0 || i == n - 1 {
                     continue;
                 }
-                let above = ctx.read(&rows[i - 1]);
-                let current = ctx.read(&rows[i]);
-                let below = ctx.read(&rows[i + 1]);
-                let mut updated = current.clone();
+                // Zero-copy views: the neighbour rows are borrowed shared,
+                // the updated row mutably — all directly over the engine's
+                // storage, so a row homed here is relaxed fully in place.
+                // Red-black cells only read the opposite colour, so the
+                // in-place update is exact (identical to the sequential
+                // reference).
+                let above = ctx.view(rows.row(i - 1));
+                let below = ctx.view(rows.row(i + 1));
+                let mut current = ctx.view_mut(rows.row(i));
                 for j in 1..n - 1 {
                     if (i + j) % 2 == phase {
                         let neighbours = above[j] + below[j] + current[j - 1] + current[j + 1];
-                        updated[j] = (1.0 - params.omega) * current[j]
-                            + params.omega * 0.25 * neighbours;
+                        current[j] =
+                            (1.0 - params.omega) * current[j] + params.omega * 0.25 * neighbours;
                     }
                 }
-                ctx.write_all(&rows[i], &updated);
+                drop(current);
+                drop(below);
+                drop(above);
                 // Roughly five floating point operations per updated cell.
                 ctx.compute_elements((n / 2) as u64, 5);
             }
@@ -150,7 +155,7 @@ fn sor_node(
     }
 
     if ctx.is_master() {
-        let result: Vec<Vec<f64>> = rows.iter().map(|h| ctx.read(h)).collect();
+        let result: Vec<Vec<f64>> = rows.iter().map(|h| ctx.view(h).to_vec()).collect();
         slot.publish(result);
     }
     ctx.barrier(done_barrier);
@@ -162,7 +167,7 @@ pub fn run(config: ClusterConfig, params: &SorParams) -> AppRun<Vec<Vec<f64>>> {
     let n = params.size;
     assert!(n >= 4, "SOR needs at least a 4x4 matrix");
     let mut registry = ObjectRegistry::new();
-    let rows = register_rows::<f64>(
+    let rows = Matrix2dHandle::<f64>::register(
         &mut registry,
         "sor.matrix",
         n,
@@ -229,7 +234,10 @@ mod tests {
                 assert_eq!(*v, seq[i][j], "mismatch at ({i},{j})");
             }
         }
-        assert!(run.report.migrations() > 0, "round-robin rows should migrate to writers");
+        assert!(
+            run.report.migrations() > 0,
+            "round-robin rows should migrate to writers"
+        );
     }
 
     #[test]

@@ -18,10 +18,9 @@
 use crate::outcome::{AppRun, ResultSlot};
 use dsm_objspace::{BarrierId, HomeAssignment, LockId, NodeId, ObjectRegistry};
 use dsm_runtime::{ArrayHandle, Cluster, ClusterConfig, NodeCtx};
-use serde::{Deserialize, Serialize};
 
 /// Synthetic benchmark parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticParams {
     /// Repetition `r` of the single-writer pattern (updates per `lock0`
     /// critical section). The paper sweeps 2, 4, 8, 16.
@@ -75,7 +74,7 @@ fn synthetic_node(
     if is_worker {
         loop {
             ctx.acquire(lock0);
-            let current = ctx.read(counter)[0];
+            let current = ctx.view(counter)[0];
             if current >= n {
                 ctx.release(lock0);
                 break;
@@ -87,7 +86,8 @@ fn synthetic_node(
             // is remote — the pair that home migration eliminates).
             for _ in 0..r {
                 ctx.acquire(lock1);
-                ctx.update(counter, |v| v[0] += 1);
+                // Zero-copy update: one write view, one diff at release.
+                ctx.view_mut(counter)[0] += 1;
                 ctx.release(lock1);
             }
             ctx.release(lock0);
@@ -98,7 +98,7 @@ fn synthetic_node(
     }
     ctx.barrier(done_barrier);
     if ctx.is_master() {
-        let total = ctx.read(counter)[0];
+        let total = ctx.view(counter)[0];
         slot.publish(total);
     }
     ctx.barrier(done_barrier);

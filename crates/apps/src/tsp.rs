@@ -15,13 +15,11 @@
 
 use crate::outcome::{AppRun, ResultSlot};
 use dsm_objspace::{BarrierId, HomeAssignment, LockId, NodeId, ObjectRegistry};
-use dsm_runtime::{ArrayHandle, Cluster, ClusterConfig, NodeCtx};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use dsm_runtime::{Cluster, ClusterConfig, Matrix2dHandle, NodeCtx, ScalarHandle};
+use dsm_util::SmallRng;
 
 /// TSP workload parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TspParams {
     /// Number of cities (the paper uses 12).
     pub cities: usize,
@@ -48,9 +46,14 @@ impl TspParams {
 /// 1000×1000 grid, Euclidean distances rounded to integers.
 pub fn distance_matrix(params: &TspParams) -> Vec<Vec<u64>> {
     let n = params.cities;
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SmallRng::seed_from_u64(params.seed);
     let points: Vec<(f64, f64)> = (0..n)
-        .map(|_| (rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+        .map(|_| {
+            (
+                rng.gen_range_f64(0.0, 1000.0),
+                rng.gen_range_f64(0.0, 1000.0),
+            )
+        })
         .collect();
     (0..n)
         .map(|i| {
@@ -112,14 +115,21 @@ pub fn sequential(params: &TspParams) -> u64 {
     let mut visited = vec![0usize];
     let mut used = vec![false; params.cities];
     used[0] = true;
-    branch_and_bound(&dist, &mut visited, &mut used, 0, &mut best, &mut expansions);
+    branch_and_bound(
+        &dist,
+        &mut visited,
+        &mut used,
+        0,
+        &mut best,
+        &mut expansions,
+    );
     best
 }
 
 fn tsp_node(
     ctx: &NodeCtx,
-    dist_rows: &[ArrayHandle<u64>],
-    best_handle: &ArrayHandle<u64>,
+    dist_rows: &Matrix2dHandle<u64>,
+    best_handle: &ScalarHandle<u64>,
     params: &TspParams,
     slot: &ResultSlot<u64>,
 ) {
@@ -132,16 +142,13 @@ fn tsp_node(
     for (i, handle) in dist_rows.iter().enumerate() {
         ctx.bootstrap(handle, &dist[i]);
     }
-    if ctx.is_master() {
-        ctx.bootstrap(best_handle, &[u64::MAX]);
-    } else {
-        ctx.bootstrap(best_handle, &[u64::MAX]);
-    }
+    ctx.bootstrap(best_handle.array(), &[u64::MAX]);
     ctx.barrier(init_barrier);
 
     // Read the (immutable) distance matrix through the DSM: one fault-in per
-    // row per node, cached for the rest of the run.
-    let dist: Vec<Vec<u64>> = dist_rows.iter().map(|h| ctx.read(h)).collect();
+    // row per node, cached for the rest of the run. The branch-and-bound
+    // recursion wants owned rows, so this is a deliberate copy-out.
+    let dist: Vec<Vec<u64>> = dist_rows.iter().map(|h| ctx.view(h).to_vec()).collect();
 
     // First-level branches (second city of the tour) dealt round-robin.
     let me = ctx.node_id().index();
@@ -154,7 +161,7 @@ fn tsp_node(
         }
         // Refresh the bound from the shared object before the subtree.
         ctx.acquire(best_lock);
-        local_best = local_best.min(ctx.read(best_handle)[0]);
+        local_best = local_best.min(best_handle.get(ctx));
         ctx.release(best_lock);
 
         let mut visited = vec![0usize, second];
@@ -173,12 +180,7 @@ fn tsp_node(
         if local_best < before {
             // Found a better tour: publish it to the shared bound.
             ctx.acquire(best_lock);
-            ctx.update(best_handle, |v| {
-                if local_best < v[0] {
-                    v[0] = local_best;
-                }
-            });
-            local_best = local_best.min(ctx.read(best_handle)[0]);
+            local_best = best_handle.update(ctx, |bound| bound.min(local_best));
             ctx.release(best_lock);
         }
     }
@@ -187,8 +189,7 @@ fn tsp_node(
 
     ctx.barrier(done_barrier);
     if ctx.is_master() {
-        let best = ctx.read(best_handle)[0];
-        slot.publish(best);
+        slot.publish(best_handle.get(ctx));
     }
     ctx.barrier(done_barrier);
 }
@@ -201,23 +202,17 @@ pub fn run(config: ClusterConfig, params: &TspParams) -> AppRun<u64> {
     let mut registry = ObjectRegistry::new();
     // The distance matrix is immutable after initialisation: one row object
     // per city, spread round-robin, flagged read-only (the GOS optimization).
-    let dist_rows: Vec<ArrayHandle<u64>> = (0..n)
-        .map(|i| {
-            ArrayHandle::<u64>::register_immutable(
-                &mut registry,
-                "tsp.dist",
-                i as u64,
-                n,
-                NodeId::MASTER,
-                HomeAssignment::RoundRobin,
-            )
-        })
-        .collect();
-    let best: ArrayHandle<u64> = ArrayHandle::register(
+    let dist_rows = Matrix2dHandle::<u64>::register_immutable(
+        &mut registry,
+        "tsp.dist",
+        n,
+        n,
+        NodeId::MASTER,
+        HomeAssignment::RoundRobin,
+    );
+    let best: ScalarHandle<u64> = ScalarHandle::register(
         &mut registry,
         "tsp.best",
-        0,
-        1,
         NodeId::MASTER,
         HomeAssignment::Master,
     );
@@ -246,10 +241,10 @@ mod tests {
     #[test]
     fn distance_matrix_is_symmetric_with_zero_diagonal() {
         let d = distance_matrix(&TspParams::small(8));
-        for i in 0..8 {
-            assert_eq!(d[i][i], 0);
-            for j in 0..8 {
-                assert_eq!(d[i][j], d[j][i]);
+        for (i, row) in d.iter().enumerate() {
+            assert_eq!(row[i], 0);
+            for (j, cell) in row.iter().enumerate() {
+                assert_eq!(*cell, d[j][i]);
             }
         }
     }
@@ -277,7 +272,7 @@ mod tests {
             }
             for i in 0..k {
                 heaps(perm, k - 1, dist, best);
-                if k % 2 == 0 {
+                if k.is_multiple_of(2) {
                     perm.swap(i, k - 1);
                 } else {
                     perm.swap(0, k - 1);

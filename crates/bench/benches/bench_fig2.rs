@@ -1,37 +1,34 @@
-//! Criterion wrapper for the Figure 2 experiment (reduced sizes): measures
-//! the end-to-end cost of one HM and one NoHM run of each application on a
-//! four-node cluster.
+//! Timing harness for the Figure 2 experiment (reduced sizes): measures the
+//! end-to-end wall-clock cost of one HM and one NoHM run of each application
+//! on a four-node cluster. A plain `harness = false` bench (the build
+//! environment has no criterion), reporting min/mean over a fixed number of
+//! iterations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use dsm_apps::{asp, nbody, sor, tsp};
-use dsm_bench::cluster;
+use dsm_bench::{cluster, time_bench};
 use dsm_core::ProtocolConfig;
 
-fn bench_fig2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig2");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+fn main() {
+    println!("bench fig2 — one run per application, 4 nodes");
     for (label, protocol) in [
         ("NoHM", ProtocolConfig::no_migration()),
         ("HM", ProtocolConfig::adaptive()),
     ] {
-        group.bench_function(format!("asp_32_{label}"), |b| {
-            b.iter(|| asp::run(cluster(4, protocol.clone()), &asp::AspParams::small(32)))
+        let p = protocol.clone();
+        time_bench(&format!("asp_32_{label}"), 10, || {
+            asp::run(cluster(4, p.clone()), &asp::AspParams::small(32));
         });
-        group.bench_function(format!("sor_32_{label}"), |b| {
-            b.iter(|| sor::run(cluster(4, protocol.clone()), &sor::SorParams::small(32, 2)))
+        let p = protocol.clone();
+        time_bench(&format!("sor_32_{label}"), 10, || {
+            sor::run(cluster(4, p.clone()), &sor::SorParams::small(32, 2));
         });
-        group.bench_function(format!("nbody_64_{label}"), |b| {
-            b.iter(|| nbody::run(cluster(4, protocol.clone()), &nbody::NbodyParams::small(64, 1)))
+        let p = protocol.clone();
+        time_bench(&format!("nbody_64_{label}"), 10, || {
+            nbody::run(cluster(4, p.clone()), &nbody::NbodyParams::small(64, 1));
         });
-        group.bench_function(format!("tsp_8_{label}"), |b| {
-            b.iter(|| tsp::run(cluster(4, protocol.clone()), &tsp::TspParams::small(8)))
+        let p = protocol.clone();
+        time_bench(&format!("tsp_8_{label}"), 10, || {
+            tsp::run(cluster(4, p.clone()), &tsp::TspParams::small(8));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig2);
-criterion_main!(benches);

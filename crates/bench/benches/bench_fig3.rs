@@ -1,30 +1,23 @@
-//! Criterion wrapper for the Figure 3 experiment (reduced sizes): one AT and
+//! Timing harness for the Figure 3 experiment (reduced sizes): one AT and
 //! one FT2 run of ASP and SOR at a small problem size on eight nodes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use dsm_apps::{asp, sor};
-use dsm_bench::cluster;
+use dsm_bench::{cluster, time_bench};
 use dsm_core::ProtocolConfig;
 
-fn bench_fig3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig3");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+fn main() {
+    println!("bench fig3 — AT vs FT2, 8 nodes");
     for (label, protocol) in [
         ("AT", ProtocolConfig::adaptive()),
         ("FT2", ProtocolConfig::fixed_threshold(2)),
     ] {
-        group.bench_function(format!("asp_32_{label}"), |b| {
-            b.iter(|| asp::run(cluster(8, protocol.clone()), &asp::AspParams::small(32)))
+        let p = protocol.clone();
+        time_bench(&format!("asp_32_{label}"), 10, || {
+            asp::run(cluster(8, p.clone()), &asp::AspParams::small(32));
         });
-        group.bench_function(format!("sor_32_{label}"), |b| {
-            b.iter(|| sor::run(cluster(8, protocol.clone()), &sor::SorParams::small(32, 2)))
+        let p = protocol.clone();
+        time_bench(&format!("sor_32_{label}"), 10, || {
+            sor::run(cluster(8, p.clone()), &sor::SorParams::small(32, 2));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);

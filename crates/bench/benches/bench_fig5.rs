@@ -1,18 +1,12 @@
-//! Criterion wrapper for the Figure 5 experiment (reduced sizes): the
-//! synthetic single-writer benchmark at r = 2 and r = 16 under all four
-//! protocols.
+//! Timing harness for the Figure 5 experiment (reduced sizes): the synthetic
+//! single-writer benchmark at r = 2 and r = 16 under all four protocols.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use dsm_apps::synthetic::{self, SyntheticParams};
-use dsm_bench::cluster;
+use dsm_bench::{cluster, time_bench};
 use dsm_core::ProtocolConfig;
 
-fn bench_fig5(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+fn main() {
+    println!("bench fig5 — synthetic single-writer benchmark, 5 nodes");
     for repetition in [2usize, 16] {
         for (label, protocol) in [
             ("NM", ProtocolConfig::no_migration()),
@@ -25,13 +19,9 @@ fn bench_fig5(c: &mut Criterion) {
                 total_updates: (repetition * 4 * 6) as u64,
                 compute_ops: 1_000,
             };
-            group.bench_function(format!("r{repetition}_{label}"), |b| {
-                b.iter(|| synthetic::run(cluster(5, protocol.clone()), &params))
+            time_bench(&format!("r{repetition}_{label}"), 10, move || {
+                synthetic::run(cluster(5, protocol.clone()), &params);
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig5);
-criterion_main!(benches);

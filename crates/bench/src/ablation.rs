@@ -11,14 +11,13 @@
 
 use crate::table::{fmt_f, Table};
 use crate::{cluster, Scale};
-use dsm_apps::synthetic::{self, SyntheticParams};
 use dsm_apps::sor;
+use dsm_apps::synthetic::{self, SyntheticParams};
 use dsm_core::{MigrationPolicy, NotificationMechanism, ProtocolConfig};
 use dsm_net::MsgCategory;
-use serde::{Deserialize, Serialize};
 
 /// One ablation measurement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AblationPoint {
     /// Which configuration was run.
     pub label: String,
@@ -45,7 +44,12 @@ fn synthetic_params(scale: Scale, repetition: usize, workers: usize) -> Syntheti
     }
 }
 
-fn run_synthetic(label: &str, protocol: ProtocolConfig, scale: Scale, repetition: usize) -> AblationPoint {
+fn run_synthetic(
+    label: &str,
+    protocol: ProtocolConfig,
+    scale: Scale,
+    repetition: usize,
+) -> AblationPoint {
     let nodes = crate::fig5::nodes(scale);
     let params = synthetic_params(scale, repetition, nodes - 1);
     let run = synthetic::run(cluster(nodes, protocol), &params);

@@ -12,6 +12,9 @@ fn main() {
     let table = fig2::render(&points);
     println!("Figure 2 — execution time vs. number of processors (HM = adaptive migration, NoHM = disabled)\n");
     println!("{}", table.render());
-    println!("shape check (HM wins on ASP/SOR, neutral on Nbody/TSP): {}", fig2::shape_holds(&points));
+    println!(
+        "shape check (HM wins on ASP/SOR, neutral on Nbody/TSP): {}",
+        fig2::shape_holds(&points)
+    );
     println!("\nCSV:\n{}", table.to_csv());
 }

@@ -13,6 +13,9 @@ fn main() {
     let table = fig3::render(&points);
     println!("Figure 3 — improvement of AT over FT2 against problem size (8 nodes)\n");
     println!("{}", table.render());
-    println!("shape check (AT never worse than FT2): {}", fig3::shape_holds(&points));
+    println!(
+        "shape check (AT never worse than FT2): {}",
+        fig3::shape_holds(&points)
+    );
     println!("\nCSV:\n{}", table.to_csv());
 }

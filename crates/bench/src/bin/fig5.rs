@@ -11,7 +11,9 @@ fn main() {
     let scale = Scale::from_args();
     eprintln!("collecting Figure 5 data at {scale:?} scale ...");
     let points = fig5::collect(scale);
-    println!("Figure 5(a) — normalized execution time vs. repetition of the single-writer pattern\n");
+    println!(
+        "Figure 5(a) — normalized execution time vs. repetition of the single-writer pattern\n"
+    );
     println!("{}", fig5::render_times(&points).render());
     println!("Figure 5(b) — normalized message breakdown (obj / mig / diff / redir)\n");
     println!("{}", fig5::render_messages(&points).render());
@@ -19,5 +21,8 @@ fn main() {
     for (name, ok) in fig5::shape_holds(&points) {
         println!("  [{}] {}", if ok { "ok" } else { "FAIL" }, name);
     }
-    println!("\nCSV (messages):\n{}", fig5::render_messages(&points).to_csv());
+    println!(
+        "\nCSV (messages):\n{}",
+        fig5::render_messages(&points).to_csv()
+    );
 }

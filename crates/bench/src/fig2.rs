@@ -6,10 +6,9 @@ use crate::table::{fmt_f, Table};
 use crate::{cluster, Scale};
 use dsm_apps::{asp, nbody, sor, tsp};
 use dsm_core::ProtocolConfig;
-use serde::{Deserialize, Serialize};
 
 /// One measurement point of Figure 2.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Point {
     /// Application name (ASP, SOR, Nbody, TSP).
     pub app: String,
@@ -81,7 +80,12 @@ pub fn collect(scale: Scale) -> Vec<Fig2Point> {
     points
 }
 
-fn point(app: &str, nodes: usize, policy: &str, report: &dsm_runtime::ExecutionReport) -> Fig2Point {
+fn point(
+    app: &str,
+    nodes: usize,
+    policy: &str,
+    report: &dsm_runtime::ExecutionReport,
+) -> Fig2Point {
     Fig2Point {
         app: app.to_string(),
         nodes,
@@ -94,7 +98,14 @@ fn point(app: &str, nodes: usize, policy: &str, report: &dsm_runtime::ExecutionR
 
 /// Render the collected points as the figure's table.
 pub fn render(points: &[Fig2Point]) -> Table {
-    let mut table = Table::new(&["app", "nodes", "policy", "time_ms", "messages", "migrations"]);
+    let mut table = Table::new(&[
+        "app",
+        "nodes",
+        "policy",
+        "time_ms",
+        "messages",
+        "migrations",
+    ]);
     for p in points {
         table.row(vec![
             p.app.clone(),

@@ -7,13 +7,12 @@ use crate::table::{fmt_pct, Table};
 use crate::{cluster, Scale};
 use dsm_apps::{asp, sor};
 use dsm_core::ProtocolConfig;
-use serde::{Deserialize, Serialize};
 
 /// Number of cluster nodes used by the figure (the paper uses eight).
 pub const NODES: usize = 8;
 
 /// One measurement point of Figure 3.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Point {
     /// Application name (ASP or SOR).
     pub app: String,

@@ -8,10 +8,9 @@ use crate::{cluster, Scale};
 use dsm_apps::synthetic::{self, SyntheticParams};
 use dsm_core::ProtocolConfig;
 use dsm_net::MsgCategory;
-use serde::{Deserialize, Serialize};
 
 /// One protocol's measurement at one repetition value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Point {
     /// Repetition of the single-writer pattern.
     pub repetition: usize,
@@ -40,7 +39,7 @@ impl Fig5Point {
 
 /// The repetitions swept by the figure (the paper uses 2, 4, 8, 16).
 pub fn repetitions(_scale: Scale) -> Vec<usize> {
-        vec![2, 4, 8, 16]
+    vec![2, 4, 8, 16]
 }
 
 /// The protocols compared by the figure.
@@ -63,7 +62,12 @@ pub fn nodes(scale: Scale) -> usize {
 }
 
 /// Run one protocol at one repetition.
-pub fn measure(repetition: usize, label: &str, protocol: ProtocolConfig, scale: Scale) -> Fig5Point {
+pub fn measure(
+    repetition: usize,
+    label: &str,
+    protocol: ProtocolConfig,
+    scale: Scale,
+) -> Fig5Point {
     let n = nodes(scale);
     let workers = n - 1;
     let params = match scale {
@@ -102,9 +106,20 @@ pub fn collect(scale: Scale) -> Vec<Fig5Point> {
 /// each repetition, plus the raw times.
 pub fn render_times(points: &[Fig5Point]) -> Table {
     let mut table = Table::new(&["repetition", "policy", "time_ms", "normalized"]);
-    for repetition in points.iter().map(|p| p.repetition).collect::<std::collections::BTreeSet<_>>() {
-        let group: Vec<&Fig5Point> = points.iter().filter(|p| p.repetition == repetition).collect();
-        let max = group.iter().map(|p| p.time_ms).fold(0.0f64, f64::max).max(1e-9);
+    for repetition in points
+        .iter()
+        .map(|p| p.repetition)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let group: Vec<&Fig5Point> = points
+            .iter()
+            .filter(|p| p.repetition == repetition)
+            .collect();
+        let max = group
+            .iter()
+            .map(|p| p.time_ms)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
         for p in &group {
             table.row(vec![
                 repetition.to_string(),
@@ -130,8 +145,15 @@ pub fn render_messages(points: &[Fig5Point]) -> Table {
         "total",
         "normalized",
     ]);
-    for repetition in points.iter().map(|p| p.repetition).collect::<std::collections::BTreeSet<_>>() {
-        let group: Vec<&Fig5Point> = points.iter().filter(|p| p.repetition == repetition).collect();
+    for repetition in points
+        .iter()
+        .map(|p| p.repetition)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let group: Vec<&Fig5Point> = points
+            .iter()
+            .filter(|p| p.repetition == repetition)
+            .collect();
         let max = group
             .iter()
             .map(|p| p.breakdown_total())
@@ -162,7 +184,11 @@ pub fn render_messages(points: &[Fig5Point]) -> Table {
 /// 3. fixed thresholds pay redirections at small repetitions;
 /// 4. AT produces no more redirections than FT1 at small repetitions.
 pub fn shape_holds(points: &[Fig5Point]) -> Vec<(String, bool)> {
-    let find = |r: usize, policy: &str| points.iter().find(|p| p.repetition == r && p.policy == policy);
+    let find = |r: usize, policy: &str| {
+        points
+            .iter()
+            .find(|p| p.repetition == r && p.policy == policy)
+    };
     let mut checks = Vec::new();
     let reps: Vec<usize> = points
         .iter()
@@ -173,7 +199,9 @@ pub fn shape_holds(points: &[Fig5Point]) -> Vec<(String, bool)> {
     let large = *reps.last().unwrap_or(&16);
     let small = *reps.first().unwrap_or(&2);
 
-    if let (Some(nm), Some(ft1), Some(at)) = (find(large, "NM"), find(large, "FT1"), find(large, "AT")) {
+    if let (Some(nm), Some(ft1), Some(at)) =
+        (find(large, "NM"), find(large, "FT1"), find(large, "AT"))
+    {
         let nm_pairs = nm.obj + nm.diff;
         let ft1_pairs = ft1.obj + ft1.mig + ft1.diff;
         let at_pairs = at.obj + at.mig + at.diff;
@@ -187,10 +215,7 @@ pub fn shape_holds(points: &[Fig5Point]) -> Vec<(String, bool)> {
         ));
     }
     if let (Some(ft1), Some(at)) = (find(small, "FT1"), find(small, "AT")) {
-        checks.push((
-            format!("r={small}: FT1 pays redirections"),
-            ft1.redir > 0,
-        ));
+        checks.push((format!("r={small}: FT1 pays redirections"), ft1.redir > 0));
         checks.push((
             format!("r={small}: AT redirections <= FT1 redirections"),
             at.redir <= ft1.redir,

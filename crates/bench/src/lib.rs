@@ -17,19 +17,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ablation;
 pub mod fig2;
 pub mod fig3;
 pub mod fig5;
-pub mod ablation;
 pub mod table;
 
 use dsm_core::ProtocolConfig;
 use dsm_model::ComputeModel;
 use dsm_runtime::ClusterConfig;
-use serde::{Deserialize, Serialize};
 
 /// Workload scale selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Reduced sizes: same shapes, seconds of runtime. Used by tests and the
     /// default benchmark run.
@@ -54,7 +53,29 @@ impl Scale {
 /// Build a cluster configuration for an experiment run: the paper's Fast
 /// Ethernet network and Pentium-4-class compute model.
 pub fn cluster(nodes: usize, protocol: ProtocolConfig) -> ClusterConfig {
-    ClusterConfig::new(nodes, protocol).with_compute(ComputeModel::pentium4_2ghz())
+    dsm_runtime::Cluster::builder()
+        .nodes(nodes)
+        .protocol(protocol)
+        .compute(ComputeModel::pentium4_2ghz())
+        .config()
+}
+
+/// Run `f` `iters` times and print the minimum and mean wall-clock duration.
+/// The `benches/` targets are plain `harness = false` binaries built on this
+/// helper (the offline build environment carries no criterion dependency).
+pub fn time_bench(label: &str, iters: u32, mut f: impl FnMut()) {
+    use std::time::{Duration, Instant};
+    assert!(iters > 0, "a benchmark needs at least one iteration");
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        best = best.min(elapsed);
+        total += elapsed;
+    }
+    println!("{label:>16}: min {best:>12?}  mean {:>12?}", total / iters);
 }
 
 #[cfg(test)]

@@ -2,17 +2,17 @@
 
 use crate::migration::MigrationPolicy;
 use dsm_model::{NetworkParams, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// How other nodes learn the new home location after a migration (§3.2 of
 /// the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NotificationMechanism {
     /// A forwarding pointer is left at the former home; requests reaching an
     /// obsolete home are answered with the current home location and the
     /// requester retries. This is the mechanism the paper adopts: no
     /// notification traffic at migration time, at the price of possible
     /// redirection accumulation.
+    #[default]
     ForwardingPointer,
     /// The most up-to-date home location is recorded at a designated manager
     /// node (we use the object's *initial* home as its manager, which every
@@ -25,14 +25,8 @@ pub enum NotificationMechanism {
     Broadcast,
 }
 
-impl Default for NotificationMechanism {
-    fn default() -> Self {
-        NotificationMechanism::ForwardingPointer
-    }
-}
-
 /// Complete configuration of the coherence protocol on every node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolConfig {
     /// Home migration policy (the independent variable of every experiment).
     pub migration: MigrationPolicy,
@@ -124,7 +118,10 @@ mod tests {
 
     #[test]
     fn presets_select_expected_policies() {
-        assert_eq!(ProtocolConfig::no_migration().migration, MigrationPolicy::NoMigration);
+        assert_eq!(
+            ProtocolConfig::no_migration().migration,
+            MigrationPolicy::NoMigration
+        );
         assert!(matches!(
             ProtocolConfig::adaptive().migration,
             MigrationPolicy::AdaptiveThreshold { .. }
@@ -141,7 +138,10 @@ mod tests {
             ProtocolConfig::default().notification,
             NotificationMechanism::ForwardingPointer
         );
-        assert_eq!(NotificationMechanism::default(), NotificationMechanism::ForwardingPointer);
+        assert_eq!(
+            NotificationMechanism::default(),
+            NotificationMechanism::ForwardingPointer
+        );
     }
 
     #[test]
@@ -152,7 +152,10 @@ mod tests {
             .with_migration(MigrationPolicy::fixed(3));
         assert_eq!(cfg.network, NetworkParams::myrinet());
         assert_eq!(cfg.notification, NotificationMechanism::Broadcast);
-        assert!(matches!(cfg.migration, MigrationPolicy::FixedThreshold { threshold: 3 }));
+        assert!(matches!(
+            cfg.migration,
+            MigrationPolicy::FixedThreshold { threshold: 3 }
+        ));
         assert!(cfg.half_peak_length() > 0.0);
     }
 }

@@ -5,8 +5,9 @@
 //! synchronization-manager state, and it is driven from two sides:
 //!
 //! * the **application side** (the node's application thread, through the
-//!   runtime's `NodeCtx`): planning reads and writes, installing fetched
-//!   objects, preparing and finishing releases, opening intervals;
+//!   runtime's `NodeCtx`): planning reads and writes, leasing object stores
+//!   for zero-copy views, installing fetched objects, preparing and
+//!   finishing releases, opening intervals;
 //! * the **server side** (the node's protocol server thread): handling
 //!   object requests, diffs, notifications and synchronization messages
 //!   arriving from other nodes.
@@ -16,27 +17,61 @@
 //! exchanges. The runtime owns blocking, retries and virtual-time
 //! accounting. This keeps every protocol rule in one place and unit-testable
 //! without threads.
+//!
+//! ## Payload leases
+//!
+//! Object payloads live behind [`ObjectStore`] handles (shared read/write
+//! cells). The application side *leases* a store after a successful access
+//! plan and holds its read or write guard across application code — that is
+//! how `ReadView`/`WriteView` expose `&[T]`/`&mut [T]` over engine storage
+//! without copying and without pinning the engine mutex. The server side
+//! only ever takes `try_` locks on payloads and reports [`Busy`] outcomes
+//! when an application view is live, so the protocol server can defer a
+//! message instead of blocking — the property that makes lease-holding
+//! deadlock-free (a node waiting for a reply always has a responsive
+//! server).
+//!
+//! [`Busy`]: ObjectRequestOutcome::Busy
+//!
+//! ## Home epochs
+//!
+//! Every migration bumps the object's *home epoch* (the migration counter
+//! shipped with the grant). Redirects and new-home notifications carry the
+//! sender's believed epoch, and a node only adopts a hint that is strictly
+//! newer than its own belief — never a hint pointing at itself. This keeps
+//! every forwarding pointer pointing forward in migration time, so chains
+//! cannot form cycles even under racy cross-node interleavings (a stale
+//! backward hint could otherwise overwrite a correct forward pointer and
+//! strand the requester in a redirect loop).
 
 use crate::config::{NotificationMechanism, ProtocolConfig};
+use crate::messages::ReqId;
 use crate::migration::MigrationState;
 use crate::stats::ProtocolStats;
-use crate::sync::{BarrierManager, BarrierOutcome, LockAcquireOutcome, LockManager, LockReleaseOutcome};
-use crate::messages::ReqId;
-use dsm_objspace::{
-    AccessState, BarrierId, Diff, LockId, NodeId, ObjectData, ObjectId, ObjectRegistry, Twin,
-    Version,
+use crate::sync::{
+    BarrierManager, BarrierOutcome, LockAcquireOutcome, LockManager, LockReleaseOutcome,
 };
-use serde::{Deserialize, Serialize};
+use dsm_objspace::{
+    new_store, AccessState, BarrierId, Diff, LockId, NodeId, ObjectData, ObjectId, ObjectRegistry,
+    ObjectStore, Twin, Version,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Migration state shipped from the old home to the new home inside the
 /// object reply that performs the migration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MigrationGrant {
     /// The per-object migration bookkeeping to install at the new home
     /// (threshold carried over, per-epoch counters reset).
     pub state: MigrationState,
+}
+
+impl MigrationGrant {
+    /// The home epoch the grantee becomes home at.
+    pub fn epoch(&self) -> u32 {
+        self.state.migrations
+    }
 }
 
 /// What the application side must do to complete an access.
@@ -82,7 +117,13 @@ pub enum ObjectRequestOutcome {
     Redirect {
         /// Where the requester should try next.
         hint: NodeId,
+        /// The home epoch this node believes `hint` became home at (0 when
+        /// the hint is only a routing pointer, e.g. to the manager).
+        epoch: u32,
     },
+    /// The home copy is currently leased to an application view; the caller
+    /// must retry the request later (server-side deferral, never blocking).
+    Busy,
 }
 
 /// Home-side outcome of a diff propagation.
@@ -98,13 +139,18 @@ pub enum DiffOutcome {
     Redirect {
         /// Where the writer should try next.
         hint: NodeId,
+        /// The believed home epoch of `hint` (0 for routing-only hints).
+        epoch: u32,
     },
+    /// The home copy is currently leased to an application view; the caller
+    /// must retry later.
+    Busy,
 }
 
 /// A home copy plus its protocol metadata.
 #[derive(Debug, Clone)]
 struct HomeEntry {
-    data: ObjectData,
+    data: ObjectStore,
     version: Version,
     state: AccessState,
     migration: MigrationState,
@@ -113,10 +159,18 @@ struct HomeEntry {
 /// A cached (non-home) copy.
 #[derive(Debug, Clone)]
 struct CacheEntry {
-    data: ObjectData,
+    data: ObjectStore,
     version: Version,
     state: AccessState,
     twin: Option<Twin>,
+}
+
+/// A node's belief about an object's current home: the node and the home
+/// epoch it became home at. Beliefs only ever move forward in epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HomeBelief {
+    node: NodeId,
+    epoch: u32,
 }
 
 /// The per-node protocol engine. See the module documentation.
@@ -128,7 +182,7 @@ pub struct ProtocolEngine {
     registry: Arc<ObjectRegistry>,
     homes: HashMap<ObjectId, HomeEntry>,
     caches: HashMap<ObjectId, CacheEntry>,
-    known_home: HashMap<ObjectId, NodeId>,
+    known_home: HashMap<ObjectId, HomeBelief>,
     /// Cached objects written (and twinned) in the current interval.
     dirty: HashSet<ObjectId>,
     /// Home objects written in the current interval (version bump at release).
@@ -160,7 +214,7 @@ impl ProtocolEngine {
                 homes.insert(
                     desc.id,
                     HomeEntry {
-                        data: ObjectData::zeroed(desc.size_bytes),
+                        data: new_store(ObjectData::zeroed(desc.size_bytes)),
                         version: Version::INITIAL,
                         state: AccessState::Invalid,
                         migration: MigrationState::new(),
@@ -199,6 +253,11 @@ impl ProtocolEngine {
         &self.config
     }
 
+    /// The shared object registry.
+    pub fn registry(&self) -> &Arc<ObjectRegistry> {
+        &self.registry
+    }
+
     /// Protocol statistics accumulated so far.
     pub fn stats(&self) -> &ProtocolStats {
         &self.stats
@@ -215,10 +274,20 @@ impl ProtocolEngine {
             return self.node;
         }
         match self.known_home.get(&obj) {
-            Some(n) => *n,
+            Some(belief) => belief.node,
             // Fall back to the well-known initial assignment.
             None => self.registry.expect(obj).initial_home(self.num_nodes),
         }
+    }
+
+    /// The home epoch this node believes `obj`'s current home is at (its
+    /// own epoch when it is the home, 0 when it only knows the initial
+    /// assignment).
+    pub fn home_epoch(&self, obj: ObjectId) -> u32 {
+        if let Some(entry) = self.homes.get(&obj) {
+            return entry.migration.migrations;
+        }
+        self.known_home.get(&obj).map_or(0, |belief| belief.epoch)
     }
 
     /// The manager node of `obj` under the home-manager notification
@@ -249,7 +318,7 @@ impl ProtocolEngine {
                 Version::INITIAL,
                 "bootstrap after the protocol already ran on {obj}"
             );
-            entry.data = data;
+            *entry.data.write() = data;
         }
     }
 
@@ -332,7 +401,7 @@ impl ProtocolEngine {
                 }
                 AccessState::ReadOnly => {
                     if entry.twin.is_none() {
-                        entry.twin = Some(Twin::capture(&entry.data));
+                        entry.twin = Some(Twin::capture(&entry.data.read()));
                         self.stats.twins_created += 1;
                     }
                     entry.state = AccessState::ReadWrite;
@@ -348,46 +417,81 @@ impl ProtocolEngine {
         }
     }
 
-    /// Read access to a locally valid copy of `obj`.
+    /// Lease the payload store of a locally *readable* copy of `obj` — the
+    /// zero-copy read path. Callers must first obtain
+    /// [`AccessPlan::LocalHit`] from [`Self::plan_read`]; the returned store
+    /// is then read-locked by the runtime's `ReadView` without holding the
+    /// engine itself.
     ///
     /// # Panics
-    /// Panics if the object is not locally readable (callers must first get
-    /// [`AccessPlan::LocalHit`] from [`Self::plan_read`]).
-    pub fn with_object<R>(&self, obj: ObjectId, f: impl FnOnce(&ObjectData) -> R) -> R {
+    /// Panics if the object is not locally readable.
+    pub fn lease_read(&self, obj: ObjectId) -> ObjectStore {
         if let Some(entry) = self.homes.get(&obj) {
-            return f(&entry.data);
+            return Arc::clone(&entry.data);
         }
         if let Some(entry) = self.caches.get(&obj) {
             assert!(
                 entry.state != AccessState::Invalid,
-                "read of invalid cached copy of {obj}; fault it in first"
+                "read lease of invalid cached copy of {obj}; fault it in first"
             );
-            return f(&entry.data);
+            return Arc::clone(&entry.data);
         }
-        panic!("read of {obj} which is neither homed nor cached on {}", self.node);
+        panic!(
+            "read lease of {obj} which is neither homed nor cached on {}",
+            self.node
+        );
     }
 
-    /// Write access to a locally writable copy of `obj`.
+    /// Lease the payload store of a locally *writable* copy of `obj` — the
+    /// zero-copy write path. Callers must first obtain
+    /// [`AccessPlan::LocalHit`] from [`Self::plan_write`]; the twin (for
+    /// cached copies) was captured by that plan, so the diff bookkeeping is
+    /// already armed and the store can be write-locked directly.
     ///
     /// # Panics
-    /// Panics if the object is not locally writable (callers must first get
-    /// [`AccessPlan::LocalHit`] from [`Self::plan_write`]).
+    /// Panics if the object is not locally writable.
+    pub fn lease_write(&self, obj: ObjectId) -> ObjectStore {
+        if let Some(entry) = self.homes.get(&obj) {
+            assert!(
+                entry.state == AccessState::ReadWrite,
+                "write lease of home copy of {obj} without a write plan"
+            );
+            return Arc::clone(&entry.data);
+        }
+        if let Some(entry) = self.caches.get(&obj) {
+            assert!(
+                entry.state == AccessState::ReadWrite,
+                "write lease of cached copy of {obj} without a write plan"
+            );
+            return Arc::clone(&entry.data);
+        }
+        panic!(
+            "write lease of {obj} which is neither homed nor cached on {}",
+            self.node
+        );
+    }
+
+    /// Read access to a locally valid copy of `obj` through a closure
+    /// (convenience over [`Self::lease_read`] for engine-internal callers
+    /// and tests).
+    ///
+    /// # Panics
+    /// As [`Self::lease_read`].
+    pub fn with_object<R>(&self, obj: ObjectId, f: impl FnOnce(&ObjectData) -> R) -> R {
+        let store = self.lease_read(obj);
+        let guard = store.read();
+        f(&guard)
+    }
+
+    /// Write access to a locally writable copy of `obj` through a closure
+    /// (convenience over [`Self::lease_write`]).
+    ///
+    /// # Panics
+    /// As [`Self::lease_write`].
     pub fn with_object_mut<R>(&mut self, obj: ObjectId, f: impl FnOnce(&mut ObjectData) -> R) -> R {
-        if let Some(entry) = self.homes.get_mut(&obj) {
-            assert!(
-                entry.state == AccessState::ReadWrite,
-                "write of home copy of {obj} without a write plan"
-            );
-            return f(&mut entry.data);
-        }
-        if let Some(entry) = self.caches.get_mut(&obj) {
-            assert!(
-                entry.state == AccessState::ReadWrite,
-                "write of cached copy of {obj} without a write plan"
-            );
-            return f(&mut entry.data);
-        }
-        panic!("write of {obj} which is neither homed nor cached on {}", self.node);
+        let store = self.lease_write(obj);
+        let mut guard = store.write();
+        f(&mut guard)
     }
 
     /// Install the payload of a completed fault-in. If `migration` is
@@ -401,10 +505,15 @@ impl ProtocolEngine {
         migration: Option<MigrationGrant>,
     ) {
         let desc = self.registry.expect(obj);
-        assert_eq!(data.len(), desc.size_bytes, "fault-in payload size mismatch for {obj}");
-        let data = ObjectData::from_bytes(data);
+        assert_eq!(
+            data.len(),
+            desc.size_bytes,
+            "fault-in payload size mismatch for {obj}"
+        );
+        let data = new_store(ObjectData::from_bytes(data));
         match migration {
             Some(grant) => {
+                let epoch = grant.epoch();
                 self.caches.remove(&obj);
                 self.dirty.remove(&obj);
                 self.homes.insert(
@@ -416,7 +525,13 @@ impl ProtocolEngine {
                         migration: grant.state,
                     },
                 );
-                self.known_home.insert(obj, self.node);
+                self.known_home.insert(
+                    obj,
+                    HomeBelief {
+                        node: self.node,
+                        epoch,
+                    },
+                );
                 self.stats.migrations_in += 1;
             }
             None => {
@@ -433,11 +548,31 @@ impl ProtocolEngine {
         }
     }
 
-    /// Record that a fault-in or flush issued by this node was redirected to
-    /// `new_home` (forwarding pointer chain hop).
-    pub fn note_redirect(&mut self, obj: ObjectId, new_home: NodeId) {
-        self.known_home.insert(obj, new_home);
+    /// Record that a fault-in or flush issued by this node was redirected,
+    /// with the redirector claiming `new_home` became home at `epoch`.
+    ///
+    /// The hint is only adopted when it is strictly newer than this node's
+    /// own belief and does not point at this node itself — stale backward
+    /// hints must never overwrite a correct forward pointer (they would
+    /// create redirect cycles). Returns whether the hint was adopted.
+    pub fn note_redirect(&mut self, obj: ObjectId, new_home: NodeId, epoch: u32) -> bool {
         self.stats.redirections_suffered += 1;
+        if new_home == self.node || self.is_home(obj) {
+            return false;
+        }
+        let believed = self.home_epoch(obj);
+        let known = self.known_home.contains_key(&obj);
+        if epoch > believed || (!known && new_home != self.home_hint(obj)) {
+            self.known_home.insert(
+                obj,
+                HomeBelief {
+                    node: new_home,
+                    epoch,
+                },
+            );
+            return true;
+        }
+        false
     }
 
     /// Compute the diffs that must be propagated to remote homes before the
@@ -451,11 +586,8 @@ impl ProtocolEngine {
                 .caches
                 .get_mut(&obj)
                 .expect("dirty object must have a cached copy");
-            let twin = entry
-                .twin
-                .as_ref()
-                .expect("dirty object must have a twin");
-            let diff = twin.diff_against(&entry.data);
+            let twin = entry.twin.as_ref().expect("dirty object must have a twin");
+            let diff = twin.diff_against(&entry.data.read());
             if diff.is_empty() {
                 entry.twin = None;
                 entry.state = AccessState::ReadOnly;
@@ -515,7 +647,24 @@ impl ProtocolEngine {
     // Server side
     // ------------------------------------------------------------------
 
+    /// The hint and epoch to put into a redirect reply from this (non-home)
+    /// node.
+    fn redirect_hint(&self, obj: ObjectId) -> (NodeId, u32) {
+        match self.config.notification {
+            NotificationMechanism::HomeManager if self.node != self.manager_of(obj) => {
+                // Routing-only pointer to the manager: epoch 0 so the
+                // requester retries there without adopting it as the home.
+                (self.manager_of(obj), 0)
+            }
+            _ => (self.home_hint(obj), self.home_epoch(obj)),
+        }
+    }
+
     /// Handle an object fault-in request arriving from `requester`.
+    ///
+    /// Returns [`ObjectRequestOutcome::Busy`] — without consuming the
+    /// request — when the home copy is leased to a live application view;
+    /// the server defers and retries.
     pub fn handle_object_request(
         &mut self,
         obj: ObjectId,
@@ -525,15 +674,9 @@ impl ProtocolEngine {
     ) -> ObjectRequestOutcome {
         if !self.is_home(obj) {
             self.stats.redirections_served += 1;
-            let hint = match self.config.notification {
-                NotificationMechanism::HomeManager if self.node != self.manager_of(obj) => {
-                    self.manager_of(obj)
-                }
-                _ => self.home_hint(obj),
-            };
-            return ObjectRequestOutcome::Redirect { hint };
+            let (hint, epoch) = self.redirect_hint(obj);
+            return ObjectRequestOutcome::Redirect { hint, epoch };
         }
-        self.stats.requests_served += 1;
         let desc_size = self.registry.expect(obj).size_bytes as u64;
         let half_peak = self.config.half_peak_length();
         let policy = self.config.migration.clone();
@@ -542,13 +685,20 @@ impl ProtocolEngine {
         let node = self.node;
         let manager = self.manager_of(obj);
         let entry = self.homes.get_mut(&obj).expect("checked is_home above");
+
+        // Copy the payload out under a try-lock: if the application holds a
+        // write view right now, defer instead of blocking the server.
+        let data = match entry.data.try_read() {
+            Some(guard) => guard.bytes().to_vec(),
+            None => return ObjectRequestOutcome::Busy,
+        };
+        self.stats.requests_served += 1;
         entry.migration.record_redirections(redirections);
 
         let migrate = requester != node
             && entry
                 .migration
                 .should_migrate(&policy, requester, for_write, desc_size, half_peak);
-        let data = entry.data.bytes().to_vec();
         let version = entry.version;
         if !migrate {
             return ObjectRequestOutcome::Reply {
@@ -561,10 +711,11 @@ impl ProtocolEngine {
 
         // Perform the migration: the home entry becomes an ordinary cached
         // copy here, the migration bookkeeping ships to the new home, and a
-        // forwarding pointer is left behind.
+        // forwarding pointer (stamped with the new epoch) is left behind.
         let grant = MigrationGrant {
             state: entry.migration.migrate(&policy, desc_size, half_peak),
         };
+        let new_epoch = grant.epoch();
         let old = self.homes.remove(&obj).expect("home entry present");
         self.caches.insert(
             obj,
@@ -576,7 +727,13 @@ impl ProtocolEngine {
             },
         );
         self.home_written.remove(&obj);
-        self.known_home.insert(obj, requester);
+        self.known_home.insert(
+            obj,
+            HomeBelief {
+                node: requester,
+                epoch: new_epoch,
+            },
+        );
         self.stats.migrations_out += 1;
 
         let notify = match notification {
@@ -603,6 +760,9 @@ impl ProtocolEngine {
     }
 
     /// Handle a diff arriving from `from`.
+    ///
+    /// Returns [`DiffOutcome::Busy`] — without consuming the diff — when the
+    /// home copy is leased to a live application view.
     pub fn handle_diff(
         &mut self,
         obj: ObjectId,
@@ -612,17 +772,16 @@ impl ProtocolEngine {
     ) -> DiffOutcome {
         if !self.is_home(obj) {
             self.stats.redirections_served += 1;
-            let hint = match self.config.notification {
-                NotificationMechanism::HomeManager if self.node != self.manager_of(obj) => {
-                    self.manager_of(obj)
-                }
-                _ => self.home_hint(obj),
-            };
-            return DiffOutcome::Redirect { hint };
+            let (hint, epoch) = self.redirect_hint(obj);
+            return DiffOutcome::Redirect { hint, epoch };
         }
         let entry = self.homes.get_mut(&obj).expect("checked is_home above");
+        let Some(mut guard) = entry.data.try_write() else {
+            return DiffOutcome::Busy;
+        };
         entry.migration.record_redirections(redirections);
-        diff.apply(&mut entry.data);
+        diff.apply(&mut guard);
+        drop(guard);
         entry.version = entry.version.next();
         entry
             .migration
@@ -633,10 +792,21 @@ impl ProtocolEngine {
         }
     }
 
-    /// Handle a new-home notification (broadcast or home-manager mechanisms).
-    pub fn handle_home_notify(&mut self, obj: ObjectId, new_home: NodeId) {
-        if !self.is_home(obj) {
-            self.known_home.insert(obj, new_home);
+    /// Handle a new-home notification (broadcast or home-manager
+    /// mechanisms): adopt the announced home if it is newer than the local
+    /// belief.
+    pub fn handle_home_notify(&mut self, obj: ObjectId, new_home: NodeId, epoch: u32) {
+        if self.is_home(obj) || new_home == self.node {
+            return;
+        }
+        if epoch > self.home_epoch(obj) || !self.known_home.contains_key(&obj) {
+            self.known_home.insert(
+                obj,
+                HomeBelief {
+                    node: new_home,
+                    epoch,
+                },
+            );
         }
     }
 
@@ -651,7 +821,12 @@ impl ProtocolEngine {
     // ------------------------------------------------------------------
 
     /// Manager-side lock acquire.
-    pub fn lock_acquire(&mut self, lock: LockId, requester: NodeId, req: ReqId) -> LockAcquireOutcome {
+    pub fn lock_acquire(
+        &mut self,
+        lock: LockId,
+        requester: NodeId,
+        req: ReqId,
+    ) -> LockAcquireOutcome {
         self.locks.acquire(lock, requester, req)
     }
 
@@ -661,7 +836,12 @@ impl ProtocolEngine {
     }
 
     /// Manager-side barrier arrival.
-    pub fn barrier_arrive(&mut self, barrier: BarrierId, node: NodeId, req: ReqId) -> BarrierOutcome {
+    pub fn barrier_arrive(
+        &mut self,
+        barrier: BarrierId,
+        node: NodeId,
+        req: ReqId,
+    ) -> BarrierOutcome {
         self.barriers.arrive(barrier, node, req)
     }
 
@@ -699,7 +879,7 @@ impl ProtocolEngine {
 
     /// Snapshot of a home copy's bytes (tests and invariant checks).
     pub fn home_bytes(&self, obj: ObjectId) -> Option<Vec<u8>> {
-        self.homes.get(&obj).map(|e| e.data.bytes().to_vec())
+        self.homes.get(&obj).map(|e| e.data.read().bytes().to_vec())
     }
 }
 
@@ -752,10 +932,17 @@ mod tests {
                         engines[writer].install_object(obj, data, version, migration);
                         break;
                     }
-                    ObjectRequestOutcome::Redirect { hint } => {
-                        engines[writer].note_redirect(obj, hint);
+                    ObjectRequestOutcome::Redirect { hint, epoch } => {
+                        engines[writer].note_redirect(obj, hint, epoch);
                         hops += 1;
+                        assert!(
+                            hops <= engines.len() as u32 + 2,
+                            "redirection chain for {obj} did not converge"
+                        );
                         target = hint;
+                    }
+                    ObjectRequestOutcome::Busy => {
+                        unreachable!("no views are live in single-threaded tests")
                     }
                 }
             }
@@ -775,11 +962,19 @@ mod tests {
                         engines[writer].complete_flush(plan.obj, new_version);
                         break;
                     }
-                    DiffOutcome::Redirect { hint } => {
-                        engines[writer].note_redirect(plan.obj, hint);
+                    DiffOutcome::Redirect { hint, epoch } => {
+                        engines[writer].note_redirect(plan.obj, hint, epoch);
                         flush_hops += 1;
                         hops += 1;
+                        assert!(
+                            flush_hops <= engines.len() as u32 + 2,
+                            "diff redirection chain for {} did not converge",
+                            plan.obj
+                        );
                         target = hint;
+                    }
+                    DiffOutcome::Busy => {
+                        unreachable!("no views are live in single-threaded tests")
                     }
                 }
             }
@@ -795,6 +990,7 @@ mod tests {
         assert!(!engines[1].is_home(obj_x()));
         assert_eq!(engines[1].home_hint(obj_x()), NodeId(0));
         assert_eq!(engines[0].homed_objects(), vec![obj_x()]);
+        assert_eq!(engines[1].home_epoch(obj_x()), 0);
     }
 
     #[test]
@@ -811,6 +1007,52 @@ mod tests {
         assert_eq!(engines[0].stats().home_writes, 1);
         assert_eq!(engines[0].stats().fault_ins, 0);
         assert_eq!(engines[0].home_version(obj), Some(Version(1)));
+    }
+
+    #[test]
+    fn leases_expose_engine_storage() {
+        let mut engines = engines(ProtocolConfig::no_migration());
+        let obj = obj_x();
+        engines[0].begin_interval();
+        assert_eq!(engines[0].plan_write(obj), AccessPlan::LocalHit);
+        {
+            let store = engines[0].lease_write(obj);
+            store.write().bytes_mut()[0] = 42;
+        }
+        // The write went straight into the home copy, no copy-back needed.
+        assert_eq!(engines[0].home_bytes(obj).unwrap()[0], 42);
+        let store = engines[0].lease_read(obj);
+        assert_eq!(store.read().bytes()[0], 42);
+    }
+
+    #[test]
+    fn busy_home_copy_defers_requests_and_diffs() {
+        let mut engines = engines(ProtocolConfig::no_migration());
+        let obj = obj_x();
+        engines[0].begin_interval();
+        assert_eq!(engines[0].plan_write(obj), AccessPlan::LocalHit);
+        let store = engines[0].lease_write(obj);
+        let guard = store.write();
+        // A write lease blocks both server-side payload operations ...
+        assert_eq!(
+            engines[0].handle_object_request(obj, NodeId(1), false, 0),
+            ObjectRequestOutcome::Busy
+        );
+        let diff = Diff::full(&[1u8; 64]);
+        assert_eq!(
+            engines[0].handle_diff(obj, &diff, NodeId(1), 0),
+            DiffOutcome::Busy
+        );
+        drop(guard);
+        // ... and the retries succeed once the view drops.
+        assert!(matches!(
+            engines[0].handle_object_request(obj, NodeId(1), false, 0),
+            ObjectRequestOutcome::Reply { .. }
+        ));
+        assert!(matches!(
+            engines[0].handle_diff(obj, &diff, NodeId(1), 0),
+            DiffOutcome::Applied { .. }
+        ));
     }
 
     #[test]
@@ -855,14 +1097,25 @@ mod tests {
         // Interval 2: node 1 faults again; with T=1 and C=1 the home migrates
         // together with the reply.
         remote_write_interval(&mut e, 1, 2);
-        assert!(e[1].is_home(obj), "home should have migrated to the single writer");
+        assert!(
+            e[1].is_home(obj),
+            "home should have migrated to the single writer"
+        );
         assert!(!e[0].is_home(obj));
         assert_eq!(e[0].stats().migrations_out, 1);
         assert_eq!(e[1].stats().migrations_in, 1);
+        // The epoch advanced with the migration, on both ends.
+        assert_eq!(e[1].home_epoch(obj), 1);
+        assert_eq!(e[0].home_epoch(obj), 1);
+        assert_eq!(e[0].home_hint(obj), NodeId(1));
         // Interval 3+: accesses are purely local for node 1.
         let before = e[1].stats().fault_ins;
         remote_write_interval(&mut e, 1, 3);
-        assert_eq!(e[1].stats().fault_ins, before, "no further fault-ins after migration");
+        assert_eq!(
+            e[1].stats().fault_ins,
+            before,
+            "no further fault-ins after migration"
+        );
         assert_eq!(e[1].home_bytes(obj).unwrap()[0], 3);
     }
 
@@ -875,7 +1128,10 @@ mod tests {
         remote_write_interval(&mut adaptive, 1, 2);
         remote_write_interval(&mut ft2, 1, 2);
         assert!(adaptive[1].is_home(obj_x()), "AT migrates at the 2nd fault");
-        assert!(!ft2[1].is_home(obj_x()), "FT2 needs C=2 before the next fault");
+        assert!(
+            !ft2[1].is_home(obj_x()),
+            "FT2 needs C=2 before the next fault"
+        );
         remote_write_interval(&mut ft2, 1, 3);
         assert!(ft2[1].is_home(obj_x()), "FT2 migrates once C reaches 2");
     }
@@ -901,25 +1157,54 @@ mod tests {
         let mut target = NodeId(0);
         loop {
             match e[target.index()].handle_object_request(obj, NodeId(2), false, hops) {
-                ObjectRequestOutcome::Reply { data, version, migration, .. } => {
+                ObjectRequestOutcome::Reply {
+                    data,
+                    version,
+                    migration,
+                    ..
+                } => {
                     assert!(migration.is_none(), "a reader must not steal the home");
                     e[2].install_object(obj, data, version, migration);
                     break;
                 }
-                ObjectRequestOutcome::Redirect { hint } => {
-                    e[2].note_redirect(obj, hint);
+                ObjectRequestOutcome::Redirect { hint, epoch } => {
+                    e[2].note_redirect(obj, hint, epoch);
                     hops += 1;
                     target = hint;
                 }
+                other => panic!("unexpected outcome {other:?}"),
             }
         }
         assert_eq!(hops, 1);
         assert_eq!(e[0].stats().redirections_served, 1);
         assert_eq!(e[2].stats().redirections_suffered, 1);
+        assert_eq!(e[2].home_hint(obj), NodeId(1), "the fresh hint was adopted");
         assert_eq!(e[2].plan_read(obj), AccessPlan::LocalHit);
         e[2].with_object(obj, |d| assert_eq!(d.bytes()[0], 2));
         // The redirection became negative feedback at the current home.
         assert_eq!(e[1].migration_state(obj).unwrap().redirected_requests, 1);
+    }
+
+    #[test]
+    fn stale_hints_are_not_adopted() {
+        let mut e = engines(ProtocolConfig::adaptive());
+        let obj = obj_x();
+        // Home migrates 0 -> 1 (epoch 1); node 1's belief points at itself.
+        remote_write_interval(&mut e, 1, 1);
+        remote_write_interval(&mut e, 1, 2);
+        assert!(e[1].is_home(obj));
+        // A stale hint claiming node 0 (epoch 0) must not regress node 2's
+        // belief once it has adopted epoch 1, and a self-hint must never be
+        // adopted at all.
+        assert!(e[2].note_redirect(obj, NodeId(1), 1), "fresh hint adopted");
+        assert_eq!(e[2].home_hint(obj), NodeId(1));
+        assert!(
+            !e[2].note_redirect(obj, NodeId(0), 0),
+            "stale hint rejected"
+        );
+        assert_eq!(e[2].home_hint(obj), NodeId(1));
+        assert!(!e[2].note_redirect(obj, NodeId(2), 5), "self hint rejected");
+        assert_eq!(e[2].home_hint(obj), NodeId(1));
     }
 
     #[test]
@@ -955,9 +1240,17 @@ mod tests {
         let cfg = ProtocolConfig::no_migration().with_migration(MigrationPolicy::MigrateOnRequest);
         let mut e = engines(cfg);
         remote_write_interval(&mut e, 1, 1);
-        assert!(e[1].is_home(obj_x()), "JUMP migrates on the very first write fault");
+        assert!(
+            e[1].is_home(obj_x()),
+            "JUMP migrates on the very first write fault"
+        );
         remote_write_interval(&mut e, 2, 2);
-        assert!(e[2].is_home(obj_x()), "JUMP migrates again to the next writer");
+        assert!(
+            e[2].is_home(obj_x()),
+            "JUMP migrates again to the next writer"
+        );
+        // Epochs advanced monotonically along the migrations.
+        assert_eq!(e[2].home_epoch(obj_x()), 2);
     }
 
     #[test]
@@ -1015,23 +1308,35 @@ mod tests {
         e[1].begin_interval();
         assert!(matches!(e[1].plan_write(obj), AccessPlan::Fetch { .. }));
         match e[0].handle_object_request(obj, NodeId(1), true, 0) {
-            ObjectRequestOutcome::Reply { migration, notify, .. } => {
+            ObjectRequestOutcome::Reply {
+                migration, notify, ..
+            } => {
                 assert!(migration.is_some());
-                assert_eq!(notify, vec![NodeId(2)], "everyone except old home and requester");
+                assert_eq!(
+                    notify,
+                    vec![NodeId(2)],
+                    "everyone except old home and requester"
+                );
             }
             other => panic!("expected reply, got {other:?}"),
         }
     }
 
     #[test]
-    fn home_notify_updates_hint() {
+    fn home_notify_updates_hint_monotonically() {
         let mut e = engines(ProtocolConfig::adaptive());
         let obj = obj_x();
-        e[2].handle_home_notify(obj, NodeId(1));
+        e[2].handle_home_notify(obj, NodeId(1), 1);
         assert_eq!(e[2].home_hint(obj), NodeId(1));
         assert_eq!(e[2].handle_home_lookup(obj), NodeId(1));
+        // An older notify does not regress the belief.
+        e[2].handle_home_notify(obj, NodeId(0), 0);
+        assert_eq!(e[2].home_hint(obj), NodeId(1));
+        // A newer one advances it.
+        e[2].handle_home_notify(obj, NodeId(0), 2);
+        assert_eq!(e[2].home_hint(obj), NodeId(0));
         // A notify to the actual home does not confuse it.
-        e[0].handle_home_notify(obj, NodeId(1));
+        e[0].handle_home_notify(obj, NodeId(1), 3);
         assert_eq!(e[0].home_hint(obj), NodeId(0));
     }
 
@@ -1043,7 +1348,12 @@ mod tests {
         e[1].begin_interval();
         if let AccessPlan::Fetch { target } = e[1].plan_read(obj) {
             match e[target.index()].handle_object_request(obj, NodeId(1), false, 0) {
-                ObjectRequestOutcome::Reply { data, version, migration, .. } => {
+                ObjectRequestOutcome::Reply {
+                    data,
+                    version,
+                    migration,
+                    ..
+                } => {
                     e[1].install_object(obj, data, version, migration);
                 }
                 other => panic!("unexpected {other:?}"),
@@ -1064,7 +1374,12 @@ mod tests {
         e[1].begin_interval();
         if let AccessPlan::Fetch { target } = e[1].plan_write(obj) {
             match e[target.index()].handle_object_request(obj, NodeId(1), true, 0) {
-                ObjectRequestOutcome::Reply { data, version, migration, .. } => {
+                ObjectRequestOutcome::Reply {
+                    data,
+                    version,
+                    migration,
+                    ..
+                } => {
                     e[1].install_object(obj, data, version, migration);
                 }
                 other => panic!("unexpected {other:?}"),

@@ -5,14 +5,13 @@
 //! the statistics that reproduce the paper's message-count and
 //! network-traffic figures.
 
-use dsm_objspace::{BarrierId, Diff, LockId, NodeId, ObjectId, Version};
 use dsm_net::MsgCategory;
-use serde::{Deserialize, Serialize};
+use dsm_objspace::{BarrierId, Diff, LockId, NodeId, ObjectId, Version};
 
 /// Identifier matching a reply to the request that a node thread is blocked
 /// on. Allocated per requesting node; never interpreted by the receiver
 /// beyond echoing it back.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ReqId(pub u64);
 
 /// State shipped with a migrating home (threshold and history), defined in
@@ -20,7 +19,7 @@ pub struct ReqId(pub u64);
 pub use crate::engine::MigrationGrant;
 
 /// A protocol message.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum ProtocolMsg {
     /// Fault-in request for an object, sent to the believed home.
     ObjectRequest {
@@ -59,6 +58,9 @@ pub enum ProtocolMsg {
         obj: ObjectId,
         /// Where the sender believes the home is now.
         new_home: NodeId,
+        /// The home epoch the sender believes `new_home` became home at
+        /// (0 for routing-only hints such as a pointer to the manager).
+        epoch: u32,
     },
     /// Diff propagation to the home at release time.
     DiffFlush {
@@ -90,6 +92,8 @@ pub enum ProtocolMsg {
         obj: ObjectId,
         /// Where the sender believes the home is now.
         new_home: NodeId,
+        /// The home epoch the sender believes `new_home` became home at.
+        epoch: u32,
     },
     /// Lock acquire request, sent to the lock's manager node.
     LockAcquire {
@@ -140,6 +144,9 @@ pub enum ProtocolMsg {
         obj: ObjectId,
         /// The new home.
         new_home: NodeId,
+        /// The home epoch `new_home` became home at, so stale notifications
+        /// can never overwrite fresher beliefs.
+        epoch: u32,
     },
     /// Query to the home manager: where is the home of `obj` now?
     HomeLookup {
@@ -264,6 +271,7 @@ mod tests {
             req: ReqId(1),
             obj: ObjectId::derive("x", 0),
             new_home: NodeId(2),
+            epoch: 1,
         };
         assert_eq!(redirect.category(), MsgCategory::Redirect);
         let diff = ProtocolMsg::DiffFlush {

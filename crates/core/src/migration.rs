@@ -24,10 +24,9 @@
 //! ownership transfer capped at a maximum number of transitions.
 
 use dsm_objspace::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// The home migration policy, selected once per experiment run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MigrationPolicy {
     /// Never migrate (the paper's `NoHM` / `NM` baseline).
     NoMigration,
@@ -102,7 +101,7 @@ impl MigrationPolicy {
 /// Field names follow §4.2 of the paper: `C_i` consecutive remote writes,
 /// `T_i` the adaptive threshold, `R_i` redirected requests and `E_i`
 /// exclusive home writes since the previous migration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MigrationState {
     /// `C_i`: consecutive remote writes from `last_remote_writer`, not
     /// interleaved with writes from the home or from other remote nodes.
@@ -230,8 +229,8 @@ impl MigrationState {
                 ..
             } => {
                 let alpha = self.alpha(policy, object_bytes, half_peak_len);
-                let feedback = self.redirected_requests as f64
-                    - alpha * self.exclusive_home_writes as f64;
+                let feedback =
+                    self.redirected_requests as f64 - alpha * self.exclusive_home_writes as f64;
                 (self.threshold_base + lambda * feedback).max(*initial_threshold)
             }
             MigrationPolicy::MigrateOnRequest => 0.0,
@@ -278,7 +277,9 @@ impl MigrationState {
         MigrationState {
             consecutive_remote_writes: 0,
             last_remote_writer: None,
-            threshold_base: self.current_threshold(policy, object_bytes, half_peak_len).min(1e9),
+            threshold_base: self
+                .current_threshold(policy, object_bytes, half_peak_len)
+                .min(1e9),
             redirected_requests: 0,
             exclusive_home_writes: 0,
             last_write_was_home: false,
@@ -356,7 +357,13 @@ mod tests {
         for _ in 0..100 {
             s.record_remote_write(NodeId(1), 100);
         }
-        assert!(!s.should_migrate(&MigrationPolicy::NoMigration, NodeId(1), true, OBJ, HALF_PEAK));
+        assert!(!s.should_migrate(
+            &MigrationPolicy::NoMigration,
+            NodeId(1),
+            true,
+            OBJ,
+            HALF_PEAK
+        ));
         assert!(s
             .current_threshold(&MigrationPolicy::NoMigration, OBJ, HALF_PEAK)
             .is_infinite());
@@ -390,7 +397,10 @@ mod tests {
         let mut s = MigrationState::new();
         s.record_redirections(3);
         let t = s.current_threshold(&adaptive(), OBJ, HALF_PEAK);
-        assert!((t - 4.0).abs() < 1e-12, "T = 1 + 3 redirections = 4, got {t}");
+        assert!(
+            (t - 4.0).abs() < 1e-12,
+            "T = 1 + 3 redirections = 4, got {t}"
+        );
         // Migration now requires 4 consecutive writes from the same node.
         s.record_remote_write(NodeId(1), 100);
         s.record_remote_write(NodeId(1), 100);
@@ -410,7 +420,10 @@ mod tests {
         s.record_home_write(); // exclusive
         s.record_home_write(); // exclusive
         let after = s.current_threshold(&adaptive(), OBJ, HALF_PEAK);
-        assert!(after < before, "exclusive home writes must lower T ({before} -> {after})");
+        assert!(
+            after < before,
+            "exclusive home writes must lower T ({before} -> {after})"
+        );
     }
 
     #[test]
@@ -420,7 +433,10 @@ mod tests {
             s.record_home_write();
         }
         let t = s.current_threshold(&adaptive(), OBJ, HALF_PEAK);
-        assert!((t - 1.0).abs() < 1e-12, "threshold is clamped at T_init, got {t}");
+        assert!(
+            (t - 1.0).abs() < 1e-12,
+            "threshold is clamped at T_init, got {t}"
+        );
     }
 
     #[test]
@@ -455,8 +471,20 @@ mod tests {
     #[test]
     fn jump_policy_migrates_on_any_write_fault() {
         let s = MigrationState::new();
-        assert!(s.should_migrate(&MigrationPolicy::MigrateOnRequest, NodeId(5), true, OBJ, HALF_PEAK));
-        assert!(!s.should_migrate(&MigrationPolicy::MigrateOnRequest, NodeId(5), false, OBJ, HALF_PEAK));
+        assert!(s.should_migrate(
+            &MigrationPolicy::MigrateOnRequest,
+            NodeId(5),
+            true,
+            OBJ,
+            HALF_PEAK
+        ));
+        assert!(!s.should_migrate(
+            &MigrationPolicy::MigrateOnRequest,
+            NodeId(5),
+            false,
+            OBJ,
+            HALF_PEAK
+        ));
     }
 
     #[test]
@@ -464,7 +492,10 @@ mod tests {
         let policy = MigrationPolicy::lazy_flushing();
         let mut s = MigrationState::new();
         for i in 0..5 {
-            assert!(s.should_migrate(&policy, NodeId(1), true, OBJ, HALF_PEAK), "transition {i}");
+            assert!(
+                s.should_migrate(&policy, NodeId(1), true, OBJ, HALF_PEAK),
+                "transition {i}"
+            );
             s = s.migrate(&policy, OBJ, HALF_PEAK);
         }
         assert_eq!(s.migrations, 5);
@@ -515,7 +546,10 @@ mod tests {
         }
         // The first burst may trigger a migration or two, but feedback must
         // shut the behaviour down: far fewer migrations than rounds.
-        assert!(migrations <= 3, "adaptive policy kept migrating: {migrations}");
+        assert!(
+            migrations <= 3,
+            "adaptive policy kept migrating: {migrations}"
+        );
 
         // The fixed threshold 1 policy, by contrast, migrates every burst.
         let ft1 = MigrationPolicy::fixed(1);
@@ -531,7 +565,10 @@ mod tests {
                 }
             }
         }
-        assert!(ft1_migrations >= 15, "FT1 should migrate every burst: {ft1_migrations}");
+        assert!(
+            ft1_migrations >= 15,
+            "FT1 should migrate every burst: {ft1_migrations}"
+        );
     }
 
     #[test]
@@ -551,6 +588,9 @@ mod tests {
             at_new_home.record_home_write();
         }
         let t = at_new_home.current_threshold(&policy, OBJ, HALF_PEAK);
-        assert!((t - 1.0).abs() < 1e-12, "threshold should be back at T_init, got {t}");
+        assert!(
+            (t - 1.0).abs() < 1e-12,
+            "threshold should be back at T_init, got {t}"
+        );
     }
 }

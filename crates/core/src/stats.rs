@@ -5,10 +5,8 @@
 //! redirections and diff volume. The harness merges them across nodes into
 //! the experiment report.
 
-use serde::{Deserialize, Serialize};
-
 /// Protocol event counters for one node (or, after merging, a whole run).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProtocolStats {
     /// Reads served from a valid local copy (home or cached).
     pub local_read_hits: u64,

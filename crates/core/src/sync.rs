@@ -12,11 +12,10 @@
 
 use crate::messages::ReqId;
 use dsm_objspace::{BarrierId, LockId, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// Outcome of a lock acquire request at the manager.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LockAcquireOutcome {
     /// The lock was free; the requester may proceed immediately.
     Granted,
@@ -26,7 +25,7 @@ pub enum LockAcquireOutcome {
 }
 
 /// Outcome of a lock release at the manager.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LockReleaseOutcome {
     /// If a node was waiting, the manager must now send it a grant (node and
     /// the request id it is blocked on).
@@ -34,7 +33,7 @@ pub struct LockReleaseOutcome {
 }
 
 /// Outcome of a barrier arrival at the manager.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BarrierOutcome {
     /// Not all nodes have arrived yet; the arriving node stays blocked.
     Waiting,
@@ -187,16 +186,28 @@ mod tests {
     #[test]
     fn free_lock_is_granted_immediately() {
         let mut m = LockManager::new();
-        assert_eq!(m.acquire(L, NodeId(0), ReqId(1)), LockAcquireOutcome::Granted);
+        assert_eq!(
+            m.acquire(L, NodeId(0), ReqId(1)),
+            LockAcquireOutcome::Granted
+        );
         assert_eq!(m.holder(L), Some(NodeId(0)));
     }
 
     #[test]
     fn contended_lock_queues_and_grants_in_fifo_order() {
         let mut m = LockManager::new();
-        assert_eq!(m.acquire(L, NodeId(0), ReqId(1)), LockAcquireOutcome::Granted);
-        assert_eq!(m.acquire(L, NodeId(1), ReqId(2)), LockAcquireOutcome::Queued);
-        assert_eq!(m.acquire(L, NodeId(2), ReqId(3)), LockAcquireOutcome::Queued);
+        assert_eq!(
+            m.acquire(L, NodeId(0), ReqId(1)),
+            LockAcquireOutcome::Granted
+        );
+        assert_eq!(
+            m.acquire(L, NodeId(1), ReqId(2)),
+            LockAcquireOutcome::Queued
+        );
+        assert_eq!(
+            m.acquire(L, NodeId(2), ReqId(3)),
+            LockAcquireOutcome::Queued
+        );
         assert_eq!(m.queue_len(L), 2);
 
         let out = m.release(L, NodeId(0));
@@ -215,8 +226,14 @@ mod tests {
     fn independent_locks_do_not_interfere() {
         let mut m = LockManager::new();
         let l2 = LockId(2);
-        assert_eq!(m.acquire(L, NodeId(0), ReqId(1)), LockAcquireOutcome::Granted);
-        assert_eq!(m.acquire(l2, NodeId(1), ReqId(2)), LockAcquireOutcome::Granted);
+        assert_eq!(
+            m.acquire(L, NodeId(0), ReqId(1)),
+            LockAcquireOutcome::Granted
+        );
+        assert_eq!(
+            m.acquire(l2, NodeId(1), ReqId(2)),
+            LockAcquireOutcome::Granted
+        );
         assert_eq!(m.holder(L), Some(NodeId(0)));
         assert_eq!(m.holder(l2), Some(NodeId(1)));
     }

@@ -22,10 +22,9 @@
 //! sensitivity ablation.
 
 use crate::network::HockneyModel;
-use serde::{Deserialize, Serialize};
 
 /// Inputs to the coefficient computation for one object.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoefficientInputs {
     /// Object size `o` in bytes (payload of one object fault-in reply).
     pub object_bytes: u64,

@@ -14,10 +14,9 @@
 //! nanosecond on these memory-bound kernels.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Linear computation cost model: `cost(n_ops) = n_ops * ns_per_op`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputeModel {
     /// Cost of one abstract application operation, in nanoseconds.
     pub ns_per_op: f64,

@@ -20,10 +20,9 @@
 //! relies on.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the Hockney model for one interconnect.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HockneyModel {
     /// Start-up time `t0` in microseconds (per-message fixed overhead).
     pub startup_us: f64,
@@ -91,7 +90,7 @@ impl HockneyModel {
 }
 
 /// A named interconnect configuration used by the experiment harness.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkParams {
     /// Point-to-point cost model.
     pub hockney: HockneyModel,
@@ -259,7 +258,10 @@ mod tests {
         let one = p.broadcast_cost(64, 1);
         let eight = p.broadcast_cost(64, 8);
         let diff = (eight.as_nanos() as i64 - one.as_nanos() as i64 * 8).abs();
-        assert!(diff <= 8, "broadcast cost should scale ~linearly, diff={diff}ns");
+        assert!(
+            diff <= 8,
+            "broadcast cost should scale ~linearly, diff={diff}ns"
+        );
     }
 
     #[test]

@@ -8,11 +8,10 @@
 //! category so the harness can reproduce exactly that breakdown, and keep the
 //! remaining categories separate for completeness.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Category of a protocol message, following the paper's breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum MsgCategory {
     /// Object fault-in request (a *remote read* from the home's viewpoint).
     ObjRequest,

@@ -1,4 +1,4 @@
-//! The crossbeam-channel full-mesh fabric connecting node threads.
+//! The channel-based full-mesh fabric connecting node threads.
 //!
 //! Each simulated cluster node owns one [`Endpoint`]. Sending stamps the
 //! envelope with the Hockney-model arrival time, records statistics, and
@@ -9,9 +9,9 @@
 use crate::category::MsgCategory;
 use crate::envelope::{Envelope, MESSAGE_HEADER_BYTES};
 use crate::stats::StatsCollector;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dsm_model::{NetworkParams, SimTime};
 use dsm_objspace::NodeId;
+use dsm_util::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
 /// Factory for the endpoints of an `n`-node cluster.
@@ -118,11 +118,16 @@ impl<M: Send> Endpoint<M> {
             arrival,
             payload,
         };
-        self.senders
+        let delivered = self
+            .senders
             .get(dst.index())
             .unwrap_or_else(|| panic!("destination {dst} out of range"))
             .send(envelope)
-            .expect("destination endpoint dropped while cluster is running");
+            .is_ok();
+        assert!(
+            delivered,
+            "destination endpoint dropped while cluster is running"
+        );
         arrival
     }
 
@@ -131,7 +136,7 @@ impl<M: Send> Endpoint<M> {
     /// Returns `None` when every sender (i.e. every other endpoint clone)
     /// has been dropped, which the runtime uses for orderly shutdown.
     pub fn recv(&self) -> Option<Envelope<M>> {
-        self.receiver.recv().ok()
+        self.receiver.recv()
     }
 
     /// Receive with a real-time timeout; used by protocol server loops so
@@ -142,7 +147,7 @@ impl<M: Send> Endpoint<M> {
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Envelope<M>> {
-        self.receiver.try_recv().ok()
+        self.receiver.try_recv()
     }
 
     /// Number of messages currently queued for this node.
@@ -188,7 +193,10 @@ mod tests {
         assert_eq!(env.dst, NodeId(1));
         assert_eq!(env.payload, "hello");
         assert_eq!(env.arrival, arrival);
-        assert!(env.arrival > env.sent_at, "Hockney latency must be positive");
+        assert!(
+            env.arrival > env.sent_at,
+            "Hockney latency must be positive"
+        );
         assert_eq!(env.wire_bytes, 8 + MESSAGE_HEADER_BYTES);
 
         let snap = stats.snapshot();

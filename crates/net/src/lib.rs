@@ -12,7 +12,7 @@
 //!   "network traffic" series of Figures 3 and 5(b).
 //! * [`Envelope`] — a message in flight, carrying virtual-time send and
 //!   arrival stamps computed with the Hockney model from `dsm-model`.
-//! * [`Fabric`] / [`Endpoint`] — a crossbeam-channel based full mesh between
+//! * [`Fabric`] / [`Endpoint`] — a channel-based full mesh between
 //!   node threads. Sending is non-blocking; each node's protocol server
 //!   drains its endpoint. The fabric also offers a deterministic single-
 //!   threaded [`Loopback`] used by protocol unit tests.

@@ -96,11 +96,31 @@ mod tests {
 
     #[test]
     fn fifo_per_destination() {
-        let mut lb: Loopback<u32> =
-            Loopback::new(3, NetworkParams::ideal(), StatsCollector::new());
-        lb.send(NodeId(0), NodeId(2), MsgCategory::Control, 0, SimTime::ZERO, 1);
-        lb.send(NodeId(1), NodeId(2), MsgCategory::Control, 0, SimTime::ZERO, 2);
-        lb.send(NodeId(0), NodeId(1), MsgCategory::Control, 0, SimTime::ZERO, 3);
+        let mut lb: Loopback<u32> = Loopback::new(3, NetworkParams::ideal(), StatsCollector::new());
+        lb.send(
+            NodeId(0),
+            NodeId(2),
+            MsgCategory::Control,
+            0,
+            SimTime::ZERO,
+            1,
+        );
+        lb.send(
+            NodeId(1),
+            NodeId(2),
+            MsgCategory::Control,
+            0,
+            SimTime::ZERO,
+            2,
+        );
+        lb.send(
+            NodeId(0),
+            NodeId(1),
+            MsgCategory::Control,
+            0,
+            SimTime::ZERO,
+            3,
+        );
         assert_eq!(lb.pending(NodeId(2)), 2);
         assert_eq!(lb.pending(NodeId(1)), 1);
         assert_eq!(lb.pending_total(), 3);
@@ -131,8 +151,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn unknown_destination_panics() {
-        let mut lb: Loopback<()> =
-            Loopback::new(1, NetworkParams::ideal(), StatsCollector::new());
-        lb.send(NodeId(0), NodeId(3), MsgCategory::Control, 0, SimTime::ZERO, ());
+        let mut lb: Loopback<()> = Loopback::new(1, NetworkParams::ideal(), StatsCollector::new());
+        lb.send(
+            NodeId(0),
+            NodeId(3),
+            MsgCategory::Control,
+            0,
+            SimTime::ZERO,
+            (),
+        );
     }
 }

@@ -6,13 +6,12 @@
 
 use crate::category::MsgCategory;
 use dsm_objspace::NodeId;
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use dsm_util::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Count and byte volume for one message category.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CategoryStats {
     /// Number of messages sent.
     pub count: u64,
@@ -35,7 +34,7 @@ impl CategoryStats {
 }
 
 /// Aggregated network statistics for a run (or one node of a run).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetworkStats {
     per_category: BTreeMap<MsgCategory, CategoryStats>,
     per_node: BTreeMap<u16, CategoryStats>,
@@ -55,7 +54,10 @@ impl NetworkStats {
 
     /// Statistics for one category.
     pub fn category(&self, category: MsgCategory) -> CategoryStats {
-        self.per_category.get(&category).copied().unwrap_or_default()
+        self.per_category
+            .get(&category)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Statistics for one sending node.

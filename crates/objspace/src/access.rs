@@ -9,10 +9,8 @@
 //! events (home read faults, home write faults, remote fetches) without any
 //! signal handling.
 
-use serde::{Deserialize, Serialize};
-
 /// Access state of one local copy (home or cached) of an object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessState {
     /// The copy may be stale (or is only a placeholder): any access faults.
     /// For a home copy this state is used purely to *trap and record* the
@@ -88,21 +86,32 @@ mod tests {
 
     #[test]
     fn write_always_leads_to_read_write() {
-        for s in [AccessState::Invalid, AccessState::ReadOnly, AccessState::ReadWrite] {
+        for s in [
+            AccessState::Invalid,
+            AccessState::ReadOnly,
+            AccessState::ReadWrite,
+        ] {
             assert_eq!(s.after_write(), AccessState::ReadWrite);
         }
     }
 
     #[test]
     fn release_demotes_write_permission() {
-        assert_eq!(AccessState::ReadWrite.after_release(), AccessState::ReadOnly);
+        assert_eq!(
+            AccessState::ReadWrite.after_release(),
+            AccessState::ReadOnly
+        );
         assert_eq!(AccessState::ReadOnly.after_release(), AccessState::ReadOnly);
         assert_eq!(AccessState::Invalid.after_release(), AccessState::Invalid);
     }
 
     #[test]
     fn invalidate_always_invalid() {
-        for s in [AccessState::Invalid, AccessState::ReadOnly, AccessState::ReadWrite] {
+        for s in [
+            AccessState::Invalid,
+            AccessState::ReadOnly,
+            AccessState::ReadWrite,
+        ] {
             assert_eq!(s.after_invalidate(), AccessState::Invalid);
         }
     }

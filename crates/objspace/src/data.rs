@@ -1,77 +1,116 @@
 //! Payload of one coherence unit.
 //!
-//! [`ObjectData`] is an owned, dynamically-sized byte buffer with typed
+//! [`ObjectData`] is an owned, dynamically-sized buffer with typed
 //! accessors. The home copy of every object and every cached copy hold one
 //! `ObjectData`; twins are snapshots of it and diffs are deltas between two
 //! of them.
+//!
+//! The storage is 8-byte aligned (a `Vec<u64>` internally), which lets the
+//! same buffer be viewed either as raw bytes — what twins, diffs and the
+//! wire protocol operate on — or **borrowed in place** as a typed element
+//! slice through [`ObjectData::as_slice`] / [`ObjectData::as_mut_slice`].
+//! The borrowed views are what the runtime's `ReadView`/`WriteView` guards
+//! expose to applications: accesses at the home touch the engine's storage
+//! directly, with no decode/encode round-trip through a `Vec<T>`.
 
-use crate::element::{decode_slice, encode_slice, Element};
-use serde::{Deserialize, Serialize};
+use crate::element::Element;
+use crate::raw;
 
-/// The byte payload of a shared object.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// The payload of a shared object.
+#[derive(Debug, Clone)]
 pub struct ObjectData {
-    bytes: Vec<u8>,
+    /// 8-byte-aligned backing storage; only the first `len` bytes are
+    /// payload, and the tail of the last word stays zeroed so buffer
+    /// comparisons can ignore it.
+    words: Vec<u64>,
+    len: usize,
 }
 
 impl ObjectData {
+    fn with_capacity_bytes(len: usize) -> Self {
+        ObjectData {
+            words: vec![0; len.div_ceil(8)],
+            len,
+        }
+    }
+
     /// Create a zero-filled object of `len` bytes (the state of a freshly
     /// allocated Java object / array).
     pub fn zeroed(len: usize) -> Self {
-        ObjectData {
-            bytes: vec![0; len],
-        }
+        ObjectData::with_capacity_bytes(len)
     }
 
     /// Create an object from raw bytes.
     pub fn from_bytes(bytes: Vec<u8>) -> Self {
-        ObjectData { bytes }
+        let mut data = ObjectData::with_capacity_bytes(bytes.len());
+        data.bytes_mut().copy_from_slice(&bytes);
+        data
     }
 
     /// Create an object holding the encoding of a typed slice.
     pub fn from_elements<T: Element>(values: &[T]) -> Self {
-        ObjectData {
-            bytes: encode_slice(values),
-        }
+        let mut data = ObjectData::with_capacity_bytes(values.len() * T::SIZE);
+        data.as_mut_slice::<T>().copy_from_slice(values);
+        data
     }
 
     /// Size of the payload in bytes. This is the `o` of the home access
     /// coefficient (Appendix A).
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        self.len
     }
 
     /// Whether the payload is empty.
     pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
+        self.len == 0
     }
 
     /// Raw byte view.
     pub fn bytes(&self) -> &[u8] {
-        &self.bytes
+        raw::bytes_of(&self.words, self.len)
     }
 
     /// Mutable raw byte view.
     pub fn bytes_mut(&mut self) -> &mut [u8] {
-        &mut self.bytes
+        raw::bytes_of_mut(&mut self.words, self.len)
     }
 
     /// Consume into raw bytes.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.bytes
+        self.bytes().to_vec()
     }
 
-    /// Decode the whole payload as a typed vector.
+    /// Borrow the whole payload as a typed slice, in place — the zero-copy
+    /// read path of the GOS.
+    ///
+    /// # Panics
+    /// Panics if the payload length is not a multiple of the element size.
+    pub fn as_slice<T: Element>(&self) -> &[T] {
+        raw::cast_slice(self.bytes())
+    }
+
+    /// Mutably borrow the whole payload as a typed slice, in place — the
+    /// zero-copy write path of the GOS.
+    ///
+    /// # Panics
+    /// Panics if the payload length is not a multiple of the element size.
+    pub fn as_mut_slice<T: Element>(&mut self) -> &mut [T] {
+        raw::cast_slice_mut(self.bytes_mut())
+    }
+
+    /// Decode the whole payload into an owned typed vector. Prefer
+    /// [`Self::as_slice`] on hot paths; this exists for callers that need
+    /// ownership (result gathering, tests).
     ///
     /// # Panics
     /// Panics if the payload length is not a multiple of the element size.
     pub fn as_elements<T: Element>(&self) -> Vec<T> {
-        decode_slice(&self.bytes)
+        self.as_slice::<T>().to_vec()
     }
 
     /// Number of typed elements in the payload.
     pub fn element_count<T: Element>(&self) -> usize {
-        self.bytes.len() / T::SIZE
+        self.len / T::SIZE
     }
 
     /// Read one typed element at element index `idx`.
@@ -79,10 +118,9 @@ impl ObjectData {
     /// # Panics
     /// Panics if `idx` is out of range.
     pub fn get<T: Element>(&self, idx: usize) -> T {
-        let start = idx * T::SIZE;
-        let end = start + T::SIZE;
-        assert!(end <= self.bytes.len(), "element index {idx} out of range");
-        T::read_from(&self.bytes[start..end])
+        let slice = self.as_slice::<T>();
+        assert!(idx < slice.len(), "element index {idx} out of range");
+        slice[idx]
     }
 
     /// Overwrite one typed element at element index `idx`.
@@ -90,10 +128,9 @@ impl ObjectData {
     /// # Panics
     /// Panics if `idx` is out of range.
     pub fn set<T: Element>(&mut self, idx: usize, value: T) {
-        let start = idx * T::SIZE;
-        let end = start + T::SIZE;
-        assert!(end <= self.bytes.len(), "element index {idx} out of range");
-        value.store_into(&mut self.bytes[start..end]);
+        let slice = self.as_mut_slice::<T>();
+        assert!(idx < slice.len(), "element index {idx} out of range");
+        slice[idx] = value;
     }
 
     /// Overwrite the whole payload from a typed slice.
@@ -103,13 +140,12 @@ impl ObjectData {
     /// (coherence units never change size after allocation, mirroring Java
     /// arrays).
     pub fn overwrite_elements<T: Element>(&mut self, values: &[T]) {
-        let encoded = encode_slice(values);
         assert_eq!(
-            encoded.len(),
-            self.bytes.len(),
+            values.len() * T::SIZE,
+            self.len,
             "object payload size is fixed at allocation time"
         );
-        self.bytes = encoded;
+        self.as_mut_slice::<T>().copy_from_slice(values);
     }
 
     /// Overwrite the whole payload from raw bytes of identical length.
@@ -119,16 +155,25 @@ impl ObjectData {
     pub fn overwrite_bytes(&mut self, bytes: &[u8]) {
         assert_eq!(
             bytes.len(),
-            self.bytes.len(),
+            self.len,
             "object payload size is fixed at allocation time"
         );
-        self.bytes.copy_from_slice(bytes);
+        self.bytes_mut().copy_from_slice(bytes);
     }
 }
+
+impl PartialEq for ObjectData {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes() == other.bytes()
+    }
+}
+
+impl Eq for ObjectData {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::element::encode_slice;
 
     #[test]
     fn zeroed_object_is_all_zero() {
@@ -146,6 +191,16 @@ mod tests {
         assert_eq!(d.element_count::<f64>(), 3);
         assert_eq!(d.as_elements::<f64>(), vec![1.5, -2.5, 3.0]);
         assert_eq!(d.get::<f64>(1), -2.5);
+    }
+
+    #[test]
+    fn borrowed_views_alias_the_storage() {
+        let mut d = ObjectData::from_elements(&[1u32, 2, 3, 4]);
+        d.as_mut_slice::<u32>()[2] = 99;
+        assert_eq!(d.as_slice::<u32>(), &[1, 2, 99, 4]);
+        // The byte view sees the same storage the typed view wrote.
+        assert_eq!(d.get::<u32>(2), 99);
+        assert_eq!(encode_slice(&[99u32]), &d.bytes()[8..12]);
     }
 
     #[test]
@@ -184,11 +239,32 @@ mod tests {
         let d = ObjectData::zeroed(0);
         assert!(d.is_empty());
         assert_eq!(d.element_count::<u8>(), 0);
+        assert!(d.as_slice::<u64>().is_empty());
     }
 
     #[test]
     fn into_bytes_returns_payload() {
         let d = ObjectData::from_elements(&[7u8, 8, 9]);
         assert_eq!(d.into_bytes(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn equality_ignores_buffer_padding() {
+        // 3-byte payloads occupy one word; the padding tail must not affect
+        // equality.
+        let a = ObjectData::from_bytes(vec![1, 2, 3]);
+        let b = ObjectData::from_bytes(vec![1, 2, 3]);
+        let c = ObjectData::from_bytes(vec![1, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn odd_lengths_are_supported() {
+        let mut d = ObjectData::from_bytes((0..13u8).collect());
+        assert_eq!(d.len(), 13);
+        d.bytes_mut()[12] = 99;
+        assert_eq!(d.bytes()[12], 99);
+        assert_eq!(d.element_count::<u32>(), 3);
     }
 }

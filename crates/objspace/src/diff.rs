@@ -11,10 +11,9 @@
 //! (Appendix A).
 
 use crate::data::ObjectData;
-use serde::{Deserialize, Serialize};
 
 /// One contiguous modified byte range.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DiffRun {
     /// Byte offset of the run within the object.
     pub offset: u32,
@@ -23,7 +22,7 @@ pub struct DiffRun {
 }
 
 /// A complete diff for one object and one interval.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Diff {
     runs: Vec<DiffRun>,
     /// Length of the object the diff was computed against, used to validate

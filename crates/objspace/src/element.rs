@@ -1,17 +1,35 @@
-//! Safe typed views over object payload bytes.
+//! Typed views over object payload bytes.
 //!
-//! The paper's coherence unit is a Java object; our applications mostly share
-//! numeric arrays (matrix rows, particle blocks, counters). The [`Element`]
-//! trait converts between such typed values and the little-endian byte
-//! representation stored in [`crate::ObjectData`], without any `unsafe`
-//! transmutes.
+//! The paper's coherence unit is a Java object; our applications mostly
+//! share numeric arrays (matrix rows, particle blocks, counters). The
+//! [`Element`] trait ties such value types to their byte representation in
+//! [`crate::ObjectData`].
+//!
+//! `Element` is **sealed** to the primitive numeric types. The runtime's
+//! zero-copy views reinterpret payload storage as `&[T]`/`&mut [T]`
+//! directly, which is only sound for plain-old-data types (no padding, all
+//! bit patterns valid, alignment at most 8); sealing keeps that property a
+//! crate-local invariant instead of a contract every downstream implementor
+//! would have to uphold. Elements are encoded in native byte order — the
+//! simulated cluster lives in one process, so payloads never cross a real
+//! machine boundary.
+
+mod sealed {
+    /// Marker restricting [`super::Element`] to the crate's POD primitives.
+    pub trait Pod {}
+}
 
 /// A fixed-size plain-old-data element that can live inside a shared object.
-pub trait Element: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+///
+/// Implemented for `u8`–`u64`, `i8`–`i64`, `f32` and `f64`; sealed against
+/// downstream implementations (see the module docs for why).
+pub trait Element:
+    sealed::Pod + Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static
+{
     /// Size of the element in bytes inside the object payload.
     const SIZE: usize;
 
-    /// Append the little-endian encoding of `self` to `out`.
+    /// Append the native-endian encoding of `self` to `out`.
     fn write_to(&self, out: &mut Vec<u8>);
 
     /// Decode one element from exactly `Self::SIZE` bytes.
@@ -28,28 +46,30 @@ pub trait Element: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
     }
 }
 
-macro_rules! impl_element_for_int {
+macro_rules! impl_element_for_pod {
     ($($ty:ty),*) => {
         $(
+            impl sealed::Pod for $ty {}
+
             impl Element for $ty {
                 const SIZE: usize = std::mem::size_of::<$ty>();
 
                 fn write_to(&self, out: &mut Vec<u8>) {
-                    out.extend_from_slice(&self.to_le_bytes());
+                    out.extend_from_slice(&self.to_ne_bytes());
                 }
 
                 fn read_from(bytes: &[u8]) -> Self {
                     let arr: [u8; std::mem::size_of::<$ty>()] = bytes
                         .try_into()
                         .expect("element slice has wrong length");
-                    <$ty>::from_le_bytes(arr)
+                    <$ty>::from_ne_bytes(arr)
                 }
             }
         )*
     };
 }
 
-impl_element_for_int!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+impl_element_for_pod!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
 
 /// Encode a slice of elements into a fresh byte vector.
 pub fn encode_slice<T: Element>(values: &[T]) -> Vec<u8> {
@@ -66,7 +86,7 @@ pub fn encode_slice<T: Element>(values: &[T]) -> Vec<u8> {
 /// Panics if the buffer length is not a multiple of the element size.
 pub fn decode_slice<T: Element>(bytes: &[u8]) -> Vec<T> {
     assert!(
-        bytes.len() % T::SIZE == 0,
+        bytes.len().is_multiple_of(T::SIZE),
         "byte length {} is not a multiple of element size {}",
         bytes.len(),
         T::SIZE
@@ -115,5 +135,13 @@ mod tests {
         let bytes = encode_slice(&values);
         assert!(bytes.is_empty());
         assert!(decode_slice::<f64>(&bytes).is_empty());
+    }
+
+    #[test]
+    fn encoding_matches_memory_representation() {
+        // The byte encoding must agree with the zero-copy reinterpretation
+        // the runtime views use: native byte order, no padding.
+        let bytes = encode_slice(&[0x0102_0304u32]);
+        assert_eq!(bytes, 0x0102_0304u32.to_ne_bytes());
     }
 }

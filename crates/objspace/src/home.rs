@@ -8,10 +8,9 @@
 //! node by a well known hash function") for the ablation experiments.
 
 use crate::id::{NodeId, ObjectId};
-use serde::{Deserialize, Serialize};
 
 /// Policy deciding the *initial* home of an object (before any migration).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HomeAssignment {
     /// The node that allocated the object is its home (the paper's default
     /// for ordinary objects).
@@ -31,7 +30,7 @@ pub enum HomeAssignment {
 /// Static description of one shared object: identity, payload size, and the
 /// information needed to compute its initial home deterministically on every
 /// node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObjectDescriptor {
     /// The object's identity.
     pub id: ObjectId,
@@ -66,9 +65,7 @@ impl ObjectDescriptor {
         match self.assignment {
             HomeAssignment::CreationNode => self.creator,
             HomeAssignment::RoundRobin => NodeId::from(self.allocation_index as usize % num_nodes),
-            HomeAssignment::Hash => {
-                NodeId::from((self.id.raw() % num_nodes as u64) as usize)
-            }
+            HomeAssignment::Hash => NodeId::from((self.id.raw() % num_nodes as u64) as usize),
             HomeAssignment::Master => NodeId::MASTER,
         }
     }
@@ -91,7 +88,10 @@ mod tests {
 
     #[test]
     fn creation_node_policy_uses_creator() {
-        assert_eq!(desc(HomeAssignment::CreationNode, 5).initial_home(8), NodeId(3));
+        assert_eq!(
+            desc(HomeAssignment::CreationNode, 5).initial_home(8),
+            NodeId(3)
+        );
     }
 
     #[test]
@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn master_policy_always_master() {
-        assert_eq!(desc(HomeAssignment::Master, 9).initial_home(16), NodeId::MASTER);
+        assert_eq!(
+            desc(HomeAssignment::Master, 9).initial_home(16),
+            NodeId::MASTER
+        );
     }
 
     #[test]

@@ -6,11 +6,10 @@
 //! the same logical object without any allocation protocol — the analogue of
 //! all JVM nodes resolving the same static field or array element.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A cluster node (one "processor" in the paper's figures).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u16);
 
 impl NodeId {
@@ -38,7 +37,7 @@ impl From<usize> for NodeId {
 
 /// A shared coherence unit (a distributed-shared Java object in the paper's
 /// GOS; an array row, a counter object, a tree node, ...).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub u64);
 
 impl ObjectId {
@@ -78,7 +77,7 @@ impl fmt::Display for ObjectId {
 }
 
 /// A distributed lock (the paper's Java monitor / `synchronized` target).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LockId(pub u32);
 
 impl LockId {
@@ -100,7 +99,7 @@ impl fmt::Display for LockId {
 /// paper's programs build barriers from lock/wait primitives; we expose them
 /// as a first-class synchronization object managed by the master node, which
 /// produces the same message pattern (arrive → release with write notices).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BarrierId(pub u32);
 
 impl fmt::Display for BarrierId {
@@ -123,17 +122,35 @@ mod tests {
 
     #[test]
     fn object_ids_are_deterministic() {
-        assert_eq!(ObjectId::derive("sor.matrix", 7), ObjectId::derive("sor.matrix", 7));
-        assert_ne!(ObjectId::derive("sor.matrix", 7), ObjectId::derive("sor.matrix", 8));
-        assert_ne!(ObjectId::derive("sor.matrix", 7), ObjectId::derive("asp.dist", 7));
+        assert_eq!(
+            ObjectId::derive("sor.matrix", 7),
+            ObjectId::derive("sor.matrix", 7)
+        );
+        assert_ne!(
+            ObjectId::derive("sor.matrix", 7),
+            ObjectId::derive("sor.matrix", 8)
+        );
+        assert_ne!(
+            ObjectId::derive("sor.matrix", 7),
+            ObjectId::derive("asp.dist", 7)
+        );
     }
 
     #[test]
     fn object_ids_have_no_collisions_for_realistic_workloads() {
         let mut seen = HashSet::new();
-        for name in ["sor.matrix", "asp.dist", "nbody.bodies", "tsp.state", "syn.counter"] {
+        for name in [
+            "sor.matrix",
+            "asp.dist",
+            "nbody.bodies",
+            "tsp.state",
+            "syn.counter",
+        ] {
             for i in 0..4096u64 {
-                assert!(seen.insert(ObjectId::derive(name, i)), "collision for {name}[{i}]");
+                assert!(
+                    seen.insert(ObjectId::derive(name, i)),
+                    "collision for {name}[{i}]"
+                );
             }
         }
     }

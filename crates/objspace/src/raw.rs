@@ -1,0 +1,136 @@
+//! Byte/element reinterpretation over the aligned payload buffer.
+//!
+//! [`crate::ObjectData`] stores its payload in a `Vec<u64>` so that the
+//! buffer is 8-byte aligned — at least the alignment of every [`Element`]
+//! type. That makes it sound to view the same storage either as raw bytes
+//! (what twins, diffs and the wire protocol operate on) or as a typed
+//! element slice (what the runtime's zero-copy views hand to applications),
+//! without ever copying or re-encoding the payload.
+//!
+//! This module contains all of the crate's `unsafe`. The safety argument
+//! rests on three facts, each enforced at compile time or checked here:
+//!
+//! 1. **Validity** — [`Element`] is sealed to the ten primitive numeric
+//!    types, all of which are plain-old-data: any bit pattern is a valid
+//!    value, and they contain no padding, so round-tripping through bytes
+//!    can neither produce an invalid value nor read uninitialized memory.
+//! 2. **Alignment** — the buffer base is aligned to 8, and
+//!    `align_of::<T>() <= 8` with `T::SIZE == size_of::<T>()` a power of
+//!    two dividing 8 for every sealed element, so element `i` at byte
+//!    offset `i * T::SIZE` from the base is aligned. Slices handed to
+//!    [`cast_slice`] always start at the buffer base.
+//! 3. **Provenance and lifetime** — every cast borrows from the `Vec<u64>`
+//!    it reinterprets, with the borrow checker enforcing the usual shared/
+//!    exclusive rules on the whole buffer.
+//!
+//! Elements are stored in **native byte order**: the cluster is simulated
+//! inside one process, so payloads never cross a real machine boundary and
+//! the typed view and the byte-level diff machinery agree by construction.
+
+#![allow(unsafe_code)]
+
+use crate::element::Element;
+
+/// View the first `len` bytes of the word buffer.
+///
+/// # Panics
+/// Panics if `len` exceeds the buffer capacity.
+pub(crate) fn bytes_of(words: &[u64], len: usize) -> &[u8] {
+    assert!(len <= words.len() * 8, "payload length exceeds buffer");
+    // SAFETY: `words` owns at least `len` initialized bytes, `u8` has
+    // alignment 1, and the returned slice borrows `words` (see module docs).
+    unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), len) }
+}
+
+/// Mutably view the first `len` bytes of the word buffer.
+///
+/// # Panics
+/// Panics if `len` exceeds the buffer capacity.
+pub(crate) fn bytes_of_mut(words: &mut [u64], len: usize) -> &mut [u8] {
+    assert!(len <= words.len() * 8, "payload length exceeds buffer");
+    // SAFETY: as in `bytes_of`, plus exclusivity inherited from `&mut words`.
+    unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), len) }
+}
+
+/// Reinterpret a payload byte slice as a typed element slice.
+///
+/// `bytes` must be a prefix view of the aligned word buffer (this is the
+/// only way the crate produces payload slices), so its base pointer carries
+/// the buffer's 8-byte alignment.
+///
+/// # Panics
+/// Panics if the slice length is not a multiple of the element size or the
+/// base pointer is misaligned for `T` (impossible for buffer-backed slices;
+/// checked defensively).
+pub(crate) fn cast_slice<T: Element>(bytes: &[u8]) -> &[T] {
+    assert!(
+        bytes.len().is_multiple_of(T::SIZE),
+        "byte length {} is not a multiple of element size {}",
+        bytes.len(),
+        T::SIZE
+    );
+    assert!(
+        (bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()),
+        "payload base is not aligned for the element type"
+    );
+    // SAFETY: length and alignment checked above; `T` is sealed POD with
+    // `T::SIZE == size_of::<T>()`; the borrow is tied to `bytes`.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / T::SIZE) }
+}
+
+/// Mutable variant of [`cast_slice`].
+///
+/// # Panics
+/// As [`cast_slice`].
+pub(crate) fn cast_slice_mut<T: Element>(bytes: &mut [u8]) -> &mut [T] {
+    assert!(
+        bytes.len().is_multiple_of(T::SIZE),
+        "byte length {} is not a multiple of element size {}",
+        bytes.len(),
+        T::SIZE
+    );
+    assert!(
+        (bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()),
+        "payload base is not aligned for the element type"
+    );
+    // SAFETY: as in `cast_slice`, plus exclusivity inherited from `bytes`.
+    unsafe { std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast::<T>(), bytes.len() / T::SIZE) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_view_roundtrip() {
+        let mut words = vec![0u64; 2];
+        bytes_of_mut(&mut words, 16).copy_from_slice(&[1u8; 16]);
+        assert!(bytes_of(&words, 16).iter().all(|&b| b == 1));
+        assert_eq!(bytes_of(&words, 3).len(), 3);
+    }
+
+    #[test]
+    fn typed_cast_roundtrip() {
+        let mut words = vec![0u64; 3];
+        {
+            let floats = cast_slice_mut::<f64>(bytes_of_mut(&mut words, 24));
+            floats.copy_from_slice(&[1.5, -2.5, 3.25]);
+        }
+        assert_eq!(cast_slice::<f64>(bytes_of(&words, 24)), &[1.5, -2.5, 3.25]);
+        assert_eq!(cast_slice::<u32>(bytes_of(&words, 24)).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of element size")]
+    fn misaligned_length_rejected() {
+        let words = vec![0u64; 1];
+        let _ = cast_slice::<f64>(bytes_of(&words, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer")]
+    fn oversized_view_rejected() {
+        let words = vec![0u64; 1];
+        let _ = bytes_of(&words, 9);
+    }
+}

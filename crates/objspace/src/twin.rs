@@ -8,11 +8,10 @@
 
 use crate::data::ObjectData;
 use crate::diff::Diff;
-use serde::{Deserialize, Serialize};
 
 /// A pristine snapshot of an object taken just before the first local write
 /// of an interval.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Twin {
     snapshot: Vec<u8>,
 }

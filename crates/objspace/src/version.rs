@@ -8,13 +8,10 @@
 //! single counter per object because all writes funnel through the home
 //! (home-based protocol).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A monotonically increasing per-object version number.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Version(pub u64);
 
 impl Version {

@@ -1,26 +1,35 @@
-//! Property-based tests for the twin/diff machinery — the correctness core
-//! of the multiple-writer protocol. If diffs ever lose or corrupt writes, the
-//! whole DSM silently computes wrong answers, so these invariants get the
-//! heaviest random testing.
+//! Randomized property tests for the twin/diff machinery — the correctness
+//! core of the multiple-writer protocol. If diffs ever lose or corrupt
+//! writes, the whole DSM silently computes wrong answers, so these
+//! invariants get the heaviest random testing.
+//!
+//! The cases are driven by the workspace's seeded [`SmallRng`] (the build
+//! environment has no external crates, so `proptest` is replaced by a fixed
+//! seed and a generous case count — every failure is reproducible from the
+//! case index).
 
 use dsm_objspace::{ObjectData, Twin};
-use proptest::prelude::*;
+use dsm_util::SmallRng;
 
-/// Strategy: an object payload plus a set of (index, new_value) writes.
-fn payload_and_writes() -> impl Strategy<Value = (Vec<u8>, Vec<(usize, u8)>)> {
-    (1usize..512).prop_flat_map(|len| {
-        (
-            proptest::collection::vec(any::<u8>(), len),
-            proptest::collection::vec((0..len, any::<u8>()), 0..64),
-        )
-    })
+const CASES: u64 = 256;
+
+/// One random payload plus a set of (index, new_value) writes.
+fn payload_and_writes(rng: &mut SmallRng) -> (Vec<u8>, Vec<(usize, u8)>) {
+    let len = 1 + rng.gen_index(511);
+    let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+    let writes: Vec<(usize, u8)> = (0..rng.gen_index(64))
+        .map(|_| (rng.gen_index(len), rng.next_u64() as u8))
+        .collect();
+    (bytes, writes)
 }
 
-proptest! {
-    /// twin -> write -> diff -> apply reproduces the working copy exactly,
-    /// for arbitrary contents and arbitrary write sets.
-    #[test]
-    fn diff_roundtrip_reconstructs_writes((bytes, writes) in payload_and_writes()) {
+/// twin -> write -> diff -> apply reproduces the working copy exactly, for
+/// arbitrary contents and arbitrary write sets.
+#[test]
+fn diff_roundtrip_reconstructs_writes() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF);
+    for case in 0..CASES {
+        let (bytes, writes) = payload_and_writes(&mut rng);
         let original = ObjectData::from_bytes(bytes);
         let twin = Twin::capture(&original);
         let mut working = original.clone();
@@ -30,13 +39,17 @@ proptest! {
         let diff = twin.diff_against(&working);
         let mut home_copy = original.clone();
         diff.apply(&mut home_copy);
-        prop_assert_eq!(home_copy, working);
+        assert_eq!(home_copy, working, "case {case}");
     }
+}
 
-    /// A diff never claims more payload than the object size and its wire
-    /// size is payload + 8 bytes per run.
-    #[test]
-    fn diff_size_bounds((bytes, writes) in payload_and_writes()) {
+/// A diff never claims more payload than the object size (modulo word
+/// rounding) and its wire size is payload + 8 bytes per run.
+#[test]
+fn diff_size_bounds() {
+    let mut rng = SmallRng::seed_from_u64(0x512E);
+    for case in 0..CASES {
+        let (bytes, writes) = payload_and_writes(&mut rng);
         let original = ObjectData::from_bytes(bytes);
         let twin = Twin::capture(&original);
         let mut working = original.clone();
@@ -44,31 +57,43 @@ proptest! {
             working.bytes_mut()[*idx] = *val;
         }
         let diff = twin.diff_against(&working);
-        prop_assert!(diff.payload_bytes() <= original.len() + 3); // word rounding
-        prop_assert_eq!(diff.wire_bytes(), diff.payload_bytes() + 8 * diff.run_count());
+        assert!(diff.payload_bytes() <= original.len() + 3, "case {case}");
+        assert_eq!(
+            diff.wire_bytes(),
+            diff.payload_bytes() + 8 * diff.run_count(),
+            "case {case}"
+        );
     }
+}
 
-    /// Diffs from two writers touching disjoint regions can be applied in
-    /// either order with the same result (the multiple-writer guarantee under
-    /// false sharing).
-    #[test]
-    fn disjoint_diffs_commute(len in 2usize..256, seed in any::<u64>()) {
-        // Split the object in two halves; writer A modifies the first half,
-        // writer B the second (word-aligned halves to avoid false sharing at
-        // the word granularity of the diff).
+/// Diffs from two writers touching disjoint regions can be applied in either
+/// order with the same result (the multiple-writer guarantee under false
+/// sharing).
+#[test]
+fn disjoint_diffs_commute() {
+    let mut rng = SmallRng::seed_from_u64(0xC0);
+    let mut exercised = 0;
+    for case in 0..CASES {
+        let len = 2 + rng.gen_index(254);
+        // Split the object in two word-aligned halves; writer A modifies the
+        // first half, writer B the second, so the halves never share a word.
         let half = ((len / 2) / 4) * 4;
-        prop_assume!(half >= 4 && len - half >= 4);
+        if half < 4 || len - half < 4 {
+            continue;
+        }
+        exercised += 1;
         let base = ObjectData::from_bytes((0..len).map(|i| (i as u8).wrapping_mul(31)).collect());
 
         let mut a = base.clone();
         let mut b = base.clone();
         let twin_a = Twin::capture(&a);
         let twin_b = Twin::capture(&b);
-        // Deterministic pseudo-writes derived from the seed.
-        let mut s = seed;
-        let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1); (s >> 32) as u8 };
-        for i in 0..half { a.bytes_mut()[i] = next(); }
-        for i in half..len { b.bytes_mut()[i] = next(); }
+        for i in 0..half {
+            a.bytes_mut()[i] = rng.next_u64() as u8;
+        }
+        for i in half..len {
+            b.bytes_mut()[i] = rng.next_u64() as u8;
+        }
 
         let da = twin_a.diff_against(&a);
         let db = twin_b.diff_against(&b);
@@ -79,29 +104,43 @@ proptest! {
         let mut ba = base.clone();
         db.apply(&mut ba);
         da.apply(&mut ba);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(ab, ba, "case {case}");
         // And the merged state contains both writers' updates.
-        prop_assert_eq!(&ab.bytes()[..half], &a.bytes()[..half]);
-        prop_assert_eq!(&ab.bytes()[half..], &b.bytes()[half..]);
+        assert_eq!(&ab.bytes()[..half], &a.bytes()[..half], "case {case}");
+        assert_eq!(&ab.bytes()[half..], &b.bytes()[half..], "case {case}");
     }
+    assert!(
+        exercised > CASES / 2,
+        "too few cases exercised: {exercised}"
+    );
+}
 
-    /// Merging two sequential diffs is equivalent to applying them in order.
-    #[test]
-    fn merge_equals_sequential_application((bytes, writes) in payload_and_writes()) {
-        prop_assume!(writes.len() >= 2);
+/// Merging two sequential diffs is equivalent to applying them in order.
+#[test]
+fn merge_equals_sequential_application() {
+    let mut rng = SmallRng::seed_from_u64(0x4E16E);
+    for case in 0..CASES {
+        let (bytes, writes) = payload_and_writes(&mut rng);
+        if writes.len() < 2 {
+            continue;
+        }
         let split = writes.len() / 2;
         let base = ObjectData::from_bytes(bytes);
 
         // Interval 1.
         let twin1 = Twin::capture(&base);
         let mut v1 = base.clone();
-        for (idx, val) in &writes[..split] { v1.bytes_mut()[*idx] = *val; }
+        for (idx, val) in &writes[..split] {
+            v1.bytes_mut()[*idx] = *val;
+        }
         let d1 = twin1.diff_against(&v1);
 
         // Interval 2 continues from v1.
         let twin2 = Twin::capture(&v1);
         let mut v2 = v1.clone();
-        for (idx, val) in &writes[split..] { v2.bytes_mut()[*idx] = *val; }
+        for (idx, val) in &writes[split..] {
+            v2.bytes_mut()[*idx] = *val;
+        }
         let d2 = twin2.diff_against(&v2);
 
         // Sequential application.
@@ -115,16 +154,20 @@ proptest! {
         let mut via_merge = base.clone();
         merged.apply(&mut via_merge);
 
-        prop_assert_eq!(seq, via_merge);
+        assert_eq!(seq, via_merge, "case {case}");
     }
+}
 
-    /// An unmodified working copy always produces an empty diff.
-    #[test]
-    fn no_writes_empty_diff(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let base = ObjectData::from_bytes(bytes);
+/// An unmodified working copy always produces an empty diff.
+#[test]
+fn no_writes_empty_diff() {
+    let mut rng = SmallRng::seed_from_u64(0xE4);
+    for case in 0..CASES {
+        let len = rng.gen_index(256);
+        let base = ObjectData::from_bytes((0..len).map(|_| rng.next_u64() as u8).collect());
         let twin = Twin::capture(&base);
         let diff = twin.diff_against(&base);
-        prop_assert!(diff.is_empty());
-        prop_assert_eq!(diff.wire_bytes(), 0);
+        assert!(diff.is_empty(), "case {case}");
+        assert_eq!(diff.wire_bytes(), 0, "case {case}");
     }
 }

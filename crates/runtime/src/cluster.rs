@@ -1,12 +1,23 @@
 //! Cluster construction and execution.
+//!
+//! The preferred construction path is the chainable, seeded
+//! [`ClusterBuilder`] (see [`Cluster::builder`]): it owns the object
+//! registry, carries a default home-assignment policy for the objects it
+//! registers, and replaces the positional `ClusterConfig::new` + `with_*`
+//! sprawl. [`ClusterConfig`] remains as the plain value the builder
+//! produces, which workload entry points accept directly.
 
 use crate::ctx::NodeCtx;
+use crate::handle::{ArrayHandle, Matrix2dHandle, ScalarHandle};
 use crate::node::{server_loop, NodeShared};
 use crate::report::ExecutionReport;
-use dsm_core::{ProtocolConfig, ProtocolEngine, ProtocolMsg, ProtocolStats};
-use dsm_model::ComputeModel;
+use dsm_core::{
+    MigrationPolicy, NotificationMechanism, ProtocolConfig, ProtocolEngine, ProtocolMsg,
+    ProtocolStats,
+};
+use dsm_model::{ComputeModel, NetworkParams};
 use dsm_net::{Fabric, StatsCollector};
-use dsm_objspace::ObjectRegistry;
+use dsm_objspace::{Element, HomeAssignment, NodeId, ObjectRegistry};
 use std::sync::Arc;
 use std::thread;
 
@@ -20,17 +31,21 @@ pub struct ClusterConfig {
     pub protocol: ProtocolConfig,
     /// Computation cost model used by `NodeCtx::compute`.
     pub compute: ComputeModel,
+    /// Cluster seed, exposed to applications through `NodeCtx::seed` /
+    /// `NodeCtx::node_rng` for deterministic workload generation.
+    pub seed: u64,
 }
 
 impl ClusterConfig {
     /// Create a configuration with the default computation model
-    /// (≈ 2 GHz Pentium 4).
+    /// (≈ 2 GHz Pentium 4) and seed 0. Prefer [`Cluster::builder`].
     pub fn new(num_nodes: usize, protocol: ProtocolConfig) -> Self {
         assert!(num_nodes > 0, "cluster must have at least one node");
         ClusterConfig {
             num_nodes,
             protocol,
             compute: ComputeModel::default(),
+            seed: 0,
         }
     }
 
@@ -39,6 +54,188 @@ impl ClusterConfig {
     pub fn with_compute(mut self, compute: ComputeModel) -> Self {
         self.compute = compute;
         self
+    }
+
+    /// Replace the cluster seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Chainable, seeded cluster construction: nodes, protocol pieces, compute
+/// model, network parameters and the default home assignment for objects
+/// registered through the builder.
+///
+/// ```no_run
+/// use dsm_runtime::Cluster;
+/// use dsm_core::MigrationPolicy;
+/// use dsm_objspace::HomeAssignment;
+///
+/// let mut cluster = Cluster::builder()
+///     .nodes(8)
+///     .migration(MigrationPolicy::adaptive())
+///     .seed(2004)
+///     .default_home(HomeAssignment::RoundRobin);
+/// let counter = cluster.register_scalar::<u64>("counter");
+/// let report = cluster.build().run(move |ctx| {
+///     // ... use `counter` through ctx views ...
+/// });
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    nodes: usize,
+    protocol: ProtocolConfig,
+    compute: ComputeModel,
+    seed: u64,
+    default_home: HomeAssignment,
+    registry: ObjectRegistry,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            nodes: 2,
+            protocol: ProtocolConfig::adaptive(),
+            compute: ComputeModel::default(),
+            seed: 0,
+            default_home: HomeAssignment::CreationNode,
+            registry: ObjectRegistry::new(),
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Start from the defaults: 2 nodes, adaptive protocol, Pentium-4-class
+    /// compute model, creation-node home assignment, seed 0.
+    pub fn new() -> Self {
+        ClusterBuilder::default()
+    }
+
+    /// Set the number of simulated nodes.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is zero.
+    #[must_use]
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        self.nodes = nodes;
+        self
+    }
+
+    /// Replace the whole protocol configuration.
+    #[must_use]
+    pub fn protocol(mut self, protocol: ProtocolConfig) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Replace the home migration policy.
+    #[must_use]
+    pub fn migration(mut self, migration: MigrationPolicy) -> Self {
+        self.protocol = self.protocol.with_migration(migration);
+        self
+    }
+
+    /// Replace the new-home notification mechanism.
+    #[must_use]
+    pub fn notification(mut self, notification: NotificationMechanism) -> Self {
+        self.protocol = self.protocol.with_notification(notification);
+        self
+    }
+
+    /// Replace the network parameters (affects virtual time and α).
+    #[must_use]
+    pub fn network(mut self, network: NetworkParams) -> Self {
+        self.protocol = self.protocol.with_network(network);
+        self
+    }
+
+    /// Replace the computation cost model.
+    #[must_use]
+    pub fn compute(mut self, compute: ComputeModel) -> Self {
+        self.compute = compute;
+        self
+    }
+
+    /// Set the cluster seed (exposed as `NodeCtx::seed`).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the default home assignment used by the builder's `register_*`
+    /// helpers.
+    #[must_use]
+    pub fn default_home(mut self, assignment: HomeAssignment) -> Self {
+        self.default_home = assignment;
+        self
+    }
+
+    /// Register an array object under the default home assignment, created
+    /// by the master node.
+    pub fn register_array<T: Element>(&mut self, name: &str, len: usize) -> ArrayHandle<T> {
+        ArrayHandle::register(
+            &mut self.registry,
+            name,
+            0,
+            len,
+            NodeId::MASTER,
+            self.default_home,
+        )
+    }
+
+    /// Register a scalar object under the default home assignment.
+    pub fn register_scalar<T: Element>(&mut self, name: &str) -> ScalarHandle<T> {
+        ScalarHandle::register(&mut self.registry, name, NodeId::MASTER, self.default_home)
+    }
+
+    /// Register a `rows × cols` matrix (one object per row) under the
+    /// default home assignment.
+    pub fn register_matrix<T: Element>(
+        &mut self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+    ) -> Matrix2dHandle<T> {
+        Matrix2dHandle::register(
+            &mut self.registry,
+            name,
+            rows,
+            cols,
+            NodeId::MASTER,
+            self.default_home,
+        )
+    }
+
+    /// Direct access to the builder's registry, for registrations the
+    /// helpers do not cover (immutable objects, per-node creators).
+    pub fn registry_mut(&mut self) -> &mut ObjectRegistry {
+        &mut self.registry
+    }
+
+    /// The [`ClusterConfig`] this builder currently describes.
+    pub fn config(&self) -> ClusterConfig {
+        ClusterConfig {
+            num_nodes: self.nodes,
+            protocol: self.protocol.clone(),
+            compute: self.compute,
+            seed: self.seed,
+        }
+    }
+
+    /// Build the cluster with the builder's own registry.
+    pub fn build(self) -> Cluster {
+        let config = self.config();
+        Cluster::new(config, self.registry)
+    }
+
+    /// Build the cluster with an externally assembled registry (the
+    /// builder's own registrations are discarded).
+    pub fn build_with(self, registry: ObjectRegistry) -> Cluster {
+        Cluster::new(self.config(), registry)
     }
 }
 
@@ -49,6 +246,11 @@ pub struct Cluster {
 }
 
 impl Cluster {
+    /// Start a chainable [`ClusterBuilder`].
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::new()
+    }
+
     /// Build a cluster from a configuration and the registry of shared
     /// objects the application will use.
     pub fn new(config: ClusterConfig, registry: ObjectRegistry) -> Self {
@@ -88,6 +290,7 @@ impl Cluster {
                     endpoint,
                     config.compute,
                     config.protocol.handling_cost,
+                    config.seed,
                 )
             })
             .collect();

@@ -5,13 +5,34 @@
 //! thread: transparent object access (fault-ins, twins and diffs happen
 //! behind the scenes), `synchronized`-style locking, barriers, and a hook to
 //! charge modelled computation time.
+//!
+//! ## Access model
+//!
+//! The primary surface is the **zero-copy view API**: [`NodeCtx::view`]
+//! returns a [`ReadView`] and [`NodeCtx::view_mut`] a [`WriteView`], scoped
+//! guards that `Deref` to `&[T]` / `&mut [T]` borrowed straight from the
+//! engine's object storage. At the home node an access through a view
+//! touches the home copy in place — "accesses at the home never
+//! communicate", with no whole-object decode/encode round-trip. Dropping a
+//! `WriteView` arms the twin/diff bookkeeping so the interval's next
+//! release flushes exactly one diff for the object.
+//!
+//! Every access has a **fallible form** (`try_view`, `try_view_mut`,
+//! `try_acquire`, `try_release`, `try_barrier`) returning
+//! [`DsmResult`]; protocol misuse — unknown objects, size-mismatched
+//! handles, conflicting views, synchronizing with live views — surfaces as
+//! a typed [`DsmError`] instead of tearing down the node thread. The
+//! panicking short forms (`view`, `acquire`, ...) are thin wrappers kept
+//! for application code where misuse is a bug.
 
 use crate::handle::ArrayHandle;
 use crate::node::{dispatch_barrier_release, dispatch_lock_grant, NodeShared};
+use crate::view::{ReadView, WriteView};
 use dsm_core::sync::{BarrierOutcome, LockAcquireOutcome};
 use dsm_core::{AccessPlan, ProtocolMsg};
 use dsm_model::{SimDuration, SimTime};
-use dsm_objspace::{BarrierId, Element, LockId, NodeId, ObjectData, ObjectId};
+use dsm_objspace::{BarrierId, DsmError, DsmResult, Element, LockId, NodeId, ObjectData, ObjectId};
+use dsm_util::SmallRng;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -21,10 +42,18 @@ use std::sync::Arc;
 /// synchronization there.
 const SYNC_MANAGER: NodeId = NodeId::MASTER;
 
+/// Live-view bookkeeping: a positive count of shared views, or -1 for the
+/// exclusive write view.
+const WRITER: isize = -1;
+
 /// The per-node application context.
 pub struct NodeCtx {
     shared: Arc<NodeShared>,
     barrier_epochs: RefCell<HashMap<BarrierId, u64>>,
+    /// Objects with live views in this context (see [`WRITER`]). Guards
+    /// same-thread aliasing so a conflict surfaces as a typed error instead
+    /// of a lock-up on the payload lease.
+    active_views: RefCell<HashMap<ObjectId, isize>>,
 }
 
 impl NodeCtx {
@@ -32,6 +61,7 @@ impl NodeCtx {
         NodeCtx {
             shared,
             barrier_epochs: RefCell::new(HashMap::new()),
+            active_views: RefCell::new(HashMap::new()),
         }
     }
 
@@ -48,6 +78,17 @@ impl NodeCtx {
     /// Whether this node is the master (the node the application starts on).
     pub fn is_master(&self) -> bool {
         self.shared.node == NodeId::MASTER
+    }
+
+    /// The cluster's configured seed (see `ClusterBuilder::seed`).
+    pub fn seed(&self) -> u64 {
+        self.shared.seed
+    }
+
+    /// A deterministic per-node random generator derived from the cluster
+    /// seed: every run of the same configuration sees the same streams.
+    pub fn node_rng(&self) -> SmallRng {
+        SmallRng::seed_from_u64(self.shared.seed ^ (0x9E37 + self.shared.node.0 as u64 * 0x1_0001))
     }
 
     /// Current virtual time at this node.
@@ -75,70 +116,216 @@ impl NodeCtx {
     }
 
     // ------------------------------------------------------------------
-    // Shared object access
+    // Shared object access — zero-copy views
     // ------------------------------------------------------------------
 
-    /// Seed the initial contents of a shared object. Must be called on every
-    /// node *before* any node accesses the object through the protocol
-    /// (typically followed by a [`Self::barrier`]); only the object's home
-    /// actually stores the data, and no messages are exchanged because every
-    /// node computes identical contents.
-    pub fn bootstrap<T: Element>(&self, handle: &ArrayHandle<T>, values: &[T]) {
+    /// Validate a handle against the registry: the object must be known and
+    /// the handle's element count must agree with the registered payload
+    /// size (a `lookup` with the wrong length would otherwise corrupt
+    /// element decoding).
+    fn validate_handle<T: Element>(&self, handle: &ArrayHandle<T>) -> DsmResult<()> {
+        handle.validate(&self.shared.registry)
+    }
+
+    /// Take a zero-copy read view of the object (faulting it in if needed).
+    ///
+    /// Multiple read views — of the same or different objects — may be live
+    /// at once; a read view only conflicts with a live write view of the
+    /// same object.
+    pub fn try_view<'ctx, T: Element>(
+        &'ctx self,
+        handle: &ArrayHandle<T>,
+    ) -> DsmResult<ReadView<'ctx, T>> {
+        self.validate_handle(handle)?;
+        let obj = handle.id;
+        if self.active_views.borrow().get(&obj).copied().unwrap_or(0) < 0 {
+            return Err(DsmError::ViewConflict { obj });
+        }
+        self.ensure_readable(obj)?;
+        let store = self.shared.engine.lock().lease_read(obj);
+        let guard = store.read();
+        *self.active_views.borrow_mut().entry(obj).or_insert(0) += 1;
+        Ok(ReadView::new(self, obj, guard))
+    }
+
+    /// Take a zero-copy read view, panicking on protocol misuse.
+    ///
+    /// # Panics
+    /// Panics on any [`DsmError`] (unknown object, size mismatch, conflict
+    /// with a live write view).
+    pub fn view<'ctx, T: Element>(&'ctx self, handle: &ArrayHandle<T>) -> ReadView<'ctx, T> {
+        self.try_view(handle)
+            .unwrap_or_else(|e| panic!("view failed: {e}"))
+    }
+
+    /// Take a zero-copy write view of the object (faulting it in and arming
+    /// the twin/diff bookkeeping as needed). Writes through the view become
+    /// the interval's diff when the interval releases.
+    ///
+    /// A write view is exclusive: any live view of the same object in this
+    /// context makes this fail with [`DsmError::ViewConflict`].
+    pub fn try_view_mut<'ctx, T: Element>(
+        &'ctx self,
+        handle: &ArrayHandle<T>,
+    ) -> DsmResult<WriteView<'ctx, T>> {
+        self.validate_handle(handle)?;
+        let obj = handle.id;
+        if self.active_views.borrow().get(&obj).copied().unwrap_or(0) != 0 {
+            return Err(DsmError::ViewConflict { obj });
+        }
+        self.ensure_writable(obj)?;
+        let store = self.shared.engine.lock().lease_write(obj);
+        let guard = store.write();
+        self.active_views.borrow_mut().insert(obj, WRITER);
+        Ok(WriteView::new(self, obj, guard))
+    }
+
+    /// Take a zero-copy write view, panicking on protocol misuse.
+    ///
+    /// # Panics
+    /// Panics on any [`DsmError`].
+    pub fn view_mut<'ctx, T: Element>(&'ctx self, handle: &ArrayHandle<T>) -> WriteView<'ctx, T> {
+        self.try_view_mut(handle)
+            .unwrap_or_else(|e| panic!("view_mut failed: {e}"))
+    }
+
+    /// Unregister a dropped view (called from the guards' `Drop`).
+    pub(crate) fn release_view(&self, obj: ObjectId, writer: bool) {
+        let mut views = self.active_views.borrow_mut();
+        let count = views.get_mut(&obj).expect("dropping an untracked view");
+        if writer {
+            debug_assert_eq!(*count, WRITER, "write view tracked as readers");
+            views.remove(&obj);
+        } else {
+            debug_assert!(*count > 0, "read view tracked as writer");
+            *count -= 1;
+            if *count == 0 {
+                views.remove(&obj);
+            }
+        }
+    }
+
+    /// Number of live write views in this context.
+    fn live_write_views(&self) -> usize {
+        self.active_views
+            .borrow()
+            .values()
+            .filter(|count| **count < 0)
+            .count()
+    }
+
+    /// Number of live views in this context.
+    pub fn live_views(&self) -> usize {
+        self.active_views
+            .borrow()
+            .values()
+            .map(|c| c.unsigned_abs())
+            .sum()
+    }
+
+    /// Fail with [`DsmError::ViewsOutstanding`] if any view is live: a
+    /// synchronization operation must see the interval's complete write
+    /// set, and a held payload lease would stall the protocol server while
+    /// this thread blocks on the network.
+    fn ensure_quiescent(&self) -> DsmResult<()> {
+        let count = self.live_views();
+        if count > 0 {
+            return Err(DsmError::ViewsOutstanding { count });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Shared object access — owning conveniences over views
+    // ------------------------------------------------------------------
+
+    /// Seed the initial contents of a shared object (fallible form). Must
+    /// be called on every node *before* any node accesses the object
+    /// through the protocol (typically followed by a [`Self::barrier`]);
+    /// only the object's home actually stores the data, and no messages are
+    /// exchanged because every node computes identical contents.
+    pub fn try_bootstrap<T: Element>(
+        &self,
+        handle: &ArrayHandle<T>,
+        values: &[T],
+    ) -> DsmResult<()> {
+        self.validate_handle(handle)?;
+        // A live view of the object holds its payload lease; overwriting
+        // underneath it would spin forever inside the engine.
+        if self
+            .active_views
+            .borrow()
+            .get(&handle.id)
+            .copied()
+            .unwrap_or(0)
+            != 0
+        {
+            return Err(DsmError::ViewConflict { obj: handle.id });
+        }
         assert_eq!(values.len(), handle.len, "bootstrap length mismatch");
         self.shared
             .engine
             .lock()
             .bootstrap_object(handle.id, ObjectData::from_elements(values));
+        Ok(())
     }
 
-    /// Read the whole object into a typed vector (faulting it in if needed).
+    /// Seed the initial contents of a shared object, panicking on misuse.
+    ///
+    /// # Panics
+    /// Panics on any [`DsmError`] (unknown object, size mismatch, live view
+    /// of the object).
+    pub fn bootstrap<T: Element>(&self, handle: &ArrayHandle<T>, values: &[T]) {
+        self.try_bootstrap(handle, values)
+            .unwrap_or_else(|e| panic!("bootstrap failed: {e}"));
+    }
+
+    /// Read the whole object into an owned vector (faulting it in if
+    /// needed). Prefer [`Self::view`] on hot paths.
     pub fn read<T: Element>(&self, handle: &ArrayHandle<T>) -> Vec<T> {
-        self.ensure_readable(handle.id);
-        self.shared
-            .engine
-            .lock()
-            .with_object(handle.id, |d| d.as_elements())
+        self.view(handle).to_vec()
     }
 
     /// Read a single element (faulting the object in if needed).
     pub fn read_element<T: Element>(&self, handle: &ArrayHandle<T>, index: usize) -> T {
-        assert!(index < handle.len, "element index out of range");
-        self.ensure_readable(handle.id);
-        self.shared
-            .engine
-            .lock()
-            .with_object(handle.id, |d| d.get(index))
+        self.try_read_element(handle, index)
+            .unwrap_or_else(|e| panic!("read_element failed: {e}"))
     }
 
-    /// Read-modify-write the whole object through a closure over its typed
-    /// contents.
-    pub fn update<T: Element>(&self, handle: &ArrayHandle<T>, f: impl FnOnce(&mut Vec<T>)) {
-        self.ensure_writable(handle.id);
-        self.shared.engine.lock().with_object_mut(handle.id, |d| {
-            let mut values = d.as_elements::<T>();
-            f(&mut values);
-            d.overwrite_elements(&values);
-        });
+    /// Fallible [`Self::read_element`].
+    pub fn try_read_element<T: Element>(
+        &self,
+        handle: &ArrayHandle<T>,
+        index: usize,
+    ) -> DsmResult<T> {
+        let view = self.try_view(handle)?;
+        view.as_slice()
+            .get(index)
+            .copied()
+            .ok_or(DsmError::IndexOutOfBounds {
+                obj: handle.id,
+                index,
+                len: handle.len,
+            })
+    }
+
+    /// Read-modify-write the object's elements in place through a closure
+    /// (a scoped [`Self::view_mut`]).
+    pub fn update<T: Element>(&self, handle: &ArrayHandle<T>, f: impl FnOnce(&mut [T])) {
+        let mut view = self.view_mut(handle);
+        f(&mut view);
     }
 
     /// Overwrite the whole object with new contents.
     pub fn write_all<T: Element>(&self, handle: &ArrayHandle<T>, values: &[T]) {
         assert_eq!(values.len(), handle.len, "write length mismatch");
-        self.ensure_writable(handle.id);
-        self.shared
-            .engine
-            .lock()
-            .with_object_mut(handle.id, |d| d.overwrite_elements(values));
+        self.view_mut(handle).copy_from_slice(values);
     }
 
     /// Overwrite a single element.
     pub fn write_element<T: Element>(&self, handle: &ArrayHandle<T>, index: usize, value: T) {
         assert!(index < handle.len, "element index out of range");
-        self.ensure_writable(handle.id);
-        self.shared
-            .engine
-            .lock()
-            .with_object_mut(handle.id, |d| d.set(index, value));
+        self.view_mut(handle)[index] = value;
     }
 
     // ------------------------------------------------------------------
@@ -148,7 +335,10 @@ impl NodeCtx {
     /// Acquire a distributed lock (entering a `synchronized` block). Opens a
     /// new consistency interval: cached copies are conservatively
     /// invalidated, exactly as the paper's Java-consistency GOS does.
-    pub fn acquire(&self, lock: LockId) {
+    ///
+    /// Fails with [`DsmError::ViewsOutstanding`] if object views are live.
+    pub fn try_acquire(&self, lock: LockId) -> DsmResult<()> {
+        self.ensure_quiescent()?;
         let node = self.shared.node;
         if SYNC_MANAGER == node {
             let req = self.shared.new_req();
@@ -158,7 +348,8 @@ impl NodeCtx {
                 LockAcquireOutcome::Granted => {
                     // Nobody will ever send the grant; complete it ourselves
                     // so the pending table stays clean.
-                    self.shared.deliver_local(req, ProtocolMsg::LockGrant { req, lock });
+                    self.shared
+                        .deliver_local(req, ProtocolMsg::LockGrant { req, lock });
                 }
                 LockAcquireOutcome::Queued => {}
             }
@@ -183,12 +374,25 @@ impl NodeCtx {
         let mut engine = self.shared.engine.lock();
         engine.note_lock_acquire();
         engine.begin_interval();
+        Ok(())
+    }
+
+    /// Acquire a distributed lock, panicking on misuse.
+    ///
+    /// # Panics
+    /// Panics if object views are live (see [`Self::try_acquire`]).
+    pub fn acquire(&self, lock: LockId) {
+        self.try_acquire(lock)
+            .unwrap_or_else(|e| panic!("acquire failed: {e}"));
     }
 
     /// Release a distributed lock (leaving a `synchronized` block). All
     /// local writes of the interval are flushed to their homes (diff
     /// propagation) before the lock is handed back.
-    pub fn release(&self, lock: LockId) {
+    ///
+    /// Fails with [`DsmError::ViewsOutstanding`] if object views are live.
+    pub fn try_release(&self, lock: LockId) -> DsmResult<()> {
+        self.ensure_quiescent()?;
         self.flush_interval();
         let node = self.shared.node;
         if SYNC_MANAGER == node {
@@ -202,6 +406,16 @@ impl NodeCtx {
                 ProtocolMsg::LockRelease { lock, holder: node },
             );
         }
+        Ok(())
+    }
+
+    /// Release a distributed lock, panicking on misuse.
+    ///
+    /// # Panics
+    /// Panics if object views are live (see [`Self::try_release`]).
+    pub fn release(&self, lock: LockId) {
+        self.try_release(lock)
+            .unwrap_or_else(|e| panic!("release failed: {e}"));
     }
 
     /// Run `f` inside a `synchronized` block on `lock`.
@@ -216,7 +430,10 @@ impl NodeCtx {
     /// (local writes flushed) followed by an acquire (cached copies
     /// invalidated), exactly like the barriers the paper's iterative
     /// applications are built around.
-    pub fn barrier(&self, barrier: BarrierId) {
+    ///
+    /// Fails with [`DsmError::ViewsOutstanding`] if object views are live.
+    pub fn try_barrier(&self, barrier: BarrierId) -> DsmResult<()> {
+        self.ensure_quiescent()?;
         self.flush_interval();
         let node = self.shared.node;
         let epoch = {
@@ -230,7 +447,11 @@ impl NodeCtx {
         if SYNC_MANAGER == node {
             let rx = self.shared.register_pending(req);
             let outcome = self.shared.engine.lock().barrier_arrive(barrier, node, req);
-            if let BarrierOutcome::Complete { waiters, epoch: done } = outcome {
+            if let BarrierOutcome::Complete {
+                waiters,
+                epoch: done,
+            } = outcome
+            {
                 dispatch_barrier_release(&self.shared, barrier, done, waiters);
             }
             let reply = rx.recv().expect("cluster shut down during barrier");
@@ -254,30 +475,67 @@ impl NodeCtx {
         let mut engine = self.shared.engine.lock();
         engine.note_barrier();
         engine.begin_interval();
+        Ok(())
+    }
+
+    /// Wait at a global barrier, panicking on misuse.
+    ///
+    /// # Panics
+    /// Panics if object views are live (see [`Self::try_barrier`]).
+    pub fn barrier(&self, barrier: BarrierId) {
+        self.try_barrier(barrier)
+            .unwrap_or_else(|e| panic!("barrier failed: {e}"));
     }
 
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
+    /// Upper bound on redirection hops before declaring the chain broken.
+    /// Epoch-guarded hints make chains monotone (each hop strictly newer),
+    /// so the bound only trips on a genuine protocol bug; it is generous
+    /// because concurrent migrations can legitimately lengthen a chase.
+    fn redirect_limit(&self) -> u32 {
+        self.shared.num_nodes as u32 * 2 + 16
+    }
+
+    /// Refuse to block on the network while write views are live: the
+    /// remote home's server would defer behind our write lease while we
+    /// wait for its reply, and two nodes doing this to each other would
+    /// deadlock. Read views are safe to hold across a fetch (serving a
+    /// fault-in only needs a shared payload lock).
+    fn ensure_fetchable(&self, obj: ObjectId) -> DsmResult<()> {
+        let writers = self.live_write_views();
+        if writers > 0 {
+            return Err(DsmError::FetchWithLiveWrites { obj, writers });
+        }
+        Ok(())
+    }
+
     /// Make sure a valid local copy exists for reading.
-    fn ensure_readable(&self, obj: ObjectId) {
+    fn ensure_readable(&self, obj: ObjectId) -> DsmResult<()> {
         loop {
             let plan = self.shared.engine.lock().plan_read(obj);
             match plan {
-                AccessPlan::LocalHit => return,
-                AccessPlan::Fetch { target } => self.fault_in(obj, false, target),
+                AccessPlan::LocalHit => return Ok(()),
+                AccessPlan::Fetch { target } => {
+                    self.ensure_fetchable(obj)?;
+                    self.fault_in(obj, false, target);
+                }
             }
         }
     }
 
     /// Make sure a writable local copy exists (twin created as needed).
-    fn ensure_writable(&self, obj: ObjectId) {
+    fn ensure_writable(&self, obj: ObjectId) -> DsmResult<()> {
         loop {
             let plan = self.shared.engine.lock().plan_write(obj);
             match plan {
-                AccessPlan::LocalHit => return,
-                AccessPlan::Fetch { target } => self.fault_in(obj, true, target),
+                AccessPlan::LocalHit => return Ok(()),
+                AccessPlan::Fetch { target } => {
+                    self.ensure_fetchable(obj)?;
+                    self.fault_in(obj, true, target);
+                }
             }
         }
     }
@@ -288,6 +546,7 @@ impl NodeCtx {
         let node = self.shared.node;
         let mut redirections = 0u32;
         loop {
+            debug_assert_ne!(target, node, "fault-in aimed at the requester itself");
             let req = self.shared.new_req();
             let reply = self.shared.request(
                 target,
@@ -313,14 +572,24 @@ impl NodeCtx {
                         .install_object(obj, data, version, migration);
                     return;
                 }
-                ProtocolMsg::ObjectRedirect { new_home, .. } => {
-                    self.shared.engine.lock().note_redirect(obj, new_home);
+                ProtocolMsg::ObjectRedirect {
+                    new_home, epoch, ..
+                } => {
                     redirections += 1;
                     assert!(
-                        redirections <= self.shared.num_nodes as u32 + 2,
+                        redirections <= self.redirect_limit(),
                         "redirection chain for {obj} did not converge"
                     );
-                    target = new_home;
+                    let mut engine = self.shared.engine.lock();
+                    engine.note_redirect(obj, new_home, epoch);
+                    // Chase the hint — but never ourselves: a (stale) hint
+                    // pointing back at the requester falls back to our own
+                    // forward belief, which the epoch guard kept intact.
+                    target = if new_home == node {
+                        engine.home_hint(obj)
+                    } else {
+                        new_home
+                    };
                 }
                 other => panic!("unexpected reply to object request: {other:?}"),
             }
@@ -353,15 +622,22 @@ impl NodeCtx {
                         self.shared.engine.lock().complete_flush(plan.obj, version);
                         break;
                     }
-                    ProtocolMsg::DiffRedirect { new_home, .. } => {
-                        self.shared.engine.lock().note_redirect(plan.obj, new_home);
+                    ProtocolMsg::DiffRedirect {
+                        new_home, epoch, ..
+                    } => {
                         redirections += 1;
                         assert!(
-                            redirections <= self.shared.num_nodes as u32 + 2,
+                            redirections <= self.redirect_limit(),
                             "diff redirection chain for {} did not converge",
                             plan.obj
                         );
-                        target = new_home;
+                        let mut engine = self.shared.engine.lock();
+                        engine.note_redirect(plan.obj, new_home, epoch);
+                        target = if new_home == node {
+                            engine.home_hint(plan.obj)
+                        } else {
+                            new_home
+                        };
                     }
                     other => panic!("unexpected reply to diff flush: {other:?}"),
                 }

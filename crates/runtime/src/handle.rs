@@ -1,12 +1,32 @@
 //! Typed handles to shared objects.
 //!
-//! A handle is a cheap, copiable description of one coherence unit: its
-//! deterministic [`ObjectId`], its element type and its element count. All
-//! nodes construct identical handles from the same `(name, index)` pair —
-//! the analogue of every JVM node resolving the same array object — so no
-//! handle exchange protocol is needed.
+//! A handle is a cheap description of one or more coherence units: their
+//! deterministic [`ObjectId`]s, element type and element counts. All nodes
+//! construct identical handles from the same name — the analogue of every
+//! JVM node resolving the same array object — so no handle exchange
+//! protocol is needed.
+//!
+//! Three shapes cover the workloads:
+//!
+//! * [`ArrayHandle<T>`] — one coherence unit holding `len` elements of `T`;
+//! * [`ScalarHandle<T>`] — a single-element unit (counters, bounds) with
+//!   value-level `get`/`set`/`update` conveniences;
+//! * [`Matrix2dHandle<T>`] — a `rows × cols` matrix stored as one row
+//!   object per row (a Java array of row arrays), the unit granularity the
+//!   paper's ASP and SOR rely on for per-row home migration.
+//!
+//! A handle constructed by [`ArrayHandle::lookup`] is *unchecked* until its
+//! first access: the runtime validates it against the registry and surfaces
+//! [`DsmError::SizeMismatch`]/[`DsmError::UnknownObject`] instead of
+//! decoding elements at the wrong granularity.
+//!
+//! [`DsmError::SizeMismatch`]: dsm_objspace::DsmError::SizeMismatch
+//! [`DsmError::UnknownObject`]: dsm_objspace::DsmError::UnknownObject
 
-use dsm_objspace::{Element, HomeAssignment, NodeId, ObjectId, ObjectRegistry};
+use crate::ctx::NodeCtx;
+use dsm_objspace::{
+    DsmError, DsmResult, Element, HomeAssignment, NodeId, ObjectId, ObjectRegistry,
+};
 use std::marker::PhantomData;
 
 /// A typed handle to a shared array object (a coherence unit whose payload
@@ -30,7 +50,8 @@ impl<T> Copy for ArrayHandle<T> {}
 
 impl<T: Element> ArrayHandle<T> {
     /// Construct a handle without registering it (the object must already be
-    /// registered under the same name/index/length by every node).
+    /// registered under the same name/index/length by every node). The
+    /// handle is validated against the registry at first access.
     pub fn lookup(name: &str, index: u64, len: usize) -> Self {
         ArrayHandle {
             id: ObjectId::derive(name, index),
@@ -66,13 +87,29 @@ impl<T: Element> ArrayHandle<T> {
         creator: NodeId,
         assignment: HomeAssignment,
     ) -> Self {
-        let id =
-            registry.register_named_immutable(name, index, len * T::SIZE, creator, assignment);
+        let id = registry.register_named_immutable(name, index, len * T::SIZE, creator, assignment);
         ArrayHandle {
             id,
             len,
             _marker: PhantomData,
         }
+    }
+
+    /// Check this handle against a registry: the object must be registered
+    /// and its payload size must equal `len * T::SIZE`.
+    pub fn validate(&self, registry: &ObjectRegistry) -> DsmResult<()> {
+        let desc = registry
+            .get(self.id)
+            .ok_or(DsmError::UnknownObject { obj: self.id })?;
+        let handle_bytes = self.len * T::SIZE;
+        if desc.size_bytes != handle_bytes {
+            return Err(DsmError::SizeMismatch {
+                obj: self.id,
+                registered_bytes: desc.size_bytes,
+                handle_bytes,
+            });
+        }
+        Ok(())
     }
 
     /// Payload size in bytes.
@@ -81,19 +118,171 @@ impl<T: Element> ArrayHandle<T> {
     }
 }
 
-/// Register a whole family of row objects (e.g. the rows of a 2-D matrix,
-/// which in Java is an array of row array objects) and return their handles.
-pub fn register_rows<T: Element>(
-    registry: &mut ObjectRegistry,
-    name: &str,
-    rows: usize,
-    row_len: usize,
-    creator: NodeId,
-    assignment: HomeAssignment,
-) -> Vec<ArrayHandle<T>> {
-    (0..rows)
-        .map(|r| ArrayHandle::<T>::register(registry, name, r as u64, row_len, creator, assignment))
-        .collect()
+/// A typed handle to a single-element shared object — a counter, a global
+/// bound, a flag. Wraps a one-element [`ArrayHandle`] with value-level
+/// accessors.
+#[derive(Debug)]
+pub struct ScalarHandle<T> {
+    inner: ArrayHandle<T>,
+}
+
+impl<T> Clone for ScalarHandle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for ScalarHandle<T> {}
+
+impl<T: Element> ScalarHandle<T> {
+    /// Register the scalar in `registry` and return its handle.
+    pub fn register(
+        registry: &mut ObjectRegistry,
+        name: &str,
+        creator: NodeId,
+        assignment: HomeAssignment,
+    ) -> Self {
+        ScalarHandle {
+            inner: ArrayHandle::register(registry, name, 0, 1, creator, assignment),
+        }
+    }
+
+    /// Construct without registering (validated at first access).
+    pub fn lookup(name: &str) -> Self {
+        ScalarHandle {
+            inner: ArrayHandle::lookup(name, 0, 1),
+        }
+    }
+
+    /// The underlying one-element array handle.
+    pub fn array(&self) -> &ArrayHandle<T> {
+        &self.inner
+    }
+
+    /// The object's identity.
+    pub fn id(&self) -> ObjectId {
+        self.inner.id
+    }
+
+    /// Read the value (fallible form).
+    pub fn try_get(&self, ctx: &NodeCtx) -> DsmResult<T> {
+        Ok(ctx.try_view(&self.inner)?[0])
+    }
+
+    /// Read the value.
+    pub fn get(&self, ctx: &NodeCtx) -> T {
+        self.try_get(ctx)
+            .unwrap_or_else(|e| panic!("scalar get failed: {e}"))
+    }
+
+    /// Overwrite the value (fallible form).
+    pub fn try_set(&self, ctx: &NodeCtx, value: T) -> DsmResult<()> {
+        ctx.try_view_mut(&self.inner)?[0] = value;
+        Ok(())
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, ctx: &NodeCtx, value: T) {
+        self.try_set(ctx, value)
+            .unwrap_or_else(|e| panic!("scalar set failed: {e}"))
+    }
+
+    /// Read-modify-write the value in one write view; returns the new value.
+    pub fn update(&self, ctx: &NodeCtx, f: impl FnOnce(T) -> T) -> T {
+        let mut view = ctx.view_mut(&self.inner);
+        let next = f(view[0]);
+        view[0] = next;
+        next
+    }
+}
+
+/// A typed handle to a `rows × cols` matrix stored as one coherence unit
+/// per row. Subsumes the old free-standing `register_rows` helper: row
+/// handles are materialized once and shared by value.
+#[derive(Debug, Clone)]
+pub struct Matrix2dHandle<T> {
+    rows: Vec<ArrayHandle<T>>,
+    cols: usize,
+}
+
+impl<T: Element> Matrix2dHandle<T> {
+    /// Register `rows` row objects of `cols` elements each and return the
+    /// matrix handle.
+    pub fn register(
+        registry: &mut ObjectRegistry,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        creator: NodeId,
+        assignment: HomeAssignment,
+    ) -> Self {
+        Matrix2dHandle {
+            rows: (0..rows)
+                .map(|r| {
+                    ArrayHandle::<T>::register(registry, name, r as u64, cols, creator, assignment)
+                })
+                .collect(),
+            cols,
+        }
+    }
+
+    /// Register an immutable matrix (rows never invalidated once cached).
+    pub fn register_immutable(
+        registry: &mut ObjectRegistry,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        creator: NodeId,
+        assignment: HomeAssignment,
+    ) -> Self {
+        Matrix2dHandle {
+            rows: (0..rows)
+                .map(|r| {
+                    ArrayHandle::<T>::register_immutable(
+                        registry, name, r as u64, cols, creator, assignment,
+                    )
+                })
+                .collect(),
+            cols,
+        }
+    }
+
+    /// Construct without registering (each row validated at first access).
+    pub fn lookup(name: &str, rows: usize, cols: usize) -> Self {
+        Matrix2dHandle {
+            rows: (0..rows)
+                .map(|r| ArrayHandle::<T>::lookup(name, r as u64, cols))
+                .collect(),
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns (elements per row object).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The handle of row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &ArrayHandle<T> {
+        &self.rows[r]
+    }
+
+    /// Iterate over the row handles in order.
+    pub fn iter(&self) -> impl Iterator<Item = &ArrayHandle<T>> {
+        self.rows.iter()
+    }
+
+    /// The row handles as a slice.
+    pub fn as_rows(&self) -> &[ArrayHandle<T>] {
+        &self.rows
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +306,38 @@ mod tests {
         assert_eq!(h.size_bytes(), 128);
         assert_eq!(reg.expect(h.id).size_bytes, 128);
         assert!(!reg.expect(h.id).is_immutable());
+        assert!(l.validate(&reg).is_ok());
+    }
+
+    #[test]
+    fn lookup_with_wrong_length_fails_validation() {
+        let mut reg = ObjectRegistry::new();
+        let _ = ArrayHandle::<f64>::register(
+            &mut reg,
+            "m",
+            0,
+            16,
+            NodeId::MASTER,
+            HomeAssignment::Master,
+        );
+        let wrong = ArrayHandle::<f64>::lookup("m", 0, 8);
+        assert!(matches!(
+            wrong.validate(&reg),
+            Err(DsmError::SizeMismatch {
+                registered_bytes: 128,
+                handle_bytes: 64,
+                ..
+            })
+        ));
+        // The same payload reinterpreted at a compatible granularity is
+        // fine: 16 f64 == 32 u32 wouldn't be, but 16 u64 is.
+        let reinterpreted = ArrayHandle::<u64>::lookup("m", 0, 16);
+        assert!(reinterpreted.validate(&reg).is_ok());
+        let unknown = ArrayHandle::<f64>::lookup("missing", 0, 16);
+        assert!(matches!(
+            unknown.validate(&reg),
+            Err(DsmError::UnknownObject { .. })
+        ));
     }
 
     #[test]
@@ -135,9 +356,9 @@ mod tests {
     }
 
     #[test]
-    fn register_rows_creates_one_object_per_row() {
+    fn matrix_creates_one_object_per_row() {
         let mut reg = ObjectRegistry::new();
-        let rows = register_rows::<f64>(
+        let m = Matrix2dHandle::<f64>::register(
             &mut reg,
             "sor",
             8,
@@ -145,13 +366,33 @@ mod tests {
             NodeId::MASTER,
             HomeAssignment::RoundRobin,
         );
-        assert_eq!(rows.len(), 8);
+        assert_eq!(m.rows(), 8);
+        assert_eq!(m.cols(), 32);
         assert_eq!(reg.len(), 8);
+        assert_eq!(m.iter().count(), 8);
+        assert_eq!(m.as_rows().len(), 8);
         // Round-robin homes spread across a 4-node cluster.
-        let homes: Vec<NodeId> = rows.iter().map(|h| reg.expect(h.id).initial_home(4)).collect();
+        let homes: Vec<NodeId> = m.iter().map(|h| reg.expect(h.id).initial_home(4)).collect();
         assert_eq!(homes[0], NodeId(0));
         assert_eq!(homes[1], NodeId(1));
         assert_eq!(homes[5], NodeId(1));
+        // Lookup resolves the same ids.
+        let l = Matrix2dHandle::<f64>::lookup("sor", 8, 32);
+        assert_eq!(l.row(3).id, m.row(3).id);
+    }
+
+    #[test]
+    fn scalar_wraps_one_element_object() {
+        let mut reg = ObjectRegistry::new();
+        let s = ScalarHandle::<u64>::register(
+            &mut reg,
+            "bound",
+            NodeId::MASTER,
+            HomeAssignment::Master,
+        );
+        assert_eq!(reg.expect(s.id()).size_bytes, 8);
+        assert_eq!(ScalarHandle::<u64>::lookup("bound").id(), s.id());
+        assert_eq!(s.array().len, 1);
     }
 
     #[test]
@@ -159,5 +400,8 @@ mod tests {
         let h = ArrayHandle::<f64>::lookup("x", 0, 4);
         let h2 = h;
         assert_eq!(h.id, h2.id);
+        let s = ScalarHandle::<u32>::lookup("y");
+        let s2 = s;
+        assert_eq!(s.id(), s2.id());
     }
 }

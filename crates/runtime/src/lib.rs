@@ -9,7 +9,17 @@
 //! The programming model mirrors the paper's distributed JVM: the same
 //! application closure runs on every node (like a Java thread dispatched to
 //! each cluster node), shares objects through typed handles
-//! ([`ArrayHandle`]), and synchronizes with distributed locks and barriers.
+//! ([`ArrayHandle`], [`ScalarHandle`], [`Matrix2dHandle`]), and
+//! synchronizes with distributed locks and barriers. Object access goes
+//! through **zero-copy scoped views**: [`NodeCtx::view`] /
+//! [`NodeCtx::view_mut`] return guards that `Deref` to `&[T]` / `&mut [T]`
+//! borrowed directly from the engine's object storage, so accesses at the
+//! home node never copy the payload; dropping a [`WriteView`] arms the
+//! twin/diff bookkeeping for the interval's release. Every access and
+//! synchronization operation also has a fallible `try_*` form returning
+//! [`DsmResult`], so protocol misuse surfaces as a typed [`DsmError`]
+//! instead of a node-thread panic.
+//!
 //! All coherence traffic, home migrations and statistics fall out of the
 //! protocol engine; at the end of a run the [`Cluster`] returns an
 //! [`ExecutionReport`] with the virtual execution time, the message/traffic
@@ -17,19 +27,23 @@
 //! into the paper's figures.
 //!
 //! ```no_run
-//! use dsm_runtime::{Cluster, ClusterConfig, ArrayHandle};
-//! use dsm_core::ProtocolConfig;
-//! use dsm_objspace::{HomeAssignment, NodeId, ObjectRegistry, LockId};
+//! use dsm_runtime::Cluster;
+//! use dsm_core::MigrationPolicy;
+//! use dsm_objspace::{HomeAssignment, LockId};
 //!
-//! let mut registry = ObjectRegistry::new();
-//! let counter: ArrayHandle<u64> = ArrayHandle::register(
-//!     &mut registry, "counter", 0, 1, NodeId::MASTER, HomeAssignment::Master);
-//! let config = ClusterConfig::new(4, ProtocolConfig::adaptive());
-//! let report = Cluster::new(config, registry).run(move |ctx| {
+//! // Chainable, seeded construction; the builder owns the registry.
+//! let mut builder = Cluster::builder()
+//!     .nodes(4)
+//!     .migration(MigrationPolicy::adaptive())
+//!     .seed(2004)
+//!     .default_home(HomeAssignment::Master);
+//! let counter = builder.register_array::<u64>("counter", 1);
+//! let report = builder.build().run(move |ctx| {
 //!     let lock = LockId::derive("counter.lock");
 //!     for _ in 0..10 {
 //!         ctx.acquire(lock);
-//!         ctx.update(&counter, |v| v[0] += 1);
+//!         // Zero-copy write view: borrows the engine's storage in place.
+//!         ctx.view_mut(&counter)[0] += 1;
 //!         ctx.release(lock);
 //!     }
 //! });
@@ -45,9 +59,12 @@ pub mod handle;
 pub mod node;
 pub mod report;
 pub mod vclock;
+pub mod view;
 
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterBuilder, ClusterConfig};
 pub use ctx::NodeCtx;
-pub use handle::ArrayHandle;
+pub use dsm_objspace::{DsmError, DsmResult};
+pub use handle::{ArrayHandle, Matrix2dHandle, ScalarHandle};
 pub use report::ExecutionReport;
 pub use vclock::VirtualClock;
+pub use view::{ReadView, WriteView};

@@ -9,21 +9,36 @@
 //! * the **protocol server thread** drains the node's fabric endpoint,
 //!   dispatches requests to the protocol engine, sends the produced replies
 //!   and wakes local waiters.
+//!
+//! The server **never blocks on object payloads**: when the engine reports
+//! a `Busy` outcome (the application holds a zero-copy view of the copy a
+//! request needs), the message is parked on a local deferral queue and
+//! retried after subsequent messages and on every poll tick. Replies to the
+//! local application are always processed immediately, which is what makes
+//! it safe for the application to block on the network while holding *read*
+//! views of other objects. Blocking with a live *write* view could still
+//! deadlock two nodes through mutual deferral, so the context refuses
+//! remote fault-ins in that state (`DsmError::FetchWithLiveWrites`).
 
 use crate::vclock::VirtualClock;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use dsm_core::{
-    DiffOutcome, ObjectRequestOutcome, ProtocolEngine, ProtocolMsg, ReqId,
-};
 use dsm_core::sync::{BarrierOutcome, LockAcquireOutcome};
+use dsm_core::{DiffOutcome, ObjectRequestOutcome, ProtocolEngine, ProtocolMsg, ReqId};
 use dsm_model::{ComputeModel, SimDuration, SimTime};
 use dsm_net::Endpoint;
-use dsm_objspace::NodeId;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use dsm_objspace::{NodeId, ObjectRegistry};
+use dsm_util::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use dsm_util::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// Whether protocol tracing (`DSM_TRACE=1`) is enabled; resolved once.
+/// Unset, empty and `0` all mean disabled.
+fn trace_enabled() -> bool {
+    static TRACE: OnceLock<bool> = OnceLock::new();
+    *TRACE.get_or_init(|| std::env::var("DSM_TRACE").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
 
 /// A reply delivered to a blocked application-thread request.
 #[derive(Debug)]
@@ -39,10 +54,12 @@ pub(crate) struct NodeShared {
     pub node: NodeId,
     pub num_nodes: usize,
     pub engine: Mutex<ProtocolEngine>,
+    pub registry: Arc<ObjectRegistry>,
     pub endpoint: Endpoint<ProtocolMsg>,
     pub clock: VirtualClock,
     pub compute: ComputeModel,
     pub handling_cost: SimDuration,
+    pub seed: u64,
     pending: Mutex<HashMap<ReqId, Sender<Reply>>>,
     next_req: AtomicU64,
     shutdown: AtomicBool,
@@ -54,15 +71,18 @@ impl NodeShared {
         endpoint: Endpoint<ProtocolMsg>,
         compute: ComputeModel,
         handling_cost: SimDuration,
+        seed: u64,
     ) -> Arc<Self> {
         Arc::new(NodeShared {
             node: engine.node(),
             num_nodes: engine.num_nodes(),
+            registry: Arc::clone(engine.registry()),
             engine: Mutex::new(engine),
             endpoint,
             clock: VirtualClock::new(),
             compute,
             handling_cost,
+            seed,
             pending: Mutex::new(HashMap::new()),
             next_req: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
@@ -122,9 +142,14 @@ impl NodeShared {
     /// arrives, merge the reply's arrival time into the local clock and
     /// return the reply message.
     pub fn request(&self, dst: NodeId, req: ReqId, msg: ProtocolMsg) -> ProtocolMsg {
+        if trace_enabled() {
+            eprintln!("[{}] request -> {} {:?}", self.node, dst, msg);
+        }
         let rx = self.register_pending(req);
         self.send(dst, msg);
-        let reply = rx.recv().expect("cluster shut down while a request was outstanding");
+        let reply = rx
+            .recv()
+            .expect("cluster shut down while a request was outstanding");
         self.clock.merge(reply.arrival);
         reply.msg
     }
@@ -140,11 +165,20 @@ impl NodeShared {
 }
 
 /// The protocol server loop for one node. Runs until shutdown is requested
-/// and the endpoint has been drained.
+/// and both the endpoint and the deferral queue have been drained.
 pub(crate) fn server_loop(shared: &Arc<NodeShared>) {
+    // Messages whose payload store was leased to an application view when
+    // they arrived; retried after every subsequent message and poll tick.
+    let mut deferred: VecDeque<(NodeId, ProtocolMsg)> = VecDeque::new();
     loop {
         match shared.endpoint.recv_timeout(Duration::from_millis(2)) {
             Ok(envelope) => {
+                if trace_enabled() {
+                    eprintln!(
+                        "[{}] serve from {} {:?}",
+                        shared.node, envelope.src, envelope.payload
+                    );
+                }
                 // Protocol handling shares the node's (virtual) CPU.
                 shared
                     .clock
@@ -155,12 +189,15 @@ pub(crate) fn server_loop(shared: &Arc<NodeShared>) {
                 if msg.is_reply() {
                     let req = msg.reply_req().expect("reply carries request id");
                     shared.complete(req, msg, arrival);
-                } else {
-                    handle_request(shared, src, msg);
+                } else if let Some(busy) = handle_request(shared, src, msg) {
+                    deferred.push_back((src, busy));
                 }
+                retry_deferred(shared, &mut deferred);
             }
             Err(RecvTimeoutError::Timeout) => {
-                if shared.should_shutdown() && shared.endpoint.pending() == 0 {
+                retry_deferred(shared, &mut deferred);
+                if shared.should_shutdown() && shared.endpoint.pending() == 0 && deferred.is_empty()
+                {
                     return;
                 }
             }
@@ -169,9 +206,22 @@ pub(crate) fn server_loop(shared: &Arc<NodeShared>) {
     }
 }
 
-/// Dispatch one incoming (non-reply) protocol message.
-fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) {
-    match msg {
+/// Give every deferred message one more chance, preserving arrival order
+/// among the still-busy ones.
+fn retry_deferred(shared: &Arc<NodeShared>, deferred: &mut VecDeque<(NodeId, ProtocolMsg)>) {
+    for _ in 0..deferred.len() {
+        let (src, msg) = deferred.pop_front().expect("length checked by loop");
+        if let Some(busy) = handle_request(shared, src, msg) {
+            deferred.push_back((src, busy));
+        }
+    }
+}
+
+/// Dispatch one incoming (non-reply) protocol message. Returns the message
+/// back when the engine reported a busy payload store, so the caller can
+/// defer and retry it.
+fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) -> Option<ProtocolMsg> {
+    match &msg {
         ProtocolMsg::ObjectRequest {
             req,
             obj,
@@ -179,11 +229,15 @@ fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) {
             for_write,
             redirections,
         } => {
-            let outcome = shared
-                .engine
-                .lock()
-                .handle_object_request(obj, requester, for_write, redirections);
+            let (req, obj, requester) = (*req, *obj, *requester);
+            let outcome = shared.engine.lock().handle_object_request(
+                obj,
+                requester,
+                *for_write,
+                *redirections,
+            );
             match outcome {
+                ObjectRequestOutcome::Busy => return Some(msg),
                 ObjectRequestOutcome::Reply {
                     data,
                     version,
@@ -193,12 +247,14 @@ fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) {
                     // New-home notifications (broadcast / manager mechanisms)
                     // are sent before the reply so their virtual send time is
                     // the migration instant.
+                    let epoch = migration.as_ref().map_or(0, |grant| grant.epoch());
                     for target in notify {
                         shared.send(
                             target,
                             ProtocolMsg::HomeNotify {
                                 obj,
                                 new_home: requester,
+                                epoch,
                             },
                         );
                     }
@@ -213,13 +269,14 @@ fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) {
                         },
                     );
                 }
-                ObjectRequestOutcome::Redirect { hint } => {
+                ObjectRequestOutcome::Redirect { hint, epoch } => {
                     shared.send(
                         requester,
                         ProtocolMsg::ObjectRedirect {
                             req,
                             obj,
                             new_home: hint,
+                            epoch,
                         },
                     );
                 }
@@ -232,11 +289,13 @@ fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) {
             from,
             redirections,
         } => {
+            let (req, obj, from) = (*req, *obj, *from);
             let outcome = shared
                 .engine
                 .lock()
-                .handle_diff(obj, &diff, from, redirections);
+                .handle_diff(obj, diff, from, *redirections);
             match outcome {
+                DiffOutcome::Busy => return Some(msg),
                 DiffOutcome::Applied { new_version } => {
                     shared.send(
                         from,
@@ -247,13 +306,14 @@ fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) {
                         },
                     );
                 }
-                DiffOutcome::Redirect { hint } => {
+                DiffOutcome::Redirect { hint, epoch } => {
                     shared.send(
                         from,
                         ProtocolMsg::DiffRedirect {
                             req,
                             obj,
                             new_home: hint,
+                            epoch,
                         },
                     );
                 }
@@ -264,16 +324,22 @@ fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) {
             lock,
             requester,
         } => {
-            let outcome = shared.engine.lock().lock_acquire(lock, requester, req);
+            let outcome = shared.engine.lock().lock_acquire(*lock, *requester, *req);
             if outcome == LockAcquireOutcome::Granted {
-                shared.send(requester, ProtocolMsg::LockGrant { req, lock });
+                shared.send(
+                    *requester,
+                    ProtocolMsg::LockGrant {
+                        req: *req,
+                        lock: *lock,
+                    },
+                );
             }
             // Queued: the grant is sent when the current holder releases.
         }
         ProtocolMsg::LockRelease { lock, holder } => {
-            let outcome = shared.engine.lock().lock_release(lock, holder);
+            let outcome = shared.engine.lock().lock_release(*lock, *holder);
             if let Some((next, req)) = outcome.grant_next {
-                dispatch_lock_grant(shared, lock, next, req);
+                dispatch_lock_grant(shared, *lock, next, req);
             }
         }
         ProtocolMsg::BarrierArrive {
@@ -282,28 +348,52 @@ fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) {
             node,
             epoch,
         } => {
-            let outcome = shared.engine.lock().barrier_arrive(barrier, node, req);
-            if let BarrierOutcome::Complete { waiters, epoch: done } = outcome {
-                debug_assert_eq!(done, epoch, "barrier epoch mismatch");
-                dispatch_barrier_release(shared, barrier, done, waiters);
+            let outcome = shared.engine.lock().barrier_arrive(*barrier, *node, *req);
+            if let BarrierOutcome::Complete {
+                waiters,
+                epoch: done,
+            } = outcome
+            {
+                debug_assert_eq!(done, *epoch, "barrier epoch mismatch");
+                dispatch_barrier_release(shared, *barrier, done, waiters);
             }
         }
-        ProtocolMsg::HomeNotify { obj, new_home } => {
-            shared.engine.lock().handle_home_notify(obj, new_home);
+        ProtocolMsg::HomeNotify {
+            obj,
+            new_home,
+            epoch,
+        } => {
+            shared
+                .engine
+                .lock()
+                .handle_home_notify(*obj, *new_home, *epoch);
         }
         ProtocolMsg::HomeLookup { req, obj } => {
-            let home = shared.engine.lock().handle_home_lookup(obj);
-            shared.send(src, ProtocolMsg::HomeLookupReply { req, obj, home });
+            let home = shared.engine.lock().handle_home_lookup(*obj);
+            shared.send(
+                src,
+                ProtocolMsg::HomeLookupReply {
+                    req: *req,
+                    obj: *obj,
+                    home,
+                },
+            );
         }
         ProtocolMsg::Shutdown => {
             shared.request_shutdown();
         }
         other => panic!("server received unexpected message {other:?}"),
     }
+    None
 }
 
 /// Send (or locally deliver) a lock grant to the next holder.
-pub(crate) fn dispatch_lock_grant(shared: &Arc<NodeShared>, lock: dsm_objspace::LockId, next: NodeId, req: ReqId) {
+pub(crate) fn dispatch_lock_grant(
+    shared: &Arc<NodeShared>,
+    lock: dsm_objspace::LockId,
+    next: NodeId,
+    req: ReqId,
+) {
     let grant = ProtocolMsg::LockGrant { req, lock };
     if next == shared.node {
         shared.deliver_local(req, grant);

@@ -8,10 +8,9 @@
 use dsm_core::ProtocolStats;
 use dsm_model::{SimDuration, SimTime};
 use dsm_net::{MsgCategory, NetworkStats};
-use serde::{Deserialize, Serialize};
 
 /// Summary of one cluster run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExecutionReport {
     /// Virtual execution time of the run: the maximum final clock over all
     /// nodes (the slowest node defines completion, as on a real cluster).

@@ -13,7 +13,7 @@
 //!   become part of the virtual execution time.
 
 use dsm_model::{SimDuration, SimTime};
-use parking_lot::Mutex;
+use dsm_util::Mutex;
 use std::sync::Arc;
 
 /// A shareable monotone virtual clock.
@@ -36,7 +36,7 @@ impl VirtualClock {
     /// Advance the clock by `d` and return the new time.
     pub fn advance(&self, d: SimDuration) -> SimTime {
         let mut t = self.inner.lock();
-        *t = *t + d;
+        *t += d;
         *t
     }
 

@@ -5,7 +5,7 @@ use dsm_core::{MigrationPolicy, ProtocolConfig};
 use dsm_model::ComputeModel;
 use dsm_net::MsgCategory;
 use dsm_objspace::{BarrierId, HomeAssignment, LockId, NodeId, ObjectRegistry};
-use dsm_runtime::{ArrayHandle, Cluster, ClusterConfig};
+use dsm_runtime::{ArrayHandle, Cluster, ClusterConfig, Matrix2dHandle};
 
 fn config(nodes: usize, protocol: ProtocolConfig) -> ClusterConfig {
     ClusterConfig::new(nodes, protocol).with_compute(ComputeModel::free())
@@ -30,17 +30,18 @@ fn lock_protected_counter_is_consistent() {
     let lock = LockId::derive("counter.lock");
     let done = BarrierId(1);
 
-    let report = Cluster::new(config(nodes, ProtocolConfig::adaptive()), registry).run(move |ctx| {
-        for _ in 0..increments {
-            ctx.acquire(lock);
-            ctx.update(&counter, |v| v[0] += 1);
-            ctx.release(lock);
-        }
-        ctx.barrier(done);
-        // After the final barrier every node must observe the same total.
-        let total = ctx.read(&counter)[0];
-        assert_eq!(total, nodes as u64 * increments);
-    });
+    let report =
+        Cluster::new(config(nodes, ProtocolConfig::adaptive()), registry).run(move |ctx| {
+            for _ in 0..increments {
+                ctx.acquire(lock);
+                ctx.update(&counter, |v| v[0] += 1);
+                ctx.release(lock);
+            }
+            ctx.barrier(done);
+            // After the final barrier every node must observe the same total.
+            let total = ctx.read(&counter)[0];
+            assert_eq!(total, nodes as u64 * increments);
+        });
     assert_eq!(report.num_nodes, nodes);
     assert!(report.execution_time.as_micros() > 0.0);
     assert_eq!(report.protocol.lock_acquires, nodes as u64 * increments);
@@ -86,12 +87,18 @@ fn single_writer_pattern_migrates_home_and_cuts_messages() {
     let no_migration = run(ProtocolConfig::no_migration());
 
     assert_eq!(no_migration.migrations(), 0);
-    assert!(adaptive.migrations() >= 1, "adaptive policy must migrate the home");
+    assert!(
+        adaptive.migrations() >= 1,
+        "adaptive policy must migrate the home"
+    );
     // Fault-ins and diffs: NoHM pays one of each per interval; AT pays a
     // handful before the migration and nothing afterwards.
     assert!(no_migration.messages(MsgCategory::Diff) >= intervals - 1);
     assert!(adaptive.messages(MsgCategory::Diff) <= 3);
-    assert!(adaptive.messages(MsgCategory::ObjReply) + adaptive.messages(MsgCategory::ObjReplyMigrate) <= 3);
+    assert!(
+        adaptive.messages(MsgCategory::ObjReply) + adaptive.messages(MsgCategory::ObjReplyMigrate)
+            <= 3
+    );
     assert!(
         adaptive.breakdown_messages() * 4 < no_migration.breakdown_messages(),
         "home migration should eliminate most coherence messages ({} vs {})",
@@ -133,7 +140,11 @@ fn barrier_based_producer_consumer_sees_fresh_data() {
             if ctx.node_id() == NodeId(1) {
                 let seen = ctx.read(&buf);
                 for (i, value) in seen.iter().enumerate() {
-                    assert_eq!(*value, phase * 1000 + i as u64, "stale read in phase {phase}");
+                    assert_eq!(
+                        *value,
+                        phase * 1000 + i as u64,
+                        "stale read in phase {phase}"
+                    );
                 }
             }
             ctx.barrier(barrier);
@@ -154,7 +165,7 @@ fn round_robin_rows_relocate_to_their_writers() {
     let iterations = 6u64;
 
     let mut registry = ObjectRegistry::new();
-    let rows = dsm_runtime::handle::register_rows::<u64>(
+    let rows = Matrix2dHandle::<u64>::register(
         &mut registry,
         "rows",
         total_rows,
@@ -164,22 +175,24 @@ fn round_robin_rows_relocate_to_their_writers() {
     );
     let barrier = BarrierId(3);
 
-    let report = Cluster::new(config(nodes, ProtocolConfig::adaptive()), registry).run(move |ctx| {
-        let me = ctx.node_id().index();
-        let my_rows: Vec<_> = (0..total_rows)
-            .filter(|r| r / rows_per_node == me)
-            .collect();
-        for iter in 0..iterations {
-            for &r in &my_rows {
-                ctx.update(&rows[r], |v| {
-                    for slot in v.iter_mut() {
+    let report =
+        Cluster::new(config(nodes, ProtocolConfig::adaptive()), registry).run(move |ctx| {
+            let me = ctx.node_id().index();
+            let my_rows: Vec<_> = (0..total_rows)
+                .filter(|r| r / rows_per_node == me)
+                .collect();
+            for iter in 0..iterations {
+                for &r in &my_rows {
+                    // Zero-copy write view: fills the row in place.
+                    let mut row = ctx.view_mut(rows.row(r));
+                    for slot in row.iter_mut() {
                         *slot = iter * 100 + r as u64 + 1;
                     }
-                });
+                    drop(row);
+                }
+                ctx.barrier(barrier);
             }
-            ctx.barrier(barrier);
-        }
-    });
+        });
 
     // Each row is written by exactly one node, so each should migrate
     // exactly once (to its writer); rows that already start at their writer
@@ -211,23 +224,24 @@ fn immutable_objects_are_fetched_at_most_once_per_node() {
     let lock = LockId::derive("work.lock");
     let barrier = BarrierId(4);
 
-    let report = Cluster::new(config(nodes, ProtocolConfig::adaptive()), registry).run(move |ctx| {
-        if ctx.is_master() {
-            ctx.bootstrap(&table, &(0..64).map(|i| i * 7).collect::<Vec<u64>>());
-        } else {
-            ctx.bootstrap(&table, &(0..64).map(|i| i * 7).collect::<Vec<u64>>());
-        }
-        ctx.barrier(barrier);
-        // Many critical sections, each reading the immutable table: without
-        // the read-only optimization every acquire would force a re-fetch.
-        for _ in 0..10 {
-            ctx.acquire(lock);
-            let t = ctx.read(&table);
-            assert_eq!(t[3], 21);
-            ctx.release(lock);
-        }
-        ctx.barrier(barrier);
-    });
+    let report =
+        Cluster::new(config(nodes, ProtocolConfig::adaptive()), registry).run(move |ctx| {
+            if ctx.is_master() {
+                ctx.bootstrap(&table, &(0..64).map(|i| i * 7).collect::<Vec<u64>>());
+            } else {
+                ctx.bootstrap(&table, &(0..64).map(|i| i * 7).collect::<Vec<u64>>());
+            }
+            ctx.barrier(barrier);
+            // Many critical sections, each reading the immutable table: without
+            // the read-only optimization every acquire would force a re-fetch.
+            for _ in 0..10 {
+                ctx.acquire(lock);
+                let t = ctx.read(&table);
+                assert_eq!(t[3], 21);
+                ctx.release(lock);
+            }
+            ctx.barrier(barrier);
+        });
     // Three non-home nodes fetch the table once each; the master reads it
     // locally. A few extra fetches may occur due to bootstrap ordering, but
     // nothing close to 10 per node.
@@ -251,8 +265,7 @@ fn jump_policy_bounces_home_between_alternating_writers() {
         HomeAssignment::Master,
     );
     let lock = LockId::derive("bounce.lock");
-    let protocol =
-        ProtocolConfig::no_migration().with_migration(MigrationPolicy::MigrateOnRequest);
+    let protocol = ProtocolConfig::no_migration().with_migration(MigrationPolicy::MigrateOnRequest);
     let report = Cluster::new(config(nodes, protocol), registry).run(move |ctx| {
         if ctx.node_id().index() > 0 {
             for i in 0..10u64 {
@@ -293,6 +306,10 @@ fn single_node_cluster_degenerates_to_local_execution() {
         ctx.barrier(BarrierId(6));
         assert_eq!(ctx.read(&data)[0], (0..20u64).sum());
     });
-    assert_eq!(report.breakdown_messages(), 0, "no coherence traffic on one node");
+    assert_eq!(
+        report.breakdown_messages(),
+        0,
+        "no coherence traffic on one node"
+    );
     assert_eq!(report.migrations(), 0);
 }

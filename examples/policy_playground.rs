@@ -21,8 +21,8 @@ fn main() {
         ("JUMP MigrateOnRequest", MigrationPolicy::MigrateOnRequest),
         ("Jackal LazyFlushing", MigrationPolicy::lazy_flushing()),
     ] {
-        let protocol = ProtocolConfig::adaptive().with_migration(policy);
-        let run = asp::run(ClusterConfig::new(8, protocol), &params);
+        let config = Cluster::builder().nodes(8).migration(policy).config();
+        let run = asp::run(config, &params);
         println!(
             "{name:>22}: time {:>10}  msgs {:>7}  migrations {:>5}  redirections {:>5}",
             format!("{}", run.report.execution_time),
@@ -34,18 +34,22 @@ fn main() {
 
     println!("\n-- notification mechanisms (adaptive threshold) --");
     for (name, mechanism) in [
-        ("ForwardingPointer", NotificationMechanism::ForwardingPointer),
+        (
+            "ForwardingPointer",
+            NotificationMechanism::ForwardingPointer,
+        ),
         ("HomeManager", NotificationMechanism::HomeManager),
         ("Broadcast", NotificationMechanism::Broadcast),
     ] {
-        let protocol = ProtocolConfig::adaptive().with_notification(mechanism);
-        let run = asp::run(ClusterConfig::new(8, protocol), &params);
+        let config = Cluster::builder().nodes(8).notification(mechanism).config();
+        let run = asp::run(config, &params);
         println!(
             "{name:>22}: time {:>10}  msgs {:>7}  redirections {:>5}  notifications {:>5}",
             format!("{}", run.report.execution_time),
             run.report.breakdown_messages(),
             run.report.messages(MsgCategory::Redirect),
-            run.report.messages(MsgCategory::HomeNotify) + run.report.messages(MsgCategory::HomeLookup),
+            run.report.messages(MsgCategory::HomeNotify)
+                + run.report.messages(MsgCategory::HomeLookup),
         );
     }
 }

@@ -1,36 +1,39 @@
 //! Quick start: a lock-protected shared counter on a simulated 8-node
 //! cluster, comparing the adaptive home migration protocol with migration
-//! disabled.
+//! disabled — on the zero-copy view API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use adaptive_dsm::prelude::*;
 
-fn run_once(policy_name: &str, protocol: ProtocolConfig) -> ExecutionReport {
-    let mut registry = ObjectRegistry::new();
-    let counter: ArrayHandle<u64> = ArrayHandle::register(
-        &mut registry,
-        "counter",
-        0,
-        1,
-        NodeId::MASTER,
-        HomeAssignment::Master,
-    );
+fn run_once(policy_name: &str, policy: MigrationPolicy) -> ExecutionReport {
+    // The seeded builder owns the registry: declare the cluster shape and
+    // its shared objects in one chain.
+    let mut builder = Cluster::builder()
+        .nodes(8)
+        .migration(policy)
+        .seed(2004)
+        .default_home(HomeAssignment::Master);
+    let counter = builder.register_array::<u64>("counter", 1);
     let lock = LockId::derive("counter.lock");
-    let config = ClusterConfig::new(8, protocol);
 
-    let report = Cluster::new(config, registry).run(move |ctx| {
+    let report = builder.build().run(move |ctx| {
         // Only the non-master nodes work, like the paper's synthetic
         // benchmark: the counter starts homed on the master, so every update
         // is remote until the home migrates.
         if !ctx.is_master() {
             for _ in 0..40 {
-                ctx.synchronized(lock, || ctx.update(&counter, |v| v[0] += 1));
+                ctx.acquire(lock);
+                // Zero-copy write view: `&mut [u64]` borrowed directly from
+                // the engine's storage. Once the home migrates here, this
+                // touches the home copy in place — no messages, no copies.
+                ctx.view_mut(&counter)[0] += 1;
+                ctx.release(lock);
                 ctx.compute(5_000);
             }
         }
         ctx.barrier(BarrierId(1));
-        let total = ctx.read(&counter)[0];
+        let total = ctx.view(&counter)[0];
         assert_eq!(total, 7 * 40, "no update may be lost");
     });
 
@@ -46,8 +49,8 @@ fn run_once(policy_name: &str, protocol: ProtocolConfig) -> ExecutionReport {
 
 fn main() {
     println!("shared counter, 8 nodes, 7 workers x 40 lock-protected increments\n");
-    let adaptive = run_once("AT", ProtocolConfig::adaptive());
-    let none = run_once("NoHM", ProtocolConfig::no_migration());
+    let adaptive = run_once("AT", MigrationPolicy::adaptive());
+    let none = run_once("NoHM", MigrationPolicy::NoMigration);
     println!(
         "\nadaptive home migration removed {:.1}% of the coherence messages",
         100.0 * (1.0 - adaptive.breakdown_messages() as f64 / none.breakdown_messages() as f64)

@@ -11,7 +11,10 @@ use adaptive_dsm::prelude::*;
 fn main() {
     let nodes = 5; // one master + four workers
     println!("synthetic single-writer benchmark, {nodes} nodes\n");
-    println!("{:>4} {:>6} {:>12} {:>8} {:>8} {:>8} {:>8}", "r", "policy", "time", "obj+mig", "diff", "redir", "migr");
+    println!(
+        "{:>4} {:>6} {:>12} {:>8} {:>8} {:>8} {:>8}",
+        "r", "policy", "time", "obj+mig", "diff", "redir", "migr"
+    );
     for repetition in [2usize, 4, 8, 16] {
         for (name, protocol) in [
             ("NM", ProtocolConfig::no_migration()),
@@ -24,7 +27,8 @@ fn main() {
                 total_updates: (repetition * (nodes - 1) * 10) as u64,
                 compute_ops: 2_000,
             };
-            let run = synthetic::run(ClusterConfig::new(nodes, protocol), &params);
+            let config = Cluster::builder().nodes(nodes).protocol(protocol).config();
+            let run = synthetic::run(config, &params);
             println!(
                 "{:>4} {:>6} {:>12} {:>8} {:>8} {:>8} {:>8}",
                 repetition,

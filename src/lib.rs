@@ -9,40 +9,62 @@
 //! * [`model`] — virtual time, the Hockney communication model, the home
 //!   access coefficient (Appendix A of the paper);
 //! * [`objspace`] — shared objects, twins, diffs, access states, home
-//!   assignment;
+//!   assignment, and the [`prelude::DsmError`] taxonomy;
 //! * [`net`] — the simulated cluster fabric and message statistics;
 //! * [`protocol`] — the home-based LRC coherence engine and the migration
 //!   policies (`NoMigration`, `FixedThreshold`, `AdaptiveThreshold`,
 //!   `MigrateOnRequest`, `LazyFlushing`);
-//! * [`runtime`] — the threaded cluster runtime and the typed GOS API
-//!   (`NodeCtx`, `ArrayHandle`, locks, barriers);
+//! * [`runtime`] — the threaded cluster runtime and the typed GOS API:
+//!   the seeded [`prelude::ClusterBuilder`], the handle family
+//!   ([`prelude::ArrayHandle`], [`prelude::ScalarHandle`],
+//!   [`prelude::Matrix2dHandle`]) and the zero-copy
+//!   [`prelude::ReadView`]/[`prelude::WriteView`] guards;
 //! * [`apps`] — the paper's workloads (ASP, SOR, Barnes–Hut Nbody, TSP and
 //!   the synthetic single-writer benchmark).
 //!
 //! ## Quick start
 //!
+//! Construction goes through the chainable, seeded cluster builder; object
+//! access goes through zero-copy views that borrow the engine's storage in
+//! place (`&[T]` / `&mut [T]`), so accesses at an object's home node never
+//! copy the payload:
+//!
 //! ```no_run
 //! use adaptive_dsm::prelude::*;
 //!
-//! // Declare the shared objects (every node derives the same ids).
-//! let mut registry = ObjectRegistry::new();
-//! let counter: ArrayHandle<u64> = ArrayHandle::register(
-//!     &mut registry, "counter", 0, 1, NodeId::MASTER, HomeAssignment::Master);
-//!
-//! // Pick a cluster size and a home-migration policy.
-//! let config = ClusterConfig::new(8, ProtocolConfig::adaptive());
+//! // Declare the cluster and its shared objects in one chain. Every node
+//! // derives the same object ids, so no handle exchange is needed.
+//! let mut builder = Cluster::builder()
+//!     .nodes(8)
+//!     .migration(MigrationPolicy::adaptive())
+//!     .seed(2004)
+//!     .default_home(HomeAssignment::Master);
+//! let counter = builder.register_array::<u64>("counter", 1);
 //!
 //! // Run the same closure on every node, exactly like a Java thread
 //! // dispatched to each node of the paper's distributed JVM.
-//! let report = Cluster::new(config, registry).run(move |ctx| {
+//! let report = builder.build().run(move |ctx| {
 //!     let lock = LockId::derive("counter.lock");
 //!     for _ in 0..100 {
-//!         ctx.synchronized(lock, || ctx.update(&counter, |v| v[0] += 1));
+//!         ctx.acquire(lock);
+//!         // A scoped write view: `&mut [u64]` borrowed straight from the
+//!         // engine's object storage; the twin/diff bookkeeping commits
+//!         // when the view drops.
+//!         ctx.view_mut(&counter)[0] += 1;
+//!         ctx.release(lock);
 //!     }
+//!     // Misuse is recoverable through the fallible surface:
+//!     let bogus: ArrayHandle<u64> = ArrayHandle::lookup("unregistered", 0, 4);
+//!     assert!(matches!(ctx.try_view(&bogus), Err(DsmError::UnknownObject { .. })));
 //! });
 //! println!("virtual time: {}, messages: {}, migrations: {}",
 //!          report.execution_time, report.total_messages(), report.migrations());
 //! ```
+//!
+//! After the home of `counter` migrates to its single writer, every further
+//! `view_mut` in that loop is a purely local operation on the home copy —
+//! the paper's "accesses at the home never communicate", realized with no
+//! decode/encode round-trip.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,9 +82,12 @@ pub mod prelude {
     pub use dsm_model::{ComputeModel, HockneyModel, NetworkParams, SimDuration, SimTime};
     pub use dsm_net::MsgCategory;
     pub use dsm_objspace::{
-        BarrierId, HomeAssignment, LockId, NodeId, ObjectId, ObjectRegistry,
+        BarrierId, DsmError, DsmResult, HomeAssignment, LockId, NodeId, ObjectId, ObjectRegistry,
     };
-    pub use dsm_runtime::{ArrayHandle, Cluster, ClusterConfig, ExecutionReport, NodeCtx};
+    pub use dsm_runtime::{
+        ArrayHandle, Cluster, ClusterBuilder, ClusterConfig, ExecutionReport, Matrix2dHandle,
+        NodeCtx, ReadView, ScalarHandle, WriteView,
+    };
 }
 
 #[cfg(test)]
@@ -71,24 +96,39 @@ mod tests {
 
     #[test]
     fn facade_reexports_compose() {
-        let mut registry = ObjectRegistry::new();
-        let handle: ArrayHandle<u64> = ArrayHandle::register(
-            &mut registry,
-            "facade.test",
-            0,
-            4,
-            NodeId::MASTER,
-            HomeAssignment::Master,
-        );
-        let config = ClusterConfig::new(2, ProtocolConfig::adaptive())
-            .with_compute(ComputeModel::free());
-        let report = Cluster::new(config, registry).run(move |ctx| {
+        let mut builder = Cluster::builder()
+            .nodes(2)
+            .protocol(ProtocolConfig::adaptive())
+            .compute(ComputeModel::free())
+            .seed(7)
+            .default_home(HomeAssignment::Master);
+        let handle = builder.register_array::<u64>("facade.test", 4);
+        let report = builder.build().run(move |ctx| {
+            assert_eq!(ctx.seed(), 7);
             if ctx.is_master() {
-                ctx.update(&handle, |v| v[0] = 7);
+                ctx.view_mut(&handle)[0] = 7;
             }
             ctx.barrier(BarrierId(1));
-            assert_eq!(ctx.read(&handle)[0], 7);
+            assert_eq!(ctx.view(&handle)[0], 7);
         });
         assert_eq!(report.num_nodes, 2);
+    }
+
+    #[test]
+    fn facade_surfaces_typed_errors() {
+        let mut builder = Cluster::builder().nodes(1).compute(ComputeModel::free());
+        let _known = builder.register_array::<u64>("known", 2);
+        builder.build().run(|ctx| {
+            let bogus: ArrayHandle<u64> = ArrayHandle::lookup("unknown", 0, 2);
+            assert!(matches!(
+                ctx.try_view(&bogus),
+                Err(DsmError::UnknownObject { .. })
+            ));
+            let wrong: ArrayHandle<u64> = ArrayHandle::lookup("known", 0, 3);
+            assert!(matches!(
+                ctx.try_view(&wrong),
+                Err(DsmError::SizeMismatch { .. })
+            ));
+        });
     }
 }

@@ -13,5 +13,9 @@ use dsm_runtime::ClusterConfig;
 
 /// Build a fast (zero-compute-cost) cluster configuration for tests.
 pub fn test_cluster(nodes: usize, protocol: ProtocolConfig) -> ClusterConfig {
-    ClusterConfig::new(nodes, protocol).with_compute(ComputeModel::free())
+    dsm_runtime::Cluster::builder()
+        .nodes(nodes)
+        .protocol(protocol)
+        .compute(ComputeModel::free())
+        .config()
 }

@@ -31,14 +31,14 @@ fn single_writer_with_mechanism(mechanism: NotificationMechanism) -> (u64, u64, 
         if ctx.node_id() == NodeId(1) {
             for i in 0..intervals {
                 ctx.acquire(lock);
-                ctx.update(&data, |v| v[0] = i + 1);
+                ctx.view_mut(&data)[0] = i + 1;
                 ctx.release(lock);
             }
         }
         ctx.barrier(barrier);
         if ctx.node_id().index() >= 2 {
             ctx.acquire(lock);
-            let seen = ctx.read(&data)[0];
+            let seen = ctx.view(&data)[0];
             assert_eq!(seen, intervals, "readers must observe the final value");
             ctx.release(lock);
         }
@@ -57,7 +57,10 @@ fn forwarding_pointer_pays_redirections_but_no_notifications() {
         single_writer_with_mechanism(NotificationMechanism::ForwardingPointer);
     assert!(migrations >= 1);
     assert_eq!(notifications, 0, "forwarding pointers never notify eagerly");
-    assert!(redirects >= 1, "stale readers must be redirected at least once");
+    assert!(
+        redirects >= 1,
+        "stale readers must be redirected at least once"
+    );
 }
 
 #[test]
@@ -129,38 +132,39 @@ fn mixed_pattern_stress_run_preserves_every_object() {
     let lock = LockId::derive("stress.lock");
     let barrier = BarrierId(88);
 
-    let report = Cluster::new(test_cluster(nodes, ProtocolConfig::adaptive()), registry).run(
-        move |ctx| {
+    let report =
+        Cluster::new(test_cluster(nodes, ProtocolConfig::adaptive()), registry).run(move |ctx| {
             let me = ctx.node_id().index();
             for round in 0..rounds {
-                // Pattern 1: a lasting single writer per object.
-                ctx.update(&single[me], |v| {
-                    for slot in v.iter_mut() {
+                // Pattern 1: a lasting single writer per object, through a
+                // zero-copy write view.
+                {
+                    let mut view = ctx.view_mut(&single[me]);
+                    for slot in view.iter_mut() {
                         *slot = round + 1;
                     }
-                });
+                }
                 // Pattern 2: the writer of each rotating object changes every
                 // round (transient single-writer pattern).
                 for (i, handle) in rotating.iter().enumerate() {
                     if (round as usize + i) % nodes == me {
-                        ctx.update(handle, |v| v[0] = round + 1);
+                        ctx.view_mut(handle)[0] = round + 1;
                     }
                 }
                 // Pattern 3: a lock-protected shared accumulator.
-                ctx.synchronized(lock, || ctx.update(&accumulator, |v| v[0] += 1));
+                ctx.synchronized(lock, || ctx.view_mut(&accumulator)[0] += 1);
                 ctx.barrier(barrier);
             }
             // Verification on every node.
-            assert_eq!(ctx.read(&accumulator)[0], rounds * nodes as u64);
+            assert_eq!(ctx.view(&accumulator)[0], rounds * nodes as u64);
             for handle in &single {
-                assert_eq!(ctx.read(handle)[0], rounds);
+                assert_eq!(ctx.view(handle)[0], rounds);
             }
             for handle in &rotating {
-                assert_eq!(ctx.read(handle)[0], rounds);
+                assert_eq!(ctx.view(handle)[0], rounds);
             }
             ctx.barrier(barrier);
-        },
-    );
+        });
     // The lasting single-writer objects should have migrated to their
     // writers; the exact count for the rotating ones depends on feedback.
     assert!(report.migrations() >= 2);

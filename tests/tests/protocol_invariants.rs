@@ -1,4 +1,4 @@
-//! Property-based integration tests of the protocol engine driven at the
+//! Randomized integration tests of the protocol engine driven at the
 //! message level (no threads): random schedules of single-writer and
 //! multi-writer intervals across a small cluster must never violate the
 //! protocol's core invariants:
@@ -9,19 +9,27 @@
 //! * no write is ever lost: after every interval the home copy equals the
 //!   writer's view;
 //! * the adaptive threshold never drops below its initial value.
+//!
+//! Schedules are generated from fixed seeds with the workspace's
+//! [`SmallRng`], so every failure is reproducible from the case index.
 
-use dsm_core::{
-    AccessPlan, DiffOutcome, ObjectRequestOutcome, ProtocolConfig, ProtocolEngine,
-};
+use dsm_core::{AccessPlan, DiffOutcome, ObjectRequestOutcome, ProtocolConfig, ProtocolEngine};
 use dsm_objspace::{HomeAssignment, NodeId, ObjectId, ObjectRegistry};
-use proptest::prelude::*;
+use dsm_util::SmallRng;
 use std::sync::Arc;
 
 const OBJ_BYTES: usize = 64;
+const NODES: usize = 4;
 
 fn registry() -> Arc<ObjectRegistry> {
     let mut r = ObjectRegistry::new();
-    r.register_named("prop.obj", 0, OBJ_BYTES, NodeId::MASTER, HomeAssignment::Master);
+    r.register_named(
+        "prop.obj",
+        0,
+        OBJ_BYTES,
+        NodeId::MASTER,
+        HomeAssignment::Master,
+    );
     Arc::new(r)
 }
 
@@ -34,6 +42,12 @@ fn engines(nodes: usize, config: ProtocolConfig) -> Vec<ProtocolEngine> {
     (0..nodes)
         .map(|i| ProtocolEngine::new(NodeId::from(i), nodes, config.clone(), Arc::clone(&reg)))
         .collect()
+}
+
+/// A random writer schedule of `1..=max_len` steps.
+fn schedule(rng: &mut SmallRng, max_len: usize) -> Vec<usize> {
+    let len = 1 + rng.gen_index(max_len);
+    (0..len).map(|_| rng.gen_index(NODES)).collect()
 }
 
 /// Run one write interval of `writer`, following redirects, and return the
@@ -60,8 +74,8 @@ fn write_interval(engines: &mut [ProtocolEngine], writer: usize, value: u8) -> u
                     engines[writer].install_object(id, data, version, migration);
                     break;
                 }
-                ObjectRequestOutcome::Redirect { hint } => {
-                    engines[writer].note_redirect(id, hint);
+                ObjectRequestOutcome::Redirect { hint, epoch } => {
+                    engines[writer].note_redirect(id, hint, epoch);
                     hops += 1;
                     assert!(
                         hops <= engines.len() as u32 + 1,
@@ -69,6 +83,7 @@ fn write_interval(engines: &mut [ProtocolEngine], writer: usize, value: u8) -> u
                     );
                     target = hint;
                 }
+                other => panic!("single-threaded request cannot be deferred: {other:?}"),
             }
         }
         assert_eq!(engines[writer].plan_write(id), AccessPlan::LocalHit);
@@ -85,12 +100,13 @@ fn write_interval(engines: &mut [ProtocolEngine], writer: usize, value: u8) -> u
                     engines[writer].complete_flush(plan.obj, new_version);
                     break;
                 }
-                DiffOutcome::Redirect { hint } => {
-                    engines[writer].note_redirect(plan.obj, hint);
+                DiffOutcome::Redirect { hint, epoch } => {
+                    engines[writer].note_redirect(plan.obj, hint, epoch);
                     flush_hops += 1;
                     assert!(flush_hops <= engines.len() as u32 + 1);
                     target = hint;
                 }
+                other => panic!("single-threaded diff cannot be deferred: {other:?}"),
             }
         }
     }
@@ -109,41 +125,44 @@ fn home_value(engines: &[ProtocolEngine]) -> u8 {
         .expect("some node must be home")[0]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Under an arbitrary schedule of writers, with every migration policy,
-    /// there is always exactly one home, redirection chains converge and the
-    /// last write is never lost.
-    #[test]
-    fn random_schedules_preserve_protocol_invariants(
-        schedule in proptest::collection::vec(0usize..4, 1..60),
-        policy_idx in 0usize..4,
-    ) {
-        let config = match policy_idx {
+/// Under an arbitrary schedule of writers, with every migration policy,
+/// there is always exactly one home, redirection chains converge and the
+/// last write is never lost.
+#[test]
+fn random_schedules_preserve_protocol_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0x1AB5);
+    for case in 0..64 {
+        let config = match rng.gen_index(4) {
             0 => ProtocolConfig::no_migration(),
             1 => ProtocolConfig::fixed_threshold(1),
             2 => ProtocolConfig::fixed_threshold(2),
             _ => ProtocolConfig::adaptive(),
         };
-        let mut cluster = engines(4, config);
-        for (step, &writer) in schedule.iter().enumerate() {
+        let steps = schedule(&mut rng, 60);
+        let mut cluster = engines(NODES, config);
+        for (step, &writer) in steps.iter().enumerate() {
             let value = (step % 250) as u8 + 1;
             write_interval(&mut cluster, writer, value);
-            prop_assert_eq!(home_count(&cluster), 1, "exactly one home after every interval");
-            prop_assert_eq!(home_value(&cluster), value, "the home copy holds the last write");
+            assert_eq!(home_count(&cluster), 1, "case {case}: exactly one home");
+            assert_eq!(
+                home_value(&cluster),
+                value,
+                "case {case}: the home copy holds the last write"
+            );
         }
     }
+}
 
-    /// The adaptive threshold of the object's current home never drops below
-    /// the initial threshold, whatever the access history.
-    #[test]
-    fn adaptive_threshold_never_below_initial(
-        schedule in proptest::collection::vec(0usize..4, 1..40),
-    ) {
-        let mut cluster = engines(4, ProtocolConfig::adaptive());
-        let half_peak = ProtocolConfig::adaptive().half_peak_length();
-        for (step, &writer) in schedule.iter().enumerate() {
+/// The adaptive threshold of the object's current home never drops below the
+/// initial threshold, whatever the access history.
+#[test]
+fn adaptive_threshold_never_below_initial() {
+    let mut rng = SmallRng::seed_from_u64(0xADA9);
+    let half_peak = ProtocolConfig::adaptive().half_peak_length();
+    for case in 0..64 {
+        let steps = schedule(&mut rng, 40);
+        let mut cluster = engines(NODES, ProtocolConfig::adaptive());
+        for (step, &writer) in steps.iter().enumerate() {
             write_interval(&mut cluster, writer, (step % 250) as u8 + 1);
             for engine in &cluster {
                 if let Some(state) = engine.migration_state(obj()) {
@@ -152,22 +171,29 @@ proptest! {
                         OBJ_BYTES as u64,
                         half_peak,
                     );
-                    prop_assert!(t >= 1.0 - 1e-12, "threshold dropped below T_init: {}", t);
+                    assert!(
+                        t >= 1.0 - 1e-12,
+                        "case {case}: threshold dropped below T_init: {t}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// The no-migration baseline never moves the home, no matter the
-    /// schedule.
-    #[test]
-    fn no_migration_home_is_stable(
-        schedule in proptest::collection::vec(0usize..4, 1..40),
-    ) {
-        let mut cluster = engines(4, ProtocolConfig::no_migration());
-        for (step, &writer) in schedule.iter().enumerate() {
+/// The no-migration baseline never moves the home, no matter the schedule.
+#[test]
+fn no_migration_home_is_stable() {
+    let mut rng = SmallRng::seed_from_u64(0x5AFE);
+    for case in 0..64 {
+        let steps = schedule(&mut rng, 40);
+        let mut cluster = engines(NODES, ProtocolConfig::no_migration());
+        for (step, &writer) in steps.iter().enumerate() {
             write_interval(&mut cluster, writer, (step % 250) as u8 + 1);
         }
-        prop_assert!(cluster[0].is_home(obj()), "NoHM must keep the home on the master");
+        assert!(
+            cluster[0].is_home(obj()),
+            "case {case}: NoHM must keep the home on the master"
+        );
     }
 }
