@@ -18,13 +18,36 @@
 //! accounting. This keeps every protocol rule in one place and unit-testable
 //! without threads.
 //!
+//! ## Sharded locking
+//!
+//! The engine is internally **lock-striped** so the two sides never
+//! serialize on a node-global lock. Per-object state (home copies, cached
+//! copies, home beliefs, interval write sets) lives in `N` independent
+//! [`EngineShard`]s, each behind its own mutex, keyed by `ObjectId`;
+//! node-global state (the distributed lock and barrier managers and the
+//! synchronization counters) sits behind a separate small lock
+//! ([`NodeGlobals`]). Every public method takes `&self` and acquires exactly
+//! one internal lock — shard locks and the global lock are all *leaf* locks,
+//! never nested — so requests for objects in different shards proceed fully
+//! in parallel and the engine's internal locking cannot deadlock.
+//! Interval-wide operations (`begin_interval`, `prepare_release`,
+//! `finish_release`) walk the shards one at a time; they are issued by the
+//! node's single application thread, which the protocol permits to observe
+//! shards at slightly different instants (the server side only performs
+//! per-object transitions).
+//!
 //! ## Payload leases
 //!
 //! Object payloads live behind [`ObjectStore`] handles (shared read/write
 //! cells). The application side *leases* a store after a successful access
 //! plan and holds its read or write guard across application code — that is
 //! how `ReadView`/`WriteView` expose `&[T]`/`&mut [T]` over engine storage
-//! without copying and without pinning the engine mutex. The server side
+//! without copying and without pinning any engine lock. Because the home of
+//! an object can migrate away *between* the access plan and the lease (the
+//! server thread serves requests concurrently), the runtime uses the checked
+//! [`Self::try_lease_read`]/[`Self::try_lease_write`] forms, which validate
+//! the access state and take the payload guard atomically under the shard
+//! lock, and re-plan when the state moved underneath them. The server side
 //! only ever takes `try_` locks on payloads and reports [`Busy`] outcomes
 //! when an application view is live, so the protocol server can defer a
 //! message instead of blocking — the property that makes lease-holding
@@ -43,20 +66,28 @@
 //! cannot form cycles even under racy cross-node interleavings (a stale
 //! backward hint could otherwise overwrite a correct forward pointer and
 //! strand the requester in a redirect loop).
+//!
+//! [`EngineShard`]: crate::shard
+//! [`NodeGlobals`]: crate::global
 
-use crate::config::{NotificationMechanism, ProtocolConfig};
+use crate::config::ProtocolConfig;
+use crate::global::NodeGlobals;
 use crate::messages::ReqId;
 use crate::migration::MigrationState;
+use crate::shard::EngineShard;
 use crate::stats::ProtocolStats;
-use crate::sync::{
-    BarrierManager, BarrierOutcome, LockAcquireOutcome, LockManager, LockReleaseOutcome,
-};
+use crate::sync::{BarrierOutcome, LockAcquireOutcome, LockReleaseOutcome};
 use dsm_objspace::{
-    new_store, AccessState, BarrierId, Diff, LockId, NodeId, ObjectData, ObjectId, ObjectRegistry,
-    ObjectStore, Twin, Version,
+    BarrierId, Diff, LockId, NodeId, ObjectData, ObjectId, ObjectRegistry, ObjectStore, Version,
 };
-use std::collections::{HashMap, HashSet};
+use dsm_util::{Mutex, MutexGuard, RwReadGuard, RwWriteGuard};
 use std::sync::Arc;
+
+/// Default number of lock stripes per engine. Sixteen shards keep the
+/// per-shard mutexes essentially uncontended for the paper's workloads
+/// (hundreds of objects, a handful of cores) while costing next to nothing
+/// for single-object tests.
+pub const DEFAULT_ENGINE_SHARDS: usize = 16;
 
 /// Migration state shipped from the old home to the new home inside the
 /// object reply that performs the migration.
@@ -147,53 +178,21 @@ pub enum DiffOutcome {
     Busy,
 }
 
-/// A home copy plus its protocol metadata.
-#[derive(Debug, Clone)]
-struct HomeEntry {
-    data: ObjectStore,
-    version: Version,
-    state: AccessState,
-    migration: MigrationState,
-}
-
-/// A cached (non-home) copy.
-#[derive(Debug, Clone)]
-struct CacheEntry {
-    data: ObjectStore,
-    version: Version,
-    state: AccessState,
-    twin: Option<Twin>,
-}
-
-/// A node's belief about an object's current home: the node and the home
-/// epoch it became home at. Beliefs only ever move forward in epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct HomeBelief {
-    node: NodeId,
-    epoch: u32,
-}
-
-/// The per-node protocol engine. See the module documentation.
+/// The per-node protocol engine: a facade over `N` lock-striped object
+/// shards plus one node-global lock. See the module documentation.
 #[derive(Debug)]
 pub struct ProtocolEngine {
     node: NodeId,
     num_nodes: usize,
     config: ProtocolConfig,
     registry: Arc<ObjectRegistry>,
-    homes: HashMap<ObjectId, HomeEntry>,
-    caches: HashMap<ObjectId, CacheEntry>,
-    known_home: HashMap<ObjectId, HomeBelief>,
-    /// Cached objects written (and twinned) in the current interval.
-    dirty: HashSet<ObjectId>,
-    /// Home objects written in the current interval (version bump at release).
-    home_written: HashSet<ObjectId>,
-    locks: LockManager,
-    barriers: BarrierManager,
-    stats: ProtocolStats,
+    shards: Box<[Mutex<EngineShard>]>,
+    globals: Mutex<NodeGlobals>,
 }
 
 impl ProtocolEngine {
-    /// Create the engine for `node` in a cluster of `num_nodes` nodes.
+    /// Create the engine for `node` in a cluster of `num_nodes` nodes, with
+    /// the default shard count ([`DEFAULT_ENGINE_SHARDS`]).
     ///
     /// Home copies (zero-filled) are created for every registered object
     /// whose initial home is this node.
@@ -203,39 +202,48 @@ impl ProtocolEngine {
         config: ProtocolConfig,
         registry: Arc<ObjectRegistry>,
     ) -> Self {
+        Self::with_shards(node, num_nodes, config, registry, DEFAULT_ENGINE_SHARDS)
+    }
+
+    /// Create the engine with an explicit shard count (rounded up to the
+    /// next power of two; at least one).
+    pub fn with_shards(
+        node: NodeId,
+        num_nodes: usize,
+        config: ProtocolConfig,
+        registry: Arc<ObjectRegistry>,
+        shards: usize,
+    ) -> Self {
         assert!(num_nodes > 0, "cluster must have at least one node");
         assert!(
             node.index() < num_nodes,
             "node {node} outside cluster of {num_nodes}"
         );
-        let mut homes = HashMap::new();
-        for desc in registry.iter() {
-            if desc.initial_home(num_nodes) == node {
-                homes.insert(
-                    desc.id,
-                    HomeEntry {
-                        data: new_store(ObjectData::zeroed(desc.size_bytes)),
-                        version: Version::INITIAL,
-                        state: AccessState::Invalid,
-                        migration: MigrationState::new(),
-                    },
-                );
-            }
-        }
+        let count = shards.max(1).next_power_of_two();
+        let shards: Box<[Mutex<EngineShard>]> = (0..count)
+            .map(|index| {
+                Mutex::new(EngineShard::new(
+                    node,
+                    num_nodes,
+                    config.clone(),
+                    Arc::clone(&registry),
+                    |obj| shard_index(obj, count) == index,
+                ))
+            })
+            .collect();
         ProtocolEngine {
             node,
             num_nodes,
             config,
             registry,
-            homes,
-            caches: HashMap::new(),
-            known_home: HashMap::new(),
-            dirty: HashSet::new(),
-            home_written: HashSet::new(),
-            locks: LockManager::new(),
-            barriers: BarrierManager::new(num_nodes),
-            stats: ProtocolStats::default(),
+            shards,
+            globals: Mutex::new(NodeGlobals::new(num_nodes)),
         }
+    }
+
+    /// The shard guarding `obj`'s per-object state.
+    fn shard(&self, obj: ObjectId) -> MutexGuard<'_, EngineShard> {
+        self.shards[shard_index(obj, self.shards.len())].lock()
     }
 
     /// The node this engine belongs to.
@@ -258,36 +266,45 @@ impl ProtocolEngine {
         &self.registry
     }
 
-    /// Protocol statistics accumulated so far.
-    pub fn stats(&self) -> &ProtocolStats {
-        &self.stats
+    /// Number of lock stripes in this engine.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `obj`'s state lives in (stable for the lifetime of
+    /// the engine; exposed for tests that reason about stripe contention).
+    pub fn shard_of(&self, obj: ObjectId) -> usize {
+        shard_index(obj, self.shards.len())
+    }
+
+    /// Protocol statistics accumulated so far, aggregated across shards and
+    /// the node-global state.
+    pub fn stats(&self) -> ProtocolStats {
+        let mut total = ProtocolStats::default();
+        for shard in self.shards.iter() {
+            total.merge(&shard.lock().stats);
+        }
+        let globals = self.globals.lock();
+        total.lock_acquires += globals.lock_acquires;
+        total.barriers += globals.barriers_crossed;
+        total
     }
 
     /// Whether this node currently is the home of `obj`.
     pub fn is_home(&self, obj: ObjectId) -> bool {
-        self.homes.contains_key(&obj)
+        self.shard(obj).is_home(obj)
     }
 
     /// The node this engine currently believes to be the home of `obj`.
     pub fn home_hint(&self, obj: ObjectId) -> NodeId {
-        if self.is_home(obj) {
-            return self.node;
-        }
-        match self.known_home.get(&obj) {
-            Some(belief) => belief.node,
-            // Fall back to the well-known initial assignment.
-            None => self.registry.expect(obj).initial_home(self.num_nodes),
-        }
+        self.shard(obj).home_hint(obj)
     }
 
     /// The home epoch this node believes `obj`'s current home is at (its
     /// own epoch when it is the home, 0 when it only knows the initial
     /// assignment).
     pub fn home_epoch(&self, obj: ObjectId) -> u32 {
-        if let Some(entry) = self.homes.get(&obj) {
-            return entry.migration.migrations;
-        }
-        self.known_home.get(&obj).map_or(0, |belief| belief.epoch)
+        self.shard(obj).home_epoch(obj)
     }
 
     /// The manager node of `obj` under the home-manager notification
@@ -305,21 +322,8 @@ impl ProtocolEngine {
     /// # Panics
     /// Panics if the payload size does not match the registered descriptor,
     /// or if the object has already been written through the protocol.
-    pub fn bootstrap_object(&mut self, obj: ObjectId, data: ObjectData) {
-        let desc = self.registry.expect(obj);
-        assert_eq!(
-            data.len(),
-            desc.size_bytes,
-            "bootstrap payload size mismatch for {obj}"
-        );
-        if let Some(entry) = self.homes.get_mut(&obj) {
-            assert_eq!(
-                entry.version,
-                Version::INITIAL,
-                "bootstrap after the protocol already ran on {obj}"
-            );
-            *entry.data.write() = data;
-        }
+    pub fn bootstrap_object(&self, obj: ObjectId, data: ObjectData) {
+        self.shard(obj).bootstrap_object(obj, data);
     }
 
     // ------------------------------------------------------------------
@@ -332,114 +336,35 @@ impl ProtocolEngine {
     /// Under the Java-consistency flavour of LRC used by the paper's GOS,
     /// the node conservatively invalidates its cached non-home copies (its
     /// own unflushed writes are preserved) and re-arms the home-access traps
-    /// so the first home read/write of the interval is observable.
-    pub fn begin_interval(&mut self) {
-        for entry in self.homes.values_mut() {
-            entry.state = AccessState::Invalid;
-        }
-        let cache_immutable = self.config.cache_immutable_objects;
-        let registry = Arc::clone(&self.registry);
-        for (obj, entry) in self.caches.iter_mut() {
-            if self.dirty.contains(obj) {
-                // Our own writes from an interval that has not released yet;
-                // never discard them.
-                continue;
-            }
-            if cache_immutable && registry.expect(*obj).is_immutable() {
-                continue;
-            }
-            if entry.state != AccessState::Invalid {
-                entry.state = AccessState::Invalid;
-                self.stats.invalidations += 1;
-            }
+    /// so the first home read/write of the interval is observable. Walks the
+    /// shards one at a time (one leaf lock held at any instant).
+    pub fn begin_interval(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().begin_interval();
         }
     }
 
     /// Plan a read of `obj` by the local application thread.
-    pub fn plan_read(&mut self, obj: ObjectId) -> AccessPlan {
-        if let Some(entry) = self.homes.get_mut(&obj) {
-            if entry.state.read_faults() {
-                self.stats.home_reads += 1;
-                entry.state = entry.state.after_read();
-            } else {
-                self.stats.local_read_hits += 1;
-            }
-            return AccessPlan::LocalHit;
-        }
-        if let Some(entry) = self.caches.get(&obj) {
-            if !entry.state.read_faults() {
-                self.stats.local_read_hits += 1;
-                return AccessPlan::LocalHit;
-            }
-        }
-        self.stats.fault_ins += 1;
-        AccessPlan::Fetch {
-            target: self.home_hint(obj),
-        }
+    pub fn plan_read(&self, obj: ObjectId) -> AccessPlan {
+        self.shard(obj).plan_read(obj)
     }
 
     /// Plan a write of `obj` by the local application thread.
-    pub fn plan_write(&mut self, obj: ObjectId) -> AccessPlan {
-        if let Some(entry) = self.homes.get_mut(&obj) {
-            if entry.state.write_faults() {
-                self.stats.home_writes += 1;
-                if entry.migration.record_home_write() {
-                    self.stats.exclusive_home_writes += 1;
-                }
-                entry.state = entry.state.after_write();
-                self.home_written.insert(obj);
-            } else {
-                self.stats.local_write_hits += 1;
-            }
-            return AccessPlan::LocalHit;
-        }
-        if let Some(entry) = self.caches.get_mut(&obj) {
-            match entry.state {
-                AccessState::ReadWrite => {
-                    self.stats.local_write_hits += 1;
-                    return AccessPlan::LocalHit;
-                }
-                AccessState::ReadOnly => {
-                    if entry.twin.is_none() {
-                        entry.twin = Some(Twin::capture(&entry.data.read()));
-                        self.stats.twins_created += 1;
-                    }
-                    entry.state = AccessState::ReadWrite;
-                    self.dirty.insert(obj);
-                    return AccessPlan::LocalHit;
-                }
-                AccessState::Invalid => {}
-            }
-        }
-        self.stats.fault_ins += 1;
-        AccessPlan::Fetch {
-            target: self.home_hint(obj),
-        }
+    pub fn plan_write(&self, obj: ObjectId) -> AccessPlan {
+        self.shard(obj).plan_write(obj)
     }
 
     /// Lease the payload store of a locally *readable* copy of `obj` — the
     /// zero-copy read path. Callers must first obtain
     /// [`AccessPlan::LocalHit`] from [`Self::plan_read`]; the returned store
-    /// is then read-locked by the runtime's `ReadView` without holding the
-    /// engine itself.
+    /// is then read-locked by the runtime's `ReadView` without holding any
+    /// engine lock. Single-threaded callers only — concurrent runtimes must
+    /// use [`Self::try_lease_read`], which cannot race a migration.
     ///
     /// # Panics
     /// Panics if the object is not locally readable.
     pub fn lease_read(&self, obj: ObjectId) -> ObjectStore {
-        if let Some(entry) = self.homes.get(&obj) {
-            return Arc::clone(&entry.data);
-        }
-        if let Some(entry) = self.caches.get(&obj) {
-            assert!(
-                entry.state != AccessState::Invalid,
-                "read lease of invalid cached copy of {obj}; fault it in first"
-            );
-            return Arc::clone(&entry.data);
-        }
-        panic!(
-            "read lease of {obj} which is neither homed nor cached on {}",
-            self.node
-        );
+        self.shard(obj).lease_read(obj)
     }
 
     /// Lease the payload store of a locally *writable* copy of `obj` — the
@@ -447,28 +372,30 @@ impl ProtocolEngine {
     /// [`AccessPlan::LocalHit`] from [`Self::plan_write`]; the twin (for
     /// cached copies) was captured by that plan, so the diff bookkeeping is
     /// already armed and the store can be write-locked directly.
+    /// Single-threaded callers only — concurrent runtimes must use
+    /// [`Self::try_lease_write`].
     ///
     /// # Panics
     /// Panics if the object is not locally writable.
     pub fn lease_write(&self, obj: ObjectId) -> ObjectStore {
-        if let Some(entry) = self.homes.get(&obj) {
-            assert!(
-                entry.state == AccessState::ReadWrite,
-                "write lease of home copy of {obj} without a write plan"
-            );
-            return Arc::clone(&entry.data);
-        }
-        if let Some(entry) = self.caches.get(&obj) {
-            assert!(
-                entry.state == AccessState::ReadWrite,
-                "write lease of cached copy of {obj} without a write plan"
-            );
-            return Arc::clone(&entry.data);
-        }
-        panic!(
-            "write lease of {obj} which is neither homed nor cached on {}",
-            self.node
-        );
+        self.shard(obj).lease_write(obj)
+    }
+
+    /// Atomically re-validate readability and take the payload *read guard*
+    /// under the shard lock. Returns `None` when the local copy is no longer
+    /// readable — e.g. the server thread migrated the home away between the
+    /// caller's [`Self::plan_read`] and this lease — in which case the
+    /// caller must re-plan (and possibly fault the object back in).
+    pub fn try_lease_read(&self, obj: ObjectId) -> Option<RwReadGuard<ObjectData>> {
+        self.shard(obj).try_lease_read(obj)
+    }
+
+    /// Atomically re-validate writability and take the payload *write
+    /// guard* under the shard lock. Returns `None` when the local copy is no
+    /// longer writable — the caller must re-plan, which re-arms the
+    /// twin/diff bookkeeping before the next attempt.
+    pub fn try_lease_write(&self, obj: ObjectId) -> Option<RwWriteGuard<ObjectData>> {
+        self.shard(obj).try_lease_write(obj)
     }
 
     /// Read access to a locally valid copy of `obj` through a closure
@@ -488,7 +415,7 @@ impl ProtocolEngine {
     ///
     /// # Panics
     /// As [`Self::lease_write`].
-    pub fn with_object_mut<R>(&mut self, obj: ObjectId, f: impl FnOnce(&mut ObjectData) -> R) -> R {
+    pub fn with_object_mut<R>(&self, obj: ObjectId, f: impl FnOnce(&mut ObjectData) -> R) -> R {
         let store = self.lease_write(obj);
         let mut guard = store.write();
         f(&mut guard)
@@ -498,54 +425,14 @@ impl ProtocolEngine {
     /// present the home has migrated to this node and the payload becomes
     /// the home copy.
     pub fn install_object(
-        &mut self,
+        &self,
         obj: ObjectId,
         data: Vec<u8>,
         version: Version,
         migration: Option<MigrationGrant>,
     ) {
-        let desc = self.registry.expect(obj);
-        assert_eq!(
-            data.len(),
-            desc.size_bytes,
-            "fault-in payload size mismatch for {obj}"
-        );
-        let data = new_store(ObjectData::from_bytes(data));
-        match migration {
-            Some(grant) => {
-                let epoch = grant.epoch();
-                self.caches.remove(&obj);
-                self.dirty.remove(&obj);
-                self.homes.insert(
-                    obj,
-                    HomeEntry {
-                        data,
-                        version,
-                        state: AccessState::ReadOnly,
-                        migration: grant.state,
-                    },
-                );
-                self.known_home.insert(
-                    obj,
-                    HomeBelief {
-                        node: self.node,
-                        epoch,
-                    },
-                );
-                self.stats.migrations_in += 1;
-            }
-            None => {
-                self.caches.insert(
-                    obj,
-                    CacheEntry {
-                        data,
-                        version,
-                        state: AccessState::ReadOnly,
-                        twin: None,
-                    },
-                );
-            }
-        }
+        self.shard(obj)
+            .install_object(obj, data, version, migration);
     }
 
     /// Record that a fault-in or flush issued by this node was redirected,
@@ -555,52 +442,17 @@ impl ProtocolEngine {
     /// own belief and does not point at this node itself — stale backward
     /// hints must never overwrite a correct forward pointer (they would
     /// create redirect cycles). Returns whether the hint was adopted.
-    pub fn note_redirect(&mut self, obj: ObjectId, new_home: NodeId, epoch: u32) -> bool {
-        self.stats.redirections_suffered += 1;
-        if new_home == self.node || self.is_home(obj) {
-            return false;
-        }
-        let believed = self.home_epoch(obj);
-        let known = self.known_home.contains_key(&obj);
-        if epoch > believed || (!known && new_home != self.home_hint(obj)) {
-            self.known_home.insert(
-                obj,
-                HomeBelief {
-                    node: new_home,
-                    epoch,
-                },
-            );
-            return true;
-        }
-        false
+    pub fn note_redirect(&self, obj: ObjectId, new_home: NodeId, epoch: u32) -> bool {
+        self.shard(obj).note_redirect(obj, new_home, epoch)
     }
 
     /// Compute the diffs that must be propagated to remote homes before the
     /// current interval can release. Objects whose writes turn out to be
     /// no-ops are cleaned up immediately and produce no flush.
-    pub fn prepare_release(&mut self) -> Vec<FlushPlan> {
+    pub fn prepare_release(&self) -> Vec<FlushPlan> {
         let mut plans = Vec::new();
-        let dirty: Vec<ObjectId> = self.dirty.iter().copied().collect();
-        for obj in dirty {
-            let entry = self
-                .caches
-                .get_mut(&obj)
-                .expect("dirty object must have a cached copy");
-            let twin = entry.twin.as_ref().expect("dirty object must have a twin");
-            let diff = twin.diff_against(&entry.data.read());
-            if diff.is_empty() {
-                entry.twin = None;
-                entry.state = AccessState::ReadOnly;
-                self.dirty.remove(&obj);
-                continue;
-            }
-            self.stats.diffs_sent += 1;
-            self.stats.diff_bytes_sent += diff.wire_bytes() as u64;
-            plans.push(FlushPlan {
-                obj,
-                target: self.home_hint(obj),
-                diff,
-            });
+        for shard in self.shards.iter() {
+            shard.lock().prepare_release(&mut plans);
         }
         // Deterministic flush order (object id) so experiments are
         // reproducible regardless of hash-map iteration order.
@@ -609,12 +461,8 @@ impl ProtocolEngine {
     }
 
     /// Record the acknowledgement of one flushed diff.
-    pub fn complete_flush(&mut self, obj: ObjectId, new_version: Version) {
-        if let Some(entry) = self.caches.get_mut(&obj) {
-            entry.version = new_version;
-            entry.twin = None;
-        }
-        self.dirty.remove(&obj);
+    pub fn complete_flush(&self, obj: ObjectId, new_version: Version) {
+        self.shard(obj).complete_flush(obj, new_version);
     }
 
     /// Close the current interval after all flushes are acknowledged:
@@ -624,22 +472,9 @@ impl ProtocolEngine {
     ///
     /// # Panics
     /// Panics if some flushed diff was never acknowledged (runtime bug).
-    pub fn finish_release(&mut self) {
-        assert!(
-            self.dirty.is_empty(),
-            "finish_release with unflushed dirty objects: {:?}",
-            self.dirty
-        );
-        for obj in std::mem::take(&mut self.home_written) {
-            if let Some(entry) = self.homes.get_mut(&obj) {
-                entry.version = entry.version.next();
-            }
-        }
-        for entry in self.homes.values_mut() {
-            entry.state = entry.state.after_release();
-        }
-        for entry in self.caches.values_mut() {
-            entry.state = entry.state.after_release();
+    pub fn finish_release(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().finish_release();
         }
     }
 
@@ -647,116 +482,20 @@ impl ProtocolEngine {
     // Server side
     // ------------------------------------------------------------------
 
-    /// The hint and epoch to put into a redirect reply from this (non-home)
-    /// node.
-    fn redirect_hint(&self, obj: ObjectId) -> (NodeId, u32) {
-        match self.config.notification {
-            NotificationMechanism::HomeManager if self.node != self.manager_of(obj) => {
-                // Routing-only pointer to the manager: epoch 0 so the
-                // requester retries there without adopting it as the home.
-                (self.manager_of(obj), 0)
-            }
-            _ => (self.home_hint(obj), self.home_epoch(obj)),
-        }
-    }
-
     /// Handle an object fault-in request arriving from `requester`.
     ///
     /// Returns [`ObjectRequestOutcome::Busy`] — without consuming the
     /// request — when the home copy is leased to a live application view;
     /// the server defers and retries.
     pub fn handle_object_request(
-        &mut self,
+        &self,
         obj: ObjectId,
         requester: NodeId,
         for_write: bool,
         redirections: u32,
     ) -> ObjectRequestOutcome {
-        if !self.is_home(obj) {
-            self.stats.redirections_served += 1;
-            let (hint, epoch) = self.redirect_hint(obj);
-            return ObjectRequestOutcome::Redirect { hint, epoch };
-        }
-        let desc_size = self.registry.expect(obj).size_bytes as u64;
-        let half_peak = self.config.half_peak_length();
-        let policy = self.config.migration.clone();
-        let notification = self.config.notification;
-        let num_nodes = self.num_nodes;
-        let node = self.node;
-        let manager = self.manager_of(obj);
-        let entry = self.homes.get_mut(&obj).expect("checked is_home above");
-
-        // Copy the payload out under a try-lock: if the application holds a
-        // write view right now, defer instead of blocking the server.
-        let data = match entry.data.try_read() {
-            Some(guard) => guard.bytes().to_vec(),
-            None => return ObjectRequestOutcome::Busy,
-        };
-        self.stats.requests_served += 1;
-        entry.migration.record_redirections(redirections);
-
-        let migrate = requester != node
-            && entry
-                .migration
-                .should_migrate(&policy, requester, for_write, desc_size, half_peak);
-        let version = entry.version;
-        if !migrate {
-            return ObjectRequestOutcome::Reply {
-                data,
-                version,
-                migration: None,
-                notify: Vec::new(),
-            };
-        }
-
-        // Perform the migration: the home entry becomes an ordinary cached
-        // copy here, the migration bookkeeping ships to the new home, and a
-        // forwarding pointer (stamped with the new epoch) is left behind.
-        let grant = MigrationGrant {
-            state: entry.migration.migrate(&policy, desc_size, half_peak),
-        };
-        let new_epoch = grant.epoch();
-        let old = self.homes.remove(&obj).expect("home entry present");
-        self.caches.insert(
-            obj,
-            CacheEntry {
-                data: old.data,
-                version: old.version,
-                state: AccessState::ReadOnly,
-                twin: None,
-            },
-        );
-        self.home_written.remove(&obj);
-        self.known_home.insert(
-            obj,
-            HomeBelief {
-                node: requester,
-                epoch: new_epoch,
-            },
-        );
-        self.stats.migrations_out += 1;
-
-        let notify = match notification {
-            NotificationMechanism::ForwardingPointer => Vec::new(),
-            NotificationMechanism::HomeManager => {
-                if manager == node || manager == requester {
-                    Vec::new()
-                } else {
-                    vec![manager]
-                }
-            }
-            NotificationMechanism::Broadcast => (0..num_nodes)
-                .map(NodeId::from)
-                .filter(|n| *n != node && *n != requester)
-                .collect(),
-        };
-
-        ObjectRequestOutcome::Reply {
-            data,
-            version,
-            migration: Some(grant),
-            notify,
-        }
+        self.shard(obj)
+            .handle_object_request(obj, requester, for_write, redirections)
     }
 
     /// Handle a diff arriving from `from`.
@@ -764,50 +503,20 @@ impl ProtocolEngine {
     /// Returns [`DiffOutcome::Busy`] — without consuming the diff — when the
     /// home copy is leased to a live application view.
     pub fn handle_diff(
-        &mut self,
+        &self,
         obj: ObjectId,
         diff: &Diff,
         from: NodeId,
         redirections: u32,
     ) -> DiffOutcome {
-        if !self.is_home(obj) {
-            self.stats.redirections_served += 1;
-            let (hint, epoch) = self.redirect_hint(obj);
-            return DiffOutcome::Redirect { hint, epoch };
-        }
-        let entry = self.homes.get_mut(&obj).expect("checked is_home above");
-        let Some(mut guard) = entry.data.try_write() else {
-            return DiffOutcome::Busy;
-        };
-        entry.migration.record_redirections(redirections);
-        diff.apply(&mut guard);
-        drop(guard);
-        entry.version = entry.version.next();
-        entry
-            .migration
-            .record_remote_write(from, diff.wire_bytes() as u64);
-        self.stats.diffs_applied += 1;
-        DiffOutcome::Applied {
-            new_version: entry.version,
-        }
+        self.shard(obj).handle_diff(obj, diff, from, redirections)
     }
 
     /// Handle a new-home notification (broadcast or home-manager
     /// mechanisms): adopt the announced home if it is newer than the local
     /// belief.
-    pub fn handle_home_notify(&mut self, obj: ObjectId, new_home: NodeId, epoch: u32) {
-        if self.is_home(obj) || new_home == self.node {
-            return;
-        }
-        if epoch > self.home_epoch(obj) || !self.known_home.contains_key(&obj) {
-            self.known_home.insert(
-                obj,
-                HomeBelief {
-                    node: new_home,
-                    epoch,
-                },
-            );
-        }
+    pub fn handle_home_notify(&self, obj: ObjectId, new_home: NodeId, epoch: u32) {
+        self.shard(obj).handle_home_notify(obj, new_home, epoch);
     }
 
     /// Answer a home-manager lookup: where does this node believe the home
@@ -821,38 +530,28 @@ impl ProtocolEngine {
     // ------------------------------------------------------------------
 
     /// Manager-side lock acquire.
-    pub fn lock_acquire(
-        &mut self,
-        lock: LockId,
-        requester: NodeId,
-        req: ReqId,
-    ) -> LockAcquireOutcome {
-        self.locks.acquire(lock, requester, req)
+    pub fn lock_acquire(&self, lock: LockId, requester: NodeId, req: ReqId) -> LockAcquireOutcome {
+        self.globals.lock().lock_acquire(lock, requester, req)
     }
 
     /// Manager-side lock release.
-    pub fn lock_release(&mut self, lock: LockId, holder: NodeId) -> LockReleaseOutcome {
-        self.locks.release(lock, holder)
+    pub fn lock_release(&self, lock: LockId, holder: NodeId) -> LockReleaseOutcome {
+        self.globals.lock().lock_release(lock, holder)
     }
 
     /// Manager-side barrier arrival.
-    pub fn barrier_arrive(
-        &mut self,
-        barrier: BarrierId,
-        node: NodeId,
-        req: ReqId,
-    ) -> BarrierOutcome {
-        self.barriers.arrive(barrier, node, req)
+    pub fn barrier_arrive(&self, barrier: BarrierId, node: NodeId, req: ReqId) -> BarrierOutcome {
+        self.globals.lock().barrier_arrive(barrier, node, req)
     }
 
     /// Record one application-level lock acquisition (for reporting).
-    pub fn note_lock_acquire(&mut self) {
-        self.stats.lock_acquires += 1;
+    pub fn note_lock_acquire(&self) {
+        self.globals.lock().lock_acquires += 1;
     }
 
     /// Record one application-level barrier crossing (for reporting).
-    pub fn note_barrier(&mut self) {
-        self.stats.barriers += 1;
+    pub fn note_barrier(&self) {
+        self.globals.lock().barriers_crossed += 1;
     }
 
     // ------------------------------------------------------------------
@@ -862,30 +561,43 @@ impl ProtocolEngine {
     /// Objects currently homed at this node (sorted, for deterministic
     /// tests).
     pub fn homed_objects(&self) -> Vec<ObjectId> {
-        let mut v: Vec<ObjectId> = self.homes.keys().copied().collect();
+        let mut v = Vec::new();
+        for shard in self.shards.iter() {
+            shard.lock().homed_objects(&mut v);
+        }
         v.sort();
         v
     }
 
-    /// The migration bookkeeping of an object homed here, if any.
-    pub fn migration_state(&self, obj: ObjectId) -> Option<&MigrationState> {
-        self.homes.get(&obj).map(|e| &e.migration)
+    /// A snapshot of the migration bookkeeping of an object homed here, if
+    /// any.
+    pub fn migration_state(&self, obj: ObjectId) -> Option<MigrationState> {
+        self.shard(obj).migration_state(obj)
     }
 
     /// The current version of the home copy of `obj`, if homed here.
     pub fn home_version(&self, obj: ObjectId) -> Option<Version> {
-        self.homes.get(&obj).map(|e| e.version)
+        self.shard(obj).home_version(obj)
     }
 
     /// Snapshot of a home copy's bytes (tests and invariant checks).
     pub fn home_bytes(&self, obj: ObjectId) -> Option<Vec<u8>> {
-        self.homes.get(&obj).map(|e| e.data.read().bytes().to_vec())
+        self.shard(obj).home_bytes(obj)
     }
+}
+
+/// The lock stripe an object maps to: fold the high half of the (already
+/// FNV-mixed) id into the low half and mask. `count` must be a power of two.
+fn shard_index(obj: ObjectId, count: usize) -> usize {
+    debug_assert!(count.is_power_of_two());
+    let h = obj.raw();
+    ((h ^ (h >> 32)) as usize) & (count - 1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::NotificationMechanism;
     use crate::migration::MigrationPolicy;
     use dsm_objspace::HomeAssignment;
 
@@ -914,7 +626,7 @@ mod tests {
     /// Drive one "remote write interval" of `writer` against the cluster:
     /// fault-in from whoever is home, write a byte, flush the diff. Returns
     /// the number of redirection hops experienced.
-    fn remote_write_interval(engines: &mut [ProtocolEngine], writer: usize, value: u8) -> u32 {
+    fn remote_write_interval(engines: &[ProtocolEngine], writer: usize, value: u8) -> u32 {
         let obj = obj_x();
         engines[writer].begin_interval();
         let mut hops = 0;
@@ -995,7 +707,7 @@ mod tests {
 
     #[test]
     fn local_home_access_never_needs_fetch() {
-        let mut engines = engines(ProtocolConfig::no_migration());
+        let engines = engines(ProtocolConfig::no_migration());
         let obj = obj_x();
         engines[0].begin_interval();
         assert_eq!(engines[0].plan_read(obj), AccessPlan::LocalHit);
@@ -1011,7 +723,7 @@ mod tests {
 
     #[test]
     fn leases_expose_engine_storage() {
-        let mut engines = engines(ProtocolConfig::no_migration());
+        let engines = engines(ProtocolConfig::no_migration());
         let obj = obj_x();
         engines[0].begin_interval();
         assert_eq!(engines[0].plan_write(obj), AccessPlan::LocalHit);
@@ -1026,8 +738,30 @@ mod tests {
     }
 
     #[test]
+    fn checked_leases_validate_state_under_the_shard_lock() {
+        let engines = engines(ProtocolConfig::no_migration());
+        let obj = obj_x();
+        engines[0].begin_interval();
+        // No write plan yet: the checked write lease refuses.
+        assert!(engines[0].try_lease_write(obj).is_none());
+        assert_eq!(engines[0].plan_write(obj), AccessPlan::LocalHit);
+        {
+            let mut guard = engines[0]
+                .try_lease_write(obj)
+                .expect("writable after plan");
+            guard.bytes_mut()[0] = 9;
+        }
+        // Home copies are always readable through the checked read lease.
+        let guard = engines[0].try_lease_read(obj).expect("home copy readable");
+        assert_eq!(guard.bytes()[0], 9);
+        // A node with no copy at all gets `None`, not a panic.
+        assert!(engines[1].try_lease_read(obj).is_none());
+        assert!(engines[1].try_lease_write(obj).is_none());
+    }
+
+    #[test]
     fn busy_home_copy_defers_requests_and_diffs() {
-        let mut engines = engines(ProtocolConfig::no_migration());
+        let engines = engines(ProtocolConfig::no_migration());
         let obj = obj_x();
         engines[0].begin_interval();
         assert_eq!(engines[0].plan_write(obj), AccessPlan::LocalHit);
@@ -1057,9 +791,9 @@ mod tests {
 
     #[test]
     fn remote_write_faults_in_and_flushes_diff() {
-        let mut e = engines(ProtocolConfig::no_migration());
+        let e = engines(ProtocolConfig::no_migration());
         let obj = obj_x();
-        let hops = remote_write_interval(&mut e, 1, 42);
+        let hops = remote_write_interval(&e, 1, 42);
         assert_eq!(hops, 0);
         assert_eq!(e[1].stats().fault_ins, 1);
         assert_eq!(e[1].stats().diffs_sent, 1);
@@ -1075,12 +809,12 @@ mod tests {
 
     #[test]
     fn no_migration_policy_keeps_paying_remote_access() {
-        let mut e = engines(ProtocolConfig::no_migration());
+        let e = engines(ProtocolConfig::no_migration());
         for i in 0..10 {
             // Write values 1..=10 so every interval really changes the object
             // (writing 0 over the zero-initialised object would be a no-op
             // interval with no diff to flush).
-            remote_write_interval(&mut e, 1, i + 1);
+            remote_write_interval(&e, 1, i + 1);
         }
         assert!(e[0].is_home(obj_x()));
         assert_eq!(e[1].stats().fault_ins, 10);
@@ -1089,14 +823,14 @@ mod tests {
 
     #[test]
     fn adaptive_policy_migrates_to_single_writer() {
-        let mut e = engines(ProtocolConfig::adaptive());
+        let e = engines(ProtocolConfig::adaptive());
         let obj = obj_x();
         // Interval 1: node 1 writes; home still node 0 (C becomes 1).
-        remote_write_interval(&mut e, 1, 1);
+        remote_write_interval(&e, 1, 1);
         assert!(e[0].is_home(obj));
         // Interval 2: node 1 faults again; with T=1 and C=1 the home migrates
         // together with the reply.
-        remote_write_interval(&mut e, 1, 2);
+        remote_write_interval(&e, 1, 2);
         assert!(
             e[1].is_home(obj),
             "home should have migrated to the single writer"
@@ -1110,7 +844,7 @@ mod tests {
         assert_eq!(e[0].home_hint(obj), NodeId(1));
         // Interval 3+: accesses are purely local for node 1.
         let before = e[1].stats().fault_ins;
-        remote_write_interval(&mut e, 1, 3);
+        remote_write_interval(&e, 1, 3);
         assert_eq!(
             e[1].stats().fault_ins,
             before,
@@ -1121,18 +855,18 @@ mod tests {
 
     #[test]
     fn fixed_threshold_two_migrates_one_interval_later_than_adaptive() {
-        let mut adaptive = engines(ProtocolConfig::adaptive());
-        let mut ft2 = engines(ProtocolConfig::fixed_threshold(2));
-        remote_write_interval(&mut adaptive, 1, 1);
-        remote_write_interval(&mut ft2, 1, 1);
-        remote_write_interval(&mut adaptive, 1, 2);
-        remote_write_interval(&mut ft2, 1, 2);
+        let adaptive = engines(ProtocolConfig::adaptive());
+        let ft2 = engines(ProtocolConfig::fixed_threshold(2));
+        remote_write_interval(&adaptive, 1, 1);
+        remote_write_interval(&ft2, 1, 1);
+        remote_write_interval(&adaptive, 1, 2);
+        remote_write_interval(&ft2, 1, 2);
         assert!(adaptive[1].is_home(obj_x()), "AT migrates at the 2nd fault");
         assert!(
             !ft2[1].is_home(obj_x()),
             "FT2 needs C=2 before the next fault"
         );
-        remote_write_interval(&mut ft2, 1, 3);
+        remote_write_interval(&ft2, 1, 3);
         assert!(ft2[1].is_home(obj_x()), "FT2 migrates once C reaches 2");
     }
 
@@ -1141,10 +875,10 @@ mod tests {
         // Move the home from 0 to 1, then have node 2 request it while still
         // believing node 0 is the home: node 0 redirects (1 hop), node 1
         // serves the request and records the redirection as feedback.
-        let mut e = engines(ProtocolConfig::adaptive());
+        let e = engines(ProtocolConfig::adaptive());
         let obj = obj_x();
-        remote_write_interval(&mut e, 1, 1);
-        remote_write_interval(&mut e, 1, 2);
+        remote_write_interval(&e, 1, 1);
+        remote_write_interval(&e, 1, 2);
         assert!(e[1].is_home(obj));
 
         e[2].begin_interval();
@@ -1187,11 +921,11 @@ mod tests {
 
     #[test]
     fn stale_hints_are_not_adopted() {
-        let mut e = engines(ProtocolConfig::adaptive());
+        let e = engines(ProtocolConfig::adaptive());
         let obj = obj_x();
         // Home migrates 0 -> 1 (epoch 1); node 1's belief points at itself.
-        remote_write_interval(&mut e, 1, 1);
-        remote_write_interval(&mut e, 1, 2);
+        remote_write_interval(&e, 1, 1);
+        remote_write_interval(&e, 1, 2);
         assert!(e[1].is_home(obj));
         // A stale hint claiming node 0 (epoch 0) must not regress node 2's
         // belief once it has adopted epoch 1, and a self-hint must never be
@@ -1212,12 +946,12 @@ mod tests {
         // Transient single-writer pattern: writers 1 and 2 take turns in
         // bursts of two intervals. FT1 migrates on every burst; AT observes
         // the redirection feedback and is at most as eager, never more.
-        let mut at = engines(ProtocolConfig::adaptive());
-        let mut ft1 = engines(ProtocolConfig::fixed_threshold(1));
+        let at = engines(ProtocolConfig::adaptive());
+        let ft1 = engines(ProtocolConfig::fixed_threshold(1));
         for round in 0..16 {
             let writer = 1 + ((round / 2) % 2);
-            remote_write_interval(&mut at, writer, round as u8);
-            remote_write_interval(&mut ft1, writer, round as u8);
+            remote_write_interval(&at, writer, round as u8);
+            remote_write_interval(&ft1, writer, round as u8);
         }
         let at_migrations: u64 = at.iter().map(|e| e.stats().migrations_out).sum();
         let ft1_migrations: u64 = ft1.iter().map(|e| e.stats().migrations_out).sum();
@@ -1238,13 +972,13 @@ mod tests {
     #[test]
     fn jump_policy_migrates_on_every_write_fault() {
         let cfg = ProtocolConfig::no_migration().with_migration(MigrationPolicy::MigrateOnRequest);
-        let mut e = engines(cfg);
-        remote_write_interval(&mut e, 1, 1);
+        let e = engines(cfg);
+        remote_write_interval(&e, 1, 1);
         assert!(
             e[1].is_home(obj_x()),
             "JUMP migrates on the very first write fault"
         );
-        remote_write_interval(&mut e, 2, 2);
+        remote_write_interval(&e, 2, 2);
         assert!(
             e[2].is_home(obj_x()),
             "JUMP migrates again to the next writer"
@@ -1255,10 +989,10 @@ mod tests {
 
     #[test]
     fn migration_preserves_data_and_versions() {
-        let mut e = engines(ProtocolConfig::adaptive());
+        let e = engines(ProtocolConfig::adaptive());
         let obj = obj_x();
-        remote_write_interval(&mut e, 1, 11);
-        remote_write_interval(&mut e, 1, 22);
+        remote_write_interval(&e, 1, 11);
+        remote_write_interval(&e, 1, 22);
         assert!(e[1].is_home(obj));
         // Version history: one diff applied at the old home (v1); the data
         // with value 22 was written locally at the new home after migration.
@@ -1271,10 +1005,10 @@ mod tests {
 
     #[test]
     fn bootstrap_seeds_only_the_home() {
-        let mut e = engines(ProtocolConfig::no_migration());
+        let e = engines(ProtocolConfig::no_migration());
         let obj = obj_x();
         let data = ObjectData::from_bytes(vec![9u8; 64]);
-        for eng in e.iter_mut() {
+        for eng in e.iter() {
             eng.bootstrap_object(obj, data.clone());
         }
         assert_eq!(e[0].home_bytes(obj).unwrap(), vec![9u8; 64]);
@@ -1284,14 +1018,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "size mismatch")]
     fn bootstrap_rejects_wrong_size() {
-        let mut e = engines(ProtocolConfig::no_migration());
+        let e = engines(ProtocolConfig::no_migration());
         e[0].bootstrap_object(obj_x(), ObjectData::zeroed(8));
     }
 
     #[test]
     #[should_panic(expected = "without a write plan")]
     fn writing_without_plan_panics() {
-        let mut e = engines(ProtocolConfig::no_migration());
+        let e = engines(ProtocolConfig::no_migration());
         // plan_read only gives read permission at the home.
         e[0].begin_interval();
         let _ = e[0].plan_read(obj_x());
@@ -1301,9 +1035,9 @@ mod tests {
     #[test]
     fn broadcast_notification_lists_all_other_nodes() {
         let cfg = ProtocolConfig::adaptive().with_notification(NotificationMechanism::Broadcast);
-        let mut e = engines(cfg);
+        let e = engines(cfg);
         let obj = obj_x();
-        remote_write_interval(&mut e, 1, 1);
+        remote_write_interval(&e, 1, 1);
         // Second fault triggers migration; inspect the outcome directly.
         e[1].begin_interval();
         assert!(matches!(e[1].plan_write(obj), AccessPlan::Fetch { .. }));
@@ -1324,7 +1058,7 @@ mod tests {
 
     #[test]
     fn home_notify_updates_hint_monotonically() {
-        let mut e = engines(ProtocolConfig::adaptive());
+        let e = engines(ProtocolConfig::adaptive());
         let obj = obj_x();
         e[2].handle_home_notify(obj, NodeId(1), 1);
         assert_eq!(e[2].home_hint(obj), NodeId(1));
@@ -1342,7 +1076,7 @@ mod tests {
 
     #[test]
     fn interval_invalidation_forces_refetch_of_cached_copies() {
-        let mut e = engines(ProtocolConfig::no_migration());
+        let e = engines(ProtocolConfig::no_migration());
         let obj = obj_x();
         // Node 1 reads the object (fault-in, then cached).
         e[1].begin_interval();
@@ -1369,7 +1103,7 @@ mod tests {
 
     #[test]
     fn unwritten_dirty_objects_produce_no_flush() {
-        let mut e = engines(ProtocolConfig::no_migration());
+        let e = engines(ProtocolConfig::no_migration());
         let obj = obj_x();
         e[1].begin_interval();
         if let AccessPlan::Fetch { target } = e[1].plan_write(obj) {
@@ -1392,5 +1126,119 @@ mod tests {
         assert!(e[1].prepare_release().is_empty());
         e[1].finish_release();
         assert_eq!(e[1].stats().diffs_sent, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Sharding-specific tests
+    // ------------------------------------------------------------------
+
+    /// A registry with many objects, all initially homed on node 0.
+    fn many_object_registry(count: usize) -> Arc<ObjectRegistry> {
+        let mut r = ObjectRegistry::new();
+        for i in 0..count {
+            r.register_named("shard.obj", i as u64, 64, NodeId(0), HomeAssignment::Master);
+        }
+        Arc::new(r)
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two_and_partitions_objects() {
+        let reg = many_object_registry(128);
+        let engine = ProtocolEngine::with_shards(
+            NodeId(0),
+            2,
+            ProtocolConfig::no_migration(),
+            Arc::clone(&reg),
+            12,
+        );
+        assert_eq!(engine.shard_count(), 16, "12 rounds up to 16");
+        // Every registered object is homed here exactly once (no shard lost
+        // or duplicated an object), and the ids spread over several stripes.
+        assert_eq!(engine.homed_objects().len(), 128);
+        let mut used = std::collections::HashSet::new();
+        for i in 0..128u64 {
+            used.insert(engine.shard_of(ObjectId::derive("shard.obj", i)));
+        }
+        assert!(
+            used.len() >= 8,
+            "128 FNV-hashed ids should spread over many of 16 stripes, got {}",
+            used.len()
+        );
+    }
+
+    #[test]
+    fn single_shard_engine_still_works() {
+        let reg = many_object_registry(8);
+        let engine =
+            ProtocolEngine::with_shards(NodeId(0), 1, ProtocolConfig::no_migration(), reg, 1);
+        assert_eq!(engine.shard_count(), 1);
+        engine.begin_interval();
+        for i in 0..8u64 {
+            let obj = ObjectId::derive("shard.obj", i);
+            assert_eq!(engine.plan_write(obj), AccessPlan::LocalHit);
+            engine.with_object_mut(obj, |d| d.bytes_mut()[0] = i as u8 + 1);
+        }
+        engine.finish_release();
+        for i in 0..8u64 {
+            let obj = ObjectId::derive("shard.obj", i);
+            assert_eq!(engine.home_bytes(obj).unwrap()[0], i as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn stress_concurrent_server_traffic_on_distinct_objects() {
+        // The whole point of the sharded engine: `&self` protocol handling
+        // from many threads at once, with no external mutex. Four "remote
+        // requester" threads hammer fault-ins and diffs for disjoint object
+        // sets against one home engine while its own "application thread"
+        // keeps doing local work, all through a shared reference.
+        use std::sync::Barrier;
+        let objects = 64usize;
+        let reg = many_object_registry(objects);
+        let home = Arc::new(ProtocolEngine::new(
+            NodeId(0),
+            5,
+            ProtocolConfig::no_migration(),
+            reg,
+        ));
+        let start = Arc::new(Barrier::new(4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let home = Arc::clone(&home);
+            let start = Arc::clone(&start);
+            handles.push(std::thread::spawn(move || {
+                start.wait();
+                let requester = NodeId(t as u16 + 1);
+                for round in 0..50u64 {
+                    for i in (t..objects as u64).step_by(4) {
+                        let obj = ObjectId::derive("shard.obj", i);
+                        match home.handle_object_request(obj, requester, true, 0) {
+                            ObjectRequestOutcome::Reply { data, .. } => {
+                                assert_eq!(data.len(), 64)
+                            }
+                            other => panic!("unexpected outcome {other:?}"),
+                        }
+                        let mut bytes = [0u8; 64];
+                        bytes[0] = (round % 250) as u8 + 1;
+                        let diff = Diff::full(&bytes);
+                        assert!(matches!(
+                            home.handle_diff(obj, &diff, requester, 0),
+                            DiffOutcome::Applied { .. }
+                        ));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no requester thread may panic");
+        }
+        // Every object saw 50 requests and 50 diffs; nothing was lost.
+        let stats = home.stats();
+        assert_eq!(stats.requests_served, 4 * 50 * (objects as u64 / 4));
+        assert_eq!(stats.diffs_applied, 4 * 50 * (objects as u64 / 4));
+        for i in 0..objects as u64 {
+            let obj = ObjectId::derive("shard.obj", i);
+            assert_eq!(home.home_bytes(obj).unwrap()[0], 50);
+        }
     }
 }

@@ -1,0 +1,67 @@
+//! Node-global protocol state, isolated behind its own small lock.
+//!
+//! Everything in the engine that is *not* keyed by an `ObjectId` lives here:
+//! the distributed lock and barrier managers (only meaningful on the manager
+//! node) and the node-level synchronization counters. Keeping this state out
+//! of the object shards means a lock acquire or barrier arrival never
+//! contends with object requests, and an object fault-in never contends with
+//! synchronization traffic.
+//!
+//! The global lock is a leaf lock like the shard locks: no code path takes
+//! it while holding a shard lock or vice versa, so the engine's internal
+//! locking cannot deadlock.
+
+use crate::messages::ReqId;
+use crate::sync::{
+    BarrierManager, BarrierOutcome, LockAcquireOutcome, LockManager, LockReleaseOutcome,
+};
+use dsm_objspace::{BarrierId, LockId, NodeId};
+
+/// Node-global (non-object) engine state: synchronization managers and the
+/// counters they feed. See the module documentation.
+#[derive(Debug)]
+pub(crate) struct NodeGlobals {
+    locks: LockManager,
+    barriers: BarrierManager,
+    /// Lock acquires performed by this node's application thread.
+    pub(crate) lock_acquires: u64,
+    /// Barrier phases completed by this node's application thread.
+    pub(crate) barriers_crossed: u64,
+}
+
+impl NodeGlobals {
+    /// Fresh global state for a cluster of `num_nodes` nodes.
+    pub(crate) fn new(num_nodes: usize) -> Self {
+        NodeGlobals {
+            locks: LockManager::new(),
+            barriers: BarrierManager::new(num_nodes),
+            lock_acquires: 0,
+            barriers_crossed: 0,
+        }
+    }
+
+    /// Manager-side lock acquire.
+    pub(crate) fn lock_acquire(
+        &mut self,
+        lock: LockId,
+        requester: NodeId,
+        req: ReqId,
+    ) -> LockAcquireOutcome {
+        self.locks.acquire(lock, requester, req)
+    }
+
+    /// Manager-side lock release.
+    pub(crate) fn lock_release(&mut self, lock: LockId, holder: NodeId) -> LockReleaseOutcome {
+        self.locks.release(lock, holder)
+    }
+
+    /// Manager-side barrier arrival.
+    pub(crate) fn barrier_arrive(
+        &mut self,
+        barrier: BarrierId,
+        node: NodeId,
+        req: ReqId,
+    ) -> BarrierOutcome {
+        self.barriers.arrive(barrier, node, req)
+    }
+}

@@ -52,22 +52,31 @@
 //!   related-work section.
 //! * [`sync`] — distributed lock and barrier managers (the synchronization
 //!   substrate that delimits intervals).
-//! * [`engine`] — the per-node protocol engine gluing it all together.
+//! * [`engine`] — the per-node protocol engine gluing it all together: a
+//!   lock-striped facade over per-object shards ([`shard`], private) and the
+//!   node-global synchronization state ([`global`], private), so protocol
+//!   serving scales with cores instead of serializing on one engine mutex.
 //! * [`stats`] — per-node protocol statistics.
+//!
+//! [`shard`]: engine::ProtocolEngine#sharded-locking
+//! [`global`]: engine::ProtocolEngine#sharded-locking
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod engine;
+mod global;
 pub mod messages;
 pub mod migration;
+mod shard;
 pub mod stats;
 pub mod sync;
 
 pub use config::{NotificationMechanism, ProtocolConfig};
 pub use engine::{
     AccessPlan, DiffOutcome, FlushPlan, MigrationGrant, ObjectRequestOutcome, ProtocolEngine,
+    DEFAULT_ENGINE_SHARDS,
 };
 pub use messages::{ProtocolMsg, ReqId};
 pub use migration::{MigrationPolicy, MigrationState};

@@ -22,6 +22,10 @@ pub struct ProtocolStats {
     pub requests_served: u64,
     /// Requests redirected because this node is no longer the home.
     pub redirections_served: u64,
+    /// Server-side `Busy` outcomes: requests or diffs that found the home
+    /// copy leased to a live application view and were deferred (each retry
+    /// that still finds the copy busy counts again).
+    pub busy_responses: u64,
     /// Redirection hops experienced by this node's own requests.
     pub redirections_suffered: u64,
     /// Home migrations granted by this node (it was the old home).
@@ -56,6 +60,7 @@ impl ProtocolStats {
         self.diffs_applied += other.diffs_applied;
         self.requests_served += other.requests_served;
         self.redirections_served += other.redirections_served;
+        self.busy_responses += other.busy_responses;
         self.redirections_suffered += other.redirections_suffered;
         self.migrations_out += other.migrations_out;
         self.migrations_in += other.migrations_in;

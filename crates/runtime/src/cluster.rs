@@ -20,6 +20,16 @@ use dsm_net::{Fabric, StatsCollector};
 use dsm_objspace::{Element, HomeAssignment, NodeId, ObjectRegistry};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
+
+/// Default protocol-server poll interval: how long a server thread waits
+/// for a message before retrying deferred work and checking for shutdown.
+pub const DEFAULT_POLL_INTERVAL: Duration = Duration::from_millis(2);
+
+/// The short poll interval selected by [`ClusterBuilder::fast_poll`]: stress
+/// suites use it to retry deferred (busy) messages quickly, trading idle CPU
+/// for wall-clock time.
+pub const FAST_POLL_INTERVAL: Duration = Duration::from_micros(100);
 
 /// Configuration of one cluster run.
 #[derive(Debug, Clone)]
@@ -34,11 +44,15 @@ pub struct ClusterConfig {
     /// Cluster seed, exposed to applications through `NodeCtx::seed` /
     /// `NodeCtx::node_rng` for deterministic workload generation.
     pub seed: u64,
+    /// Protocol-server poll interval (real time, not virtual): the retry
+    /// cadence for deferred busy messages and the shutdown-check period.
+    pub poll_interval: Duration,
 }
 
 impl ClusterConfig {
     /// Create a configuration with the default computation model
-    /// (≈ 2 GHz Pentium 4) and seed 0. Prefer [`Cluster::builder`].
+    /// (≈ 2 GHz Pentium 4), seed 0 and the default poll interval. Prefer
+    /// [`Cluster::builder`].
     pub fn new(num_nodes: usize, protocol: ProtocolConfig) -> Self {
         assert!(num_nodes > 0, "cluster must have at least one node");
         ClusterConfig {
@@ -46,6 +60,7 @@ impl ClusterConfig {
             protocol,
             compute: ComputeModel::default(),
             seed: 0,
+            poll_interval: DEFAULT_POLL_INTERVAL,
         }
     }
 
@@ -60,6 +75,17 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replace the protocol-server poll interval.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero (the server would spin).
+    #[must_use]
+    pub fn with_poll_interval(mut self, interval: Duration) -> Self {
+        assert!(!interval.is_zero(), "poll interval must be non-zero");
+        self.poll_interval = interval;
         self
     }
 }
@@ -90,6 +116,7 @@ pub struct ClusterBuilder {
     compute: ComputeModel,
     seed: u64,
     default_home: HomeAssignment,
+    poll_interval: Duration,
     registry: ObjectRegistry,
 }
 
@@ -101,6 +128,7 @@ impl Default for ClusterBuilder {
             compute: ComputeModel::default(),
             seed: 0,
             default_home: HomeAssignment::CreationNode,
+            poll_interval: DEFAULT_POLL_INTERVAL,
             registry: ObjectRegistry::new(),
         }
     }
@@ -174,6 +202,27 @@ impl ClusterBuilder {
         self
     }
 
+    /// Set the protocol-server poll interval (real time): how quickly a
+    /// server thread retries deferred busy messages and notices shutdown.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero (the server would spin).
+    #[must_use]
+    pub fn poll_interval(mut self, interval: Duration) -> Self {
+        assert!(!interval.is_zero(), "poll interval must be non-zero");
+        self.poll_interval = interval;
+        self
+    }
+
+    /// Use the short stress-suite poll interval ([`FAST_POLL_INTERVAL`]):
+    /// deferred messages are retried every 100 µs instead of every 2 ms,
+    /// which keeps contention-heavy test runs fast at the price of busier
+    /// idle server threads.
+    #[must_use]
+    pub fn fast_poll(self) -> Self {
+        self.poll_interval(FAST_POLL_INTERVAL)
+    }
+
     /// Register an array object under the default home assignment, created
     /// by the master node.
     pub fn register_array<T: Element>(&mut self, name: &str, len: usize) -> ArrayHandle<T> {
@@ -223,6 +272,7 @@ impl ClusterBuilder {
             protocol: self.protocol.clone(),
             compute: self.compute,
             seed: self.seed,
+            poll_interval: self.poll_interval,
         }
     }
 
@@ -291,6 +341,7 @@ impl Cluster {
                     config.compute,
                     config.protocol.handling_cost,
                     config.seed,
+                    config.poll_interval,
                 )
             })
             .collect();
@@ -335,7 +386,7 @@ impl Cluster {
             .saturating_since(dsm_model::SimTime::ZERO);
         let mut protocol = ProtocolStats::default();
         for shared in &shareds {
-            protocol.merge(shared.engine.lock().stats());
+            protocol.merge(&shared.engine.stats());
         }
         ExecutionReport {
             execution_time,

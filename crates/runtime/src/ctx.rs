@@ -141,9 +141,16 @@ impl NodeCtx {
         if self.active_views.borrow().get(&obj).copied().unwrap_or(0) < 0 {
             return Err(DsmError::ViewConflict { obj });
         }
-        self.ensure_readable(obj)?;
-        let store = self.shared.engine.lock().lease_read(obj);
-        let guard = store.read();
+        // Plan, then take the payload guard *atomically* under the shard
+        // lock: the server thread may migrate the home away between the two
+        // steps, in which case the checked lease refuses and we re-plan
+        // (faulting the object back in if needed).
+        let guard = loop {
+            self.ensure_readable(obj)?;
+            if let Some(guard) = self.shared.engine.try_lease_read(obj) {
+                break guard;
+            }
+        };
         *self.active_views.borrow_mut().entry(obj).or_insert(0) += 1;
         Ok(ReadView::new(self, obj, guard))
     }
@@ -173,9 +180,16 @@ impl NodeCtx {
         if self.active_views.borrow().get(&obj).copied().unwrap_or(0) != 0 {
             return Err(DsmError::ViewConflict { obj });
         }
-        self.ensure_writable(obj)?;
-        let store = self.shared.engine.lock().lease_write(obj);
-        let guard = store.write();
+        // As in `try_view`: re-validate writability and take the write guard
+        // under the shard lock, re-planning if a concurrent migration
+        // snatched the copy between the plan and the lease (the re-plan
+        // re-arms the twin/diff bookkeeping before we write).
+        let guard = loop {
+            self.ensure_writable(obj)?;
+            if let Some(guard) = self.shared.engine.try_lease_write(obj) {
+                break guard;
+            }
+        };
         self.active_views.borrow_mut().insert(obj, WRITER);
         Ok(WriteView::new(self, obj, guard))
     }
@@ -265,7 +279,6 @@ impl NodeCtx {
         assert_eq!(values.len(), handle.len, "bootstrap length mismatch");
         self.shared
             .engine
-            .lock()
             .bootstrap_object(handle.id, ObjectData::from_elements(values));
         Ok(())
     }
@@ -343,7 +356,7 @@ impl NodeCtx {
         if SYNC_MANAGER == node {
             let req = self.shared.new_req();
             let rx = self.shared.register_pending(req);
-            let outcome = self.shared.engine.lock().lock_acquire(lock, node, req);
+            let outcome = self.shared.engine.lock_acquire(lock, node, req);
             match outcome {
                 LockAcquireOutcome::Granted => {
                     // Nobody will ever send the grant; complete it ourselves
@@ -371,9 +384,8 @@ impl NodeCtx {
                 "unexpected reply to lock acquire: {reply:?}"
             );
         }
-        let mut engine = self.shared.engine.lock();
-        engine.note_lock_acquire();
-        engine.begin_interval();
+        self.shared.engine.note_lock_acquire();
+        self.shared.engine.begin_interval();
         Ok(())
     }
 
@@ -396,7 +408,7 @@ impl NodeCtx {
         self.flush_interval();
         let node = self.shared.node;
         if SYNC_MANAGER == node {
-            let outcome = self.shared.engine.lock().lock_release(lock, node);
+            let outcome = self.shared.engine.lock_release(lock, node);
             if let Some((next, req)) = outcome.grant_next {
                 dispatch_lock_grant(&self.shared, lock, next, req);
             }
@@ -446,7 +458,7 @@ impl NodeCtx {
         let req = self.shared.new_req();
         if SYNC_MANAGER == node {
             let rx = self.shared.register_pending(req);
-            let outcome = self.shared.engine.lock().barrier_arrive(barrier, node, req);
+            let outcome = self.shared.engine.barrier_arrive(barrier, node, req);
             if let BarrierOutcome::Complete {
                 waiters,
                 epoch: done,
@@ -472,9 +484,8 @@ impl NodeCtx {
                 "unexpected reply to barrier arrive: {reply:?}"
             );
         }
-        let mut engine = self.shared.engine.lock();
-        engine.note_barrier();
-        engine.begin_interval();
+        self.shared.engine.note_barrier();
+        self.shared.engine.begin_interval();
         Ok(())
     }
 
@@ -515,7 +526,7 @@ impl NodeCtx {
     /// Make sure a valid local copy exists for reading.
     fn ensure_readable(&self, obj: ObjectId) -> DsmResult<()> {
         loop {
-            let plan = self.shared.engine.lock().plan_read(obj);
+            let plan = self.shared.engine.plan_read(obj);
             match plan {
                 AccessPlan::LocalHit => return Ok(()),
                 AccessPlan::Fetch { target } => {
@@ -529,7 +540,7 @@ impl NodeCtx {
     /// Make sure a writable local copy exists (twin created as needed).
     fn ensure_writable(&self, obj: ObjectId) -> DsmResult<()> {
         loop {
-            let plan = self.shared.engine.lock().plan_write(obj);
+            let plan = self.shared.engine.plan_write(obj);
             match plan {
                 AccessPlan::LocalHit => return Ok(()),
                 AccessPlan::Fetch { target } => {
@@ -568,7 +579,6 @@ impl NodeCtx {
                 } => {
                     self.shared
                         .engine
-                        .lock()
                         .install_object(obj, data, version, migration);
                     return;
                 }
@@ -580,7 +590,7 @@ impl NodeCtx {
                         redirections <= self.redirect_limit(),
                         "redirection chain for {obj} did not converge"
                     );
-                    let mut engine = self.shared.engine.lock();
+                    let engine = &self.shared.engine;
                     engine.note_redirect(obj, new_home, epoch);
                     // Chase the hint — but never ourselves: a (stale) hint
                     // pointing back at the requester falls back to our own
@@ -600,7 +610,7 @@ impl NodeCtx {
     /// close the interval.
     fn flush_interval(&self) {
         let node = self.shared.node;
-        let plans = self.shared.engine.lock().prepare_release();
+        let plans = self.shared.engine.prepare_release();
         for plan in plans {
             let mut target = plan.target;
             let mut redirections = 0u32;
@@ -619,7 +629,7 @@ impl NodeCtx {
                 );
                 match reply {
                     ProtocolMsg::DiffAck { version, .. } => {
-                        self.shared.engine.lock().complete_flush(plan.obj, version);
+                        self.shared.engine.complete_flush(plan.obj, version);
                         break;
                     }
                     ProtocolMsg::DiffRedirect {
@@ -631,7 +641,7 @@ impl NodeCtx {
                             "diff redirection chain for {} did not converge",
                             plan.obj
                         );
-                        let mut engine = self.shared.engine.lock();
+                        let engine = &self.shared.engine;
                         engine.note_redirect(plan.obj, new_home, epoch);
                         target = if new_home == node {
                             engine.home_hint(plan.obj)
@@ -643,6 +653,6 @@ impl NodeCtx {
                 }
             }
         }
-        self.shared.engine.lock().finish_release();
+        self.shared.engine.finish_release();
     }
 }

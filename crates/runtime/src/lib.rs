@@ -26,6 +26,49 @@
 //! statistics and the protocol counters that the benchmark harness turns
 //! into the paper's figures.
 //!
+//! ## Locking architecture
+//!
+//! A node's two threads (application + protocol server) share the engine
+//! **without a node-global engine lock** — requests for distinct objects
+//! never serialize on one mutex, so protocol serving scales with cores. The
+//! locks that exist, from the outside in:
+//!
+//! * **Engine shard locks** (`dsm-core`): per-object protocol state is
+//!   striped over N independent shards keyed by `ObjectId`. Every engine
+//!   call takes exactly one shard lock, briefly; interval-wide operations
+//!   (`begin_interval`, `prepare_release`, `finish_release`) walk the
+//!   shards one at a time.
+//! * **The node-global lock** (`dsm-core`): distributed lock/barrier
+//!   manager state and synchronization counters — state not keyed by an
+//!   object — behind its own small mutex, so synchronization traffic never
+//!   contends with object traffic.
+//! * **Pending-reply stripes** (this crate): the table matching replies to
+//!   blocked requests is striped by request id.
+//! * **Payload leases** (`dsm-objspace` stores): zero-copy views hold a
+//!   read/write guard on one object's payload cell across application code,
+//!   *never* an engine lock.
+//!
+//! **Lock ordering:** there is none to get wrong — shard locks, the global
+//! lock and the pending stripes are all *leaf* locks; no code path holds
+//! two of them at once. Payload guards are the only long-lived acquisition,
+//! and the only place one is taken while a shard lock is held is inside the
+//! engine's `try_lease_*`/server handlers, which use non-blocking `try_`
+//! acquisition exclusively.
+//!
+//! **Why deferral stays deadlock-free:** a server that finds a payload
+//! leased to an application view reports `Busy`; the runtime parks the
+//! message on a deferral queue and retries it on later messages and on
+//! every poll tick (see [`ClusterBuilder::poll_interval`] /
+//! [`ClusterBuilder::fast_poll`]) instead of blocking the server thread. A
+//! node blocked on the network therefore always has a responsive server.
+//! The one remaining cycle — two nodes each waiting for the other's server
+//! while their own write leases keep that server deferring — is ruled out
+//! on the application side: a context refuses to issue a remote fault-in
+//! while it holds any *write* view ([`DsmError::FetchWithLiveWrites`]), and
+//! synchronization operations require full quiescence
+//! ([`DsmError::ViewsOutstanding`]). Read views are safe to hold across a
+//! fetch because serving a fault-in needs only a shared payload lock.
+//!
 //! ```no_run
 //! use dsm_runtime::Cluster;
 //! use dsm_core::MigrationPolicy;
@@ -61,7 +104,9 @@ pub mod report;
 pub mod vclock;
 pub mod view;
 
-pub use cluster::{Cluster, ClusterBuilder, ClusterConfig};
+pub use cluster::{
+    Cluster, ClusterBuilder, ClusterConfig, DEFAULT_POLL_INTERVAL, FAST_POLL_INTERVAL,
+};
 pub use ctx::NodeCtx;
 pub use dsm_objspace::{DsmError, DsmResult};
 pub use handle::{ArrayHandle, Matrix2dHandle, ScalarHandle};

@@ -10,10 +10,19 @@
 //!   dispatches requests to the protocol engine, sends the produced replies
 //!   and wakes local waiters.
 //!
+//! Both threads drive the engine directly through `&self` — there is **no
+//! node-global engine mutex**. The [`ProtocolEngine`] is internally
+//! lock-striped by `ObjectId`, so an object request being served here never
+//! contends with the application thread touching a different object, and
+//! the pending-reply table is striped by request id the same way (see the
+//! "Locking architecture" section of the crate docs).
+//!
 //! The server **never blocks on object payloads**: when the engine reports
 //! a `Busy` outcome (the application holds a zero-copy view of the copy a
 //! request needs), the message is parked on a local deferral queue and
-//! retried after subsequent messages and on every poll tick. Replies to the
+//! retried after subsequent messages and on every poll tick (the tick
+//! defaults to 2 ms and is configurable through
+//! `ClusterBuilder::poll_interval` / `fast_poll`). Replies to the
 //! local application are always processed immediately, which is what makes
 //! it safe for the application to block on the network while holding *read*
 //! views of other objects. Blocking with a live *write* view could still
@@ -49,18 +58,32 @@ pub(crate) struct Reply {
     pub arrival: SimTime,
 }
 
+/// Number of stripes of the pending-reply table. Request ids are allocated
+/// sequentially per node, so consecutive in-flight requests land on
+/// different stripes; a power of two keeps the index a mask.
+const PENDING_STRIPES: usize = 8;
+
+/// One stripe of the pending-reply table.
+type PendingStripe = Mutex<HashMap<ReqId, Sender<Reply>>>;
+
 /// State shared between one node's application thread and server thread.
 pub(crate) struct NodeShared {
     pub node: NodeId,
     pub num_nodes: usize,
-    pub engine: Mutex<ProtocolEngine>,
+    /// The internally lock-striped engine; both threads call it directly.
+    pub engine: ProtocolEngine,
     pub registry: Arc<ObjectRegistry>,
     pub endpoint: Endpoint<ProtocolMsg>,
     pub clock: VirtualClock,
     pub compute: ComputeModel,
     pub handling_cost: SimDuration,
     pub seed: u64,
-    pending: Mutex<HashMap<ReqId, Sender<Reply>>>,
+    /// How long the server loop waits for a message before retrying its
+    /// deferral queue and checking for shutdown.
+    pub poll_interval: Duration,
+    /// Pending-reply senders, striped by request id so completing a reply
+    /// for one request never contends with registering another.
+    pending: Box<[PendingStripe]>,
     next_req: AtomicU64,
     shutdown: AtomicBool,
 }
@@ -72,21 +95,30 @@ impl NodeShared {
         compute: ComputeModel,
         handling_cost: SimDuration,
         seed: u64,
+        poll_interval: Duration,
     ) -> Arc<Self> {
         Arc::new(NodeShared {
             node: engine.node(),
             num_nodes: engine.num_nodes(),
             registry: Arc::clone(engine.registry()),
-            engine: Mutex::new(engine),
+            engine,
             endpoint,
             clock: VirtualClock::new(),
             compute,
             handling_cost,
             seed,
-            pending: Mutex::new(HashMap::new()),
+            poll_interval,
+            pending: (0..PENDING_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             next_req: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
         })
+    }
+
+    /// The pending-table stripe for `req`.
+    fn pending_stripe(&self, req: ReqId) -> &PendingStripe {
+        &self.pending[(req.0 as usize) & (PENDING_STRIPES - 1)]
     }
 
     /// Allocate a request id unique within this node.
@@ -101,7 +133,7 @@ impl NodeShared {
     /// wait on.
     pub fn register_pending(&self, req: ReqId) -> Receiver<Reply> {
         let (tx, rx) = bounded(1);
-        let previous = self.pending.lock().insert(req, tx);
+        let previous = self.pending_stripe(req).lock().insert(req, tx);
         assert!(previous.is_none(), "duplicate pending request id {req:?}");
         rx
     }
@@ -115,7 +147,7 @@ impl NodeShared {
 
     /// Complete a pending request with a reply that arrived at `arrival`.
     pub fn complete(&self, req: ReqId, msg: ProtocolMsg, arrival: SimTime) {
-        let slot = self.pending.lock().remove(&req);
+        let slot = self.pending_stripe(req).lock().remove(&req);
         match slot {
             Some(tx) => {
                 // The application thread may have already given up only if the
@@ -171,7 +203,7 @@ pub(crate) fn server_loop(shared: &Arc<NodeShared>) {
     // they arrived; retried after every subsequent message and poll tick.
     let mut deferred: VecDeque<(NodeId, ProtocolMsg)> = VecDeque::new();
     loop {
-        match shared.endpoint.recv_timeout(Duration::from_millis(2)) {
+        match shared.endpoint.recv_timeout(shared.poll_interval) {
             Ok(envelope) => {
                 if trace_enabled() {
                     eprintln!(
@@ -230,12 +262,10 @@ fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) -> Op
             redirections,
         } => {
             let (req, obj, requester) = (*req, *obj, *requester);
-            let outcome = shared.engine.lock().handle_object_request(
-                obj,
-                requester,
-                *for_write,
-                *redirections,
-            );
+            let outcome =
+                shared
+                    .engine
+                    .handle_object_request(obj, requester, *for_write, *redirections);
             match outcome {
                 ObjectRequestOutcome::Busy => return Some(msg),
                 ObjectRequestOutcome::Reply {
@@ -290,10 +320,7 @@ fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) -> Op
             redirections,
         } => {
             let (req, obj, from) = (*req, *obj, *from);
-            let outcome = shared
-                .engine
-                .lock()
-                .handle_diff(obj, diff, from, *redirections);
+            let outcome = shared.engine.handle_diff(obj, diff, from, *redirections);
             match outcome {
                 DiffOutcome::Busy => return Some(msg),
                 DiffOutcome::Applied { new_version } => {
@@ -324,7 +351,7 @@ fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) -> Op
             lock,
             requester,
         } => {
-            let outcome = shared.engine.lock().lock_acquire(*lock, *requester, *req);
+            let outcome = shared.engine.lock_acquire(*lock, *requester, *req);
             if outcome == LockAcquireOutcome::Granted {
                 shared.send(
                     *requester,
@@ -337,7 +364,7 @@ fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) -> Op
             // Queued: the grant is sent when the current holder releases.
         }
         ProtocolMsg::LockRelease { lock, holder } => {
-            let outcome = shared.engine.lock().lock_release(*lock, *holder);
+            let outcome = shared.engine.lock_release(*lock, *holder);
             if let Some((next, req)) = outcome.grant_next {
                 dispatch_lock_grant(shared, *lock, next, req);
             }
@@ -348,7 +375,7 @@ fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) -> Op
             node,
             epoch,
         } => {
-            let outcome = shared.engine.lock().barrier_arrive(*barrier, *node, *req);
+            let outcome = shared.engine.barrier_arrive(*barrier, *node, *req);
             if let BarrierOutcome::Complete {
                 waiters,
                 epoch: done,
@@ -363,13 +390,10 @@ fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) -> Op
             new_home,
             epoch,
         } => {
-            shared
-                .engine
-                .lock()
-                .handle_home_notify(*obj, *new_home, *epoch);
+            shared.engine.handle_home_notify(*obj, *new_home, *epoch);
         }
         ProtocolMsg::HomeLookup { req, obj } => {
-            let home = shared.engine.lock().handle_home_lookup(*obj);
+            let home = shared.engine.handle_home_lookup(*obj);
             shared.send(
                 src,
                 ProtocolMsg::HomeLookupReply {

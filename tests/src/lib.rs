@@ -19,3 +19,16 @@ pub fn test_cluster(nodes: usize, protocol: ProtocolConfig) -> ClusterConfig {
         .compute(ComputeModel::free())
         .config()
 }
+
+/// As [`test_cluster`], but with the stress-suite fast poll interval so
+/// deferred (busy) messages are retried every 100 µs instead of every 2 ms —
+/// contention-heavy suites would otherwise spend most of their wall-clock
+/// sleeping in the server poll.
+pub fn fast_test_cluster(nodes: usize, protocol: ProtocolConfig) -> ClusterConfig {
+    dsm_runtime::Cluster::builder()
+        .nodes(nodes)
+        .protocol(protocol)
+        .compute(ComputeModel::free())
+        .fast_poll()
+        .config()
+}
