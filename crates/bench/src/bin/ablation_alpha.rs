@@ -4,11 +4,16 @@
 //!
 //! Usage: `cargo run -p dsm-bench --release --bin ablation_alpha [--full]`
 
-use dsm_bench::{ablation, Scale};
+use dsm_bench::{ablation, gate, Scale};
 
 fn main() {
     let scale = Scale::from_args();
     let points = ablation::coefficient_sensitivity(scale);
     println!("Ablation A2 — home access coefficient / feedback coefficient sensitivity (synthetic, r = 2)\n");
     println!("{}", ablation::render(&points).render());
+    println!("\nFlush batching — the ablation's gate workload in both wire modes:\n");
+    println!(
+        "{}",
+        gate::render(&gate::collect_prefixed(scale, "ablation")).render()
+    );
 }

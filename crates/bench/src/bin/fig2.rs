@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run -p dsm-bench --release --bin fig2 [--full]`
 
-use dsm_bench::{fig2, Scale};
+use dsm_bench::{fig2, gate, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -17,4 +17,9 @@ fn main() {
         fig2::shape_holds(&points)
     );
     println!("\nCSV:\n{}", table.to_csv());
+    println!("\nFlush batching — Figure 2's gate workload in both wire modes:\n");
+    println!(
+        "{}",
+        gate::render(&gate::collect_prefixed(scale, "fig2")).render()
+    );
 }

@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run -p dsm-bench --release --bin fig3 [--full]`
 
-use dsm_bench::{fig3, Scale};
+use dsm_bench::{fig3, gate, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -18,4 +18,9 @@ fn main() {
         fig3::shape_holds(&points)
     );
     println!("\nCSV:\n{}", table.to_csv());
+    println!("\nFlush batching — Figure 3's gate workloads in both wire modes:\n");
+    println!(
+        "{}",
+        gate::render(&gate::collect_prefixed(scale, "fig3")).render()
+    );
 }

@@ -45,10 +45,21 @@ pub fn collect(scale: Scale) -> Vec<Fig3Point> {
 }
 
 /// One ASP measurement at a given graph size.
+///
+/// As in Figure 2, the paper-reproduction points run with flush batching
+/// disabled (the paper's one-`DiffFlush`-per-object wire protocol), so the
+/// AT-vs-FT2 comparison measures exactly what the paper measured; the gate
+/// table the `fig3` binary prints alongside reports both wire modes.
 pub fn asp_point(size: usize) -> Fig3Point {
     let params = asp::AspParams::small(size);
-    let at = asp::run(cluster(NODES, ProtocolConfig::adaptive()), &params);
-    let ft2 = asp::run(cluster(NODES, ProtocolConfig::fixed_threshold(2)), &params);
+    let at = asp::run(
+        cluster(NODES, ProtocolConfig::adaptive()).with_flush_batching(false),
+        &params,
+    );
+    let ft2 = asp::run(
+        cluster(NODES, ProtocolConfig::fixed_threshold(2)).with_flush_batching(false),
+        &params,
+    );
     Fig3Point {
         app: "ASP".to_string(),
         size,
@@ -58,11 +69,18 @@ pub fn asp_point(size: usize) -> Fig3Point {
     }
 }
 
-/// One SOR measurement at a given matrix size.
+/// One SOR measurement at a given matrix size (paper wire mode, see
+/// [`asp_point`]).
 pub fn sor_point(size: usize) -> Fig3Point {
     let params = sor::SorParams::small(size, 6);
-    let at = sor::run(cluster(NODES, ProtocolConfig::adaptive()), &params);
-    let ft2 = sor::run(cluster(NODES, ProtocolConfig::fixed_threshold(2)), &params);
+    let at = sor::run(
+        cluster(NODES, ProtocolConfig::adaptive()).with_flush_batching(false),
+        &params,
+    );
+    let ft2 = sor::run(
+        cluster(NODES, ProtocolConfig::fixed_threshold(2)).with_flush_batching(false),
+        &params,
+    );
     Fig3Point {
         app: "SOR".to_string(),
         size,

@@ -21,6 +21,7 @@ pub mod ablation;
 pub mod fig2;
 pub mod fig3;
 pub mod fig5;
+pub mod gate;
 pub mod table;
 
 use dsm_core::ProtocolConfig;

@@ -45,7 +45,8 @@
 //! without copying and without pinning any engine lock. Because the home of
 //! an object can migrate away *between* the access plan and the lease (the
 //! server thread serves requests concurrently), the runtime uses the checked
-//! [`Self::try_lease_read`]/[`Self::try_lease_write`] forms, which validate
+//! [`ProtocolEngine::try_lease_read`]/[`ProtocolEngine::try_lease_write`]
+//! forms, which validate
 //! the access state and take the payload guard atomically under the shard
 //! lock, and re-plan when the state moved underneath them. The server side
 //! only ever takes `try_` locks on payloads and reports [`Busy`] outcomes
@@ -55,6 +56,8 @@
 //! server).
 //!
 //! [`Busy`]: ObjectRequestOutcome::Busy
+//! [`EngineShard`]: crate::engine#sharded-locking
+//! [`NodeGlobals`]: crate::engine#sharded-locking
 //!
 //! ## Home epochs
 //!
@@ -66,9 +69,6 @@
 //! cannot form cycles even under racy cross-node interleavings (a stale
 //! backward hint could otherwise overwrite a correct forward pointer and
 //! strand the requester in a redirect loop).
-//!
-//! [`EngineShard`]: crate::shard
-//! [`NodeGlobals`]: crate::global
 
 use crate::config::ProtocolConfig;
 use crate::global::NodeGlobals;
@@ -127,6 +127,39 @@ pub struct FlushPlan {
     pub target: NodeId,
     /// The diff to send.
     pub diff: Diff,
+}
+
+/// All of one interval's flush plans aimed at the same (believed) home,
+/// ready to travel as a single `DiffBatch` message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushBatch {
+    /// The believed home node all entries share.
+    pub target: NodeId,
+    /// The grouped plans, ordered by object id.
+    pub entries: Vec<FlushPlan>,
+}
+
+/// Group release-time flush plans by their (believed) home node, so each
+/// group can be shipped as one `DiffBatch` instead of one `DiffFlush` per
+/// object — an interval that wrote k objects homed on the same node then
+/// pays one per-message start-up time instead of k.
+///
+/// The grouping is deterministic: batches are ordered by target node and the
+/// entries within a batch by object id, so experiments are reproducible
+/// regardless of hash-map iteration order upstream.
+pub fn group_flush_plans(plans: Vec<FlushPlan>) -> Vec<FlushBatch> {
+    let mut by_target: std::collections::BTreeMap<NodeId, Vec<FlushPlan>> =
+        std::collections::BTreeMap::new();
+    for plan in plans {
+        by_target.entry(plan.target).or_default().push(plan);
+    }
+    by_target
+        .into_iter()
+        .map(|(target, mut entries)| {
+            entries.sort_by_key(|p| p.obj);
+            FlushBatch { target, entries }
+        })
+        .collect()
 }
 
 /// Home-side outcome of an object fault-in request.
@@ -287,6 +320,8 @@ impl ProtocolEngine {
         let globals = self.globals.lock();
         total.lock_acquires += globals.lock_acquires;
         total.barriers += globals.barriers_crossed;
+        total.batched_flushes += globals.batched_flushes;
+        total.batch_entries += globals.batch_entries;
         total
     }
 
@@ -552,6 +587,15 @@ impl ProtocolEngine {
     /// Record one application-level barrier crossing (for reporting).
     pub fn note_barrier(&self) {
         self.globals.lock().barriers_crossed += 1;
+    }
+
+    /// Record that `entries` release-time flushes were shipped as one
+    /// `DiffBatch` message (for the `batched_flushes` / `batch_entries`
+    /// statistics).
+    pub fn note_diff_batch(&self, entries: usize) {
+        let mut globals = self.globals.lock();
+        globals.batched_flushes += 1;
+        globals.batch_entries += entries as u64;
     }
 
     // ------------------------------------------------------------------
@@ -1126,6 +1170,51 @@ mod tests {
         assert!(e[1].prepare_release().is_empty());
         e[1].finish_release();
         assert_eq!(e[1].stats().diffs_sent, 0);
+    }
+
+    #[test]
+    fn flush_plans_group_deterministically_by_home() {
+        // Plans for three targets, deliberately interleaved and unsorted.
+        let plan = |name: &str, i: u64, node: u16| FlushPlan {
+            obj: ObjectId::derive(name, i),
+            target: NodeId(node),
+            diff: Diff::full(&[i as u8; 8]),
+        };
+        let plans = vec![
+            plan("g", 4, 2),
+            plan("g", 0, 1),
+            plan("g", 3, 1),
+            plan("g", 1, 2),
+            plan("g", 2, 0),
+        ];
+        let batches = group_flush_plans(plans.clone());
+        assert_eq!(batches.len(), 3);
+        // Batches ordered by target, entries by object id.
+        assert_eq!(
+            batches.iter().map(|b| b.target).collect::<Vec<_>>(),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+        for batch in &batches {
+            let mut sorted = batch.entries.clone();
+            sorted.sort_by_key(|p| p.obj);
+            assert_eq!(batch.entries, sorted);
+            assert!(batch.entries.iter().all(|p| p.target == batch.target));
+        }
+        let total: usize = batches.iter().map(|b| b.entries.len()).sum();
+        assert_eq!(total, plans.len(), "no plan lost or duplicated");
+        // Same input, same grouping — reproducibility.
+        assert_eq!(batches, group_flush_plans(plans));
+    }
+
+    #[test]
+    fn batch_counters_accumulate_in_stats() {
+        let e = engines(ProtocolConfig::no_migration());
+        assert_eq!(e[0].stats().batched_flushes, 0);
+        e[0].note_diff_batch(3);
+        e[0].note_diff_batch(2);
+        let stats = e[0].stats();
+        assert_eq!(stats.batched_flushes, 2);
+        assert_eq!(stats.batch_entries, 5);
     }
 
     // ------------------------------------------------------------------

@@ -27,6 +27,11 @@ pub(crate) struct NodeGlobals {
     pub(crate) lock_acquires: u64,
     /// Barrier phases completed by this node's application thread.
     pub(crate) barriers_crossed: u64,
+    /// `DiffBatch` messages sent by this node's application thread at
+    /// release time (a node-level event, like the synchronization counters).
+    pub(crate) batched_flushes: u64,
+    /// Total flush entries carried by those batches.
+    pub(crate) batch_entries: u64,
 }
 
 impl NodeGlobals {
@@ -37,6 +42,8 @@ impl NodeGlobals {
             barriers: BarrierManager::new(num_nodes),
             lock_acquires: 0,
             barriers_crossed: 0,
+            batched_flushes: 0,
+            batch_entries: 0,
         }
     }
 

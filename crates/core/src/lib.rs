@@ -75,10 +75,13 @@ pub mod sync;
 
 pub use config::{NotificationMechanism, ProtocolConfig};
 pub use engine::{
-    AccessPlan, DiffOutcome, FlushPlan, MigrationGrant, ObjectRequestOutcome, ProtocolEngine,
-    DEFAULT_ENGINE_SHARDS,
+    group_flush_plans, AccessPlan, DiffOutcome, FlushBatch, FlushPlan, MigrationGrant,
+    ObjectRequestOutcome, ProtocolEngine, DEFAULT_ENGINE_SHARDS,
 };
-pub use messages::{ProtocolMsg, ReqId};
+pub use messages::{
+    DiffBatchEntry, DiffBatchResult, DiffEntryStatus, ProtocolMsg, ReqId,
+    DIFF_BATCH_ENTRY_HEADER_BYTES,
+};
 pub use migration::{MigrationPolicy, MigrationState};
 pub use stats::ProtocolStats;
 pub use sync::{BarrierOutcome, LockAcquireOutcome, LockReleaseOutcome};

@@ -18,6 +18,53 @@ pub struct ReqId(pub u64);
 /// the engine module; re-exported here for the message definition.
 pub use crate::engine::MigrationGrant;
 
+/// Modelled wire overhead per entry of a [`ProtocolMsg::DiffBatch`]: the
+/// object id plus entry framing. The batch as a whole still pays the single
+/// fixed message header the fabric adds, so batching k flushes saves
+/// `(k-1) * MESSAGE_HEADER_BYTES - k * DIFF_BATCH_ENTRY_HEADER_BYTES` header
+/// bytes on top of the `(k-1) * t0` start-up saving that motivates it.
+pub const DIFF_BATCH_ENTRY_HEADER_BYTES: u64 = 8;
+
+/// One entry of a [`ProtocolMsg::DiffBatch`]: a diff destined for the home
+/// the batch was addressed to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffBatchEntry {
+    /// The object.
+    pub obj: ObjectId,
+    /// The diff to apply at the home.
+    pub diff: Diff,
+}
+
+/// Home-side resolution of one batch entry, reported in the
+/// [`ProtocolMsg::DiffBatchAck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffEntryStatus {
+    /// The diff was applied to the home copy.
+    Applied {
+        /// Version of the home copy after applying the diff.
+        version: Version,
+    },
+    /// The receiver is no longer the home of this entry's object (it
+    /// migrated mid-flight); the flusher must re-plan this entry
+    /// individually, following the usual epoch-guarded redirect rules.
+    Redirect {
+        /// Where the receiver believes the home is now.
+        new_home: NodeId,
+        /// The home epoch the receiver believes `new_home` became home at
+        /// (0 for routing-only hints such as a pointer to the manager).
+        epoch: u32,
+    },
+}
+
+/// Per-entry result inside a [`ProtocolMsg::DiffBatchAck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffBatchResult {
+    /// The entry's object.
+    pub obj: ObjectId,
+    /// How the home resolved the entry.
+    pub status: DiffEntryStatus,
+}
+
 /// A protocol message.
 #[derive(Debug, Clone)]
 pub enum ProtocolMsg {
@@ -83,6 +130,29 @@ pub enum ProtocolMsg {
         obj: ObjectId,
         /// Version of the home copy after applying the diff.
         version: Version,
+    },
+    /// Batched diff propagation at release time: every dirty object of the
+    /// interval whose (believed) home is the same node, in one message. The
+    /// receiver resolves each entry independently — applied, redirected
+    /// (home migrated mid-flight) or deferred while its payload is leased to
+    /// a live view — and answers with a single [`ProtocolMsg::DiffBatchAck`]
+    /// once no entry is pending.
+    DiffBatch {
+        /// Request id (the releaser blocks until the batch is acknowledged).
+        req: ReqId,
+        /// The batched diffs, ordered by object id.
+        entries: Vec<DiffBatchEntry>,
+        /// The writing node.
+        from: NodeId,
+    },
+    /// Per-entry acknowledgement of a [`ProtocolMsg::DiffBatch`]. Entries
+    /// resolve independently, so results may arrive in a different order
+    /// than they were sent; the flusher matches them by object id.
+    DiffBatchAck {
+        /// Echo of the request id.
+        req: ReqId,
+        /// One result per batch entry.
+        results: Vec<DiffBatchResult>,
     },
     /// Redirection reply for a diff that reached an obsolete home.
     DiffRedirect {
@@ -185,6 +255,8 @@ impl ProtocolMsg {
             }
             ProtocolMsg::DiffFlush { .. } => MsgCategory::Diff,
             ProtocolMsg::DiffAck { .. } => MsgCategory::DiffAck,
+            ProtocolMsg::DiffBatch { .. } => MsgCategory::DiffBatch,
+            ProtocolMsg::DiffBatchAck { .. } => MsgCategory::DiffBatchAck,
             ProtocolMsg::LockAcquire { .. } => MsgCategory::LockAcquire,
             ProtocolMsg::LockGrant { .. } => MsgCategory::LockGrant,
             ProtocolMsg::LockRelease { .. } => MsgCategory::LockRelease,
@@ -205,6 +277,13 @@ impl ProtocolMsg {
         match self {
             ProtocolMsg::ObjectReply { data, .. } => data.len() as u64,
             ProtocolMsg::DiffFlush { diff, .. } => diff.wire_bytes() as u64,
+            // A batch is ONE message: the summed diff payloads plus a small
+            // per-entry header (the single fixed message header is added by
+            // the fabric, exactly once).
+            ProtocolMsg::DiffBatch { entries, .. } => entries
+                .iter()
+                .map(|e| e.diff.wire_bytes() as u64 + DIFF_BATCH_ENTRY_HEADER_BYTES)
+                .sum(),
             // Unit-sized protocol messages: requests, grants, redirections,
             // acks, notifications. The paper models a redirection as a
             // "unit-sized message"; we charge only the fixed header.
@@ -221,6 +300,7 @@ impl ProtocolMsg {
             ProtocolMsg::ObjectReply { .. }
                 | ProtocolMsg::ObjectRedirect { .. }
                 | ProtocolMsg::DiffAck { .. }
+                | ProtocolMsg::DiffBatchAck { .. }
                 | ProtocolMsg::DiffRedirect { .. }
                 | ProtocolMsg::LockGrant { .. }
                 | ProtocolMsg::BarrierRelease { .. }
@@ -234,6 +314,7 @@ impl ProtocolMsg {
             ProtocolMsg::ObjectReply { req, .. }
             | ProtocolMsg::ObjectRedirect { req, .. }
             | ProtocolMsg::DiffAck { req, .. }
+            | ProtocolMsg::DiffBatchAck { req, .. }
             | ProtocolMsg::DiffRedirect { req, .. }
             | ProtocolMsg::LockGrant { req, .. }
             | ProtocolMsg::BarrierRelease { req, .. }
@@ -307,6 +388,52 @@ mod tests {
             redirections: 2,
         };
         assert_eq!(req.payload_bytes(), 0);
+    }
+
+    fn batch(entry_payloads: &[&[u8]]) -> ProtocolMsg {
+        ProtocolMsg::DiffBatch {
+            req: ReqId(7),
+            entries: entry_payloads
+                .iter()
+                .enumerate()
+                .map(|(i, bytes)| DiffBatchEntry {
+                    obj: ObjectId::derive("batch.obj", i as u64),
+                    diff: Diff::full(bytes),
+                })
+                .collect(),
+            from: NodeId(3),
+        }
+    }
+
+    #[test]
+    fn diff_batch_is_one_message_with_summed_payload() {
+        // The wire/stat accounting contract of batching: k entries make ONE
+        // message of the `DiffBatch` category whose payload is the *sum* of
+        // the entry diffs' wire sizes (plus the per-entry header) — never k
+        // `Diff` messages.
+        let msg = batch(&[&[1u8; 64], &[2u8; 32], &[3u8; 128]]);
+        assert_eq!(msg.category(), MsgCategory::DiffBatch);
+        let expected: u64 = [64usize, 32, 128]
+            .iter()
+            .map(|len| Diff::full(&vec![9u8; *len]).wire_bytes() as u64)
+            .sum::<u64>()
+            + 3 * DIFF_BATCH_ENTRY_HEADER_BYTES;
+        assert_eq!(msg.payload_bytes(), expected);
+        assert!(!msg.is_reply());
+        // The ack is a unit-sized reply carrying the request id.
+        let ack = ProtocolMsg::DiffBatchAck {
+            req: ReqId(7),
+            results: vec![DiffBatchResult {
+                obj: ObjectId::derive("batch.obj", 0),
+                status: DiffEntryStatus::Applied {
+                    version: Version(2),
+                },
+            }],
+        };
+        assert_eq!(ack.category(), MsgCategory::DiffBatchAck);
+        assert_eq!(ack.payload_bytes(), 0);
+        assert!(ack.is_reply());
+        assert_eq!(ack.reply_req(), Some(ReqId(7)));
     }
 
     #[test]

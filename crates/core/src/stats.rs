@@ -48,6 +48,17 @@ pub struct ProtocolStats {
     pub lock_acquires: u64,
     /// Barrier phases completed by this node's application thread.
     pub barriers: u64,
+    /// Release-time `DiffBatch` messages sent (each replaces its entry
+    /// count of individual `DiffFlush` messages).
+    pub batched_flushes: u64,
+    /// Total diff entries carried inside those batches; `diffs_sent` still
+    /// counts every entry, so `batch_entries / batched_flushes` is the mean
+    /// batch size. In the absence of mid-flight home migrations,
+    /// `diffs_sent - batch_entries` is exactly the flushes that went out as
+    /// singleton `DiffFlush` messages; a redirected batch entry is re-sent
+    /// individually, so with migrations the same diff can appear both as a
+    /// batch entry and on the singleton wire path.
+    pub batch_entries: u64,
 }
 
 impl ProtocolStats {
@@ -72,6 +83,8 @@ impl ProtocolStats {
         self.invalidations += other.invalidations;
         self.lock_acquires += other.lock_acquires;
         self.barriers += other.barriers;
+        self.batched_flushes += other.batched_flushes;
+        self.batch_entries += other.batch_entries;
     }
 
     /// Total home migrations in a merged record (each migration is counted
@@ -100,15 +113,21 @@ mod tests {
             fault_ins: 2,
             diffs_sent: 1,
             migrations_out: 1,
+            batched_flushes: 1,
+            batch_entries: 3,
             ..ProtocolStats::default()
         };
         let b = ProtocolStats {
             fault_ins: 3,
             redirections_served: 4,
             migrations_in: 1,
+            batched_flushes: 2,
+            batch_entries: 4,
             ..ProtocolStats::default()
         };
         a.merge(&b);
+        assert_eq!(a.batched_flushes, 3);
+        assert_eq!(a.batch_entries, 7);
         assert_eq!(a.fault_ins, 5);
         assert_eq!(a.diffs_sent, 1);
         assert_eq!(a.redirections_served, 4);

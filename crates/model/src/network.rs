@@ -72,6 +72,24 @@ impl HockneyModel {
         self.latency(req_bytes) + self.latency(reply_bytes)
     }
 
+    /// Communication time for `k` logical payloads shipped as **one**
+    /// message: a single start-up time `t0` plus the summed byte cost,
+    /// `t0 + (Σ mᵢ) / r_inf`. This is the cost the release-time flush
+    /// batcher pays for a `DiffBatch`, where sending each payload
+    /// individually would cost `Σ (t0 + mᵢ / r_inf)` — `k` start-ups.
+    pub fn batched_time_us(&self, entry_bytes: &[u64]) -> f64 {
+        self.time_us(entry_bytes.iter().sum())
+    }
+
+    /// Start-up time saved by batching `entries` payloads into one message
+    /// instead of sending them individually: `(k − 1) · t0`. On interconnects
+    /// where `t0` dominates (the paper's Fast Ethernet: `t0 = 100 µs`,
+    /// `m_1/2 ≈ 1.2 KB`), this is almost the entire per-message cost of every
+    /// flush beyond the first.
+    pub fn batch_startup_saving_us(&self, entries: usize) -> f64 {
+        self.startup_us * entries.saturating_sub(1) as f64
+    }
+
     /// The half-peak message length `m_1/2 = t0 * r_inf` in bytes: the
     /// message length required to achieve half of the asymptotic bandwidth.
     pub fn half_peak_length(&self) -> f64 {
@@ -212,6 +230,24 @@ mod tests {
             prev = eff;
         }
         assert_eq!(m.effective_bandwidth(0), 0.0);
+    }
+
+    #[test]
+    fn batched_send_pays_one_startup() {
+        let m = HockneyModel::new(100.0, 11.5);
+        let entries = [400u64, 120, 64, 1000];
+        let individually: f64 = entries.iter().map(|b| m.time_us(*b)).sum();
+        let batched = m.batched_time_us(&entries);
+        // One start-up instead of four: the saving is exactly (k-1) * t0.
+        let saving = individually - batched;
+        assert!((saving - m.batch_startup_saving_us(entries.len())).abs() < 1e-9);
+        assert!((saving - 300.0).abs() < 1e-9);
+        // Byte cost is preserved — batching only removes start-ups.
+        assert!((batched - (100.0 + 1584.0 / 11.5)).abs() < 1e-9);
+        // Degenerate batches save nothing.
+        assert_eq!(m.batch_startup_saving_us(1), 0.0);
+        assert_eq!(m.batch_startup_saving_us(0), 0.0);
+        assert!((m.batched_time_us(&[64]) - m.time_us(64)).abs() < 1e-12);
     }
 
     #[test]

@@ -26,6 +26,14 @@ pub enum MsgCategory {
     /// Acknowledgement of a diff application (needed so a release completes
     /// only after its writes are visible at the homes).
     DiffAck,
+    /// Batched diff propagation: all of one interval's diffs destined for
+    /// the *same* home, shipped as one message so k flushes pay one
+    /// per-message start-up time instead of k (the dominant term of the
+    /// Hockney model on Fast-Ethernet-class interconnects).
+    DiffBatch,
+    /// Per-entry acknowledgement of a diff batch (applied versions and
+    /// redirect hints for entries whose home migrated mid-flight).
+    DiffBatchAck,
     /// Redirection reply from an obsolete home (`redir` in Figure 5(b)):
     /// the forwarding-pointer mechanism answers with the current home
     /// location instead of the data.
@@ -51,12 +59,14 @@ pub enum MsgCategory {
 
 impl MsgCategory {
     /// All categories, in a stable order (used for reporting).
-    pub const ALL: [MsgCategory; 14] = [
+    pub const ALL: [MsgCategory; 16] = [
         MsgCategory::ObjRequest,
         MsgCategory::ObjReply,
         MsgCategory::ObjReplyMigrate,
         MsgCategory::Diff,
         MsgCategory::DiffAck,
+        MsgCategory::DiffBatch,
+        MsgCategory::DiffBatchAck,
         MsgCategory::Redirect,
         MsgCategory::LockAcquire,
         MsgCategory::LockGrant,
@@ -76,8 +86,16 @@ impl MsgCategory {
             MsgCategory::ObjReply
                 | MsgCategory::ObjReplyMigrate
                 | MsgCategory::Diff
+                | MsgCategory::DiffBatch
                 | MsgCategory::Redirect
         )
+    }
+
+    /// Whether this category carries diff propagation to a home — the
+    /// messages release-time flush batching collapses (a `DiffBatch` of k
+    /// entries replaces k `Diff` messages).
+    pub fn is_diff_propagation(self) -> bool {
+        matches!(self, MsgCategory::Diff | MsgCategory::DiffBatch)
     }
 
     /// Whether this category is a synchronization message (invariant across
@@ -101,6 +119,8 @@ impl MsgCategory {
             MsgCategory::ObjReplyMigrate => "mig",
             MsgCategory::Diff => "diff",
             MsgCategory::DiffAck => "diff_ack",
+            MsgCategory::DiffBatch => "diff_batch",
+            MsgCategory::DiffBatchAck => "diff_batch_ack",
             MsgCategory::Redirect => "redir",
             MsgCategory::LockAcquire => "lock_acq",
             MsgCategory::LockGrant => "lock_grant",
@@ -134,14 +154,27 @@ mod tests {
     #[test]
     fn breakdown_membership_matches_paper() {
         // Figure 5(b) plots exactly four categories: obj, mig, diff, redir.
+        // A batched diff is still diff propagation, so it stays in the
+        // breakdown; the per-entry ack does not (like `DiffAck`).
         assert!(MsgCategory::ObjReply.in_breakdown());
         assert!(MsgCategory::ObjReplyMigrate.in_breakdown());
         assert!(MsgCategory::Diff.in_breakdown());
+        assert!(MsgCategory::DiffBatch.in_breakdown());
         assert!(MsgCategory::Redirect.in_breakdown());
         assert!(!MsgCategory::ObjRequest.in_breakdown());
         assert!(!MsgCategory::LockGrant.in_breakdown());
         assert!(!MsgCategory::DiffAck.in_breakdown());
+        assert!(!MsgCategory::DiffBatchAck.in_breakdown());
         assert!(!MsgCategory::Control.in_breakdown());
+    }
+
+    #[test]
+    fn diff_propagation_covers_single_and_batched_flushes() {
+        assert!(MsgCategory::Diff.is_diff_propagation());
+        assert!(MsgCategory::DiffBatch.is_diff_propagation());
+        assert!(!MsgCategory::DiffAck.is_diff_propagation());
+        assert!(!MsgCategory::DiffBatchAck.is_diff_propagation());
+        assert!(!MsgCategory::ObjReply.is_diff_propagation());
     }
 
     #[test]
@@ -157,6 +190,7 @@ mod tests {
         assert_eq!(MsgCategory::ObjReply.label(), "obj");
         assert_eq!(MsgCategory::ObjReplyMigrate.label(), "mig");
         assert_eq!(MsgCategory::Diff.label(), "diff");
+        assert_eq!(MsgCategory::DiffBatch.label(), "diff_batch");
         assert_eq!(MsgCategory::Redirect.label(), "redir");
         assert_eq!(format!("{}", MsgCategory::Redirect), "redir");
     }

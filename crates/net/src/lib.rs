@@ -30,7 +30,7 @@ pub mod loopback;
 pub mod stats;
 
 pub use category::MsgCategory;
-pub use envelope::Envelope;
+pub use envelope::{Envelope, MESSAGE_HEADER_BYTES};
 pub use fabric::{Endpoint, Fabric};
 pub use loopback::Loopback;
 pub use stats::{CategoryStats, NetworkStats, StatsCollector};

@@ -86,6 +86,18 @@ impl NetworkStats {
             .sum()
     }
 
+    /// Message count for diff propagation (single `Diff` flushes plus
+    /// `DiffBatch` messages — a batch counts as **one** message however many
+    /// entries it carries). This is the series release-time flush batching
+    /// shrinks.
+    pub fn diff_propagation_messages(&self) -> u64 {
+        self.per_category
+            .iter()
+            .filter(|(c, _)| c.is_diff_propagation())
+            .map(|(_, s)| s.count)
+            .sum()
+    }
+
     /// Message count for synchronization categories only.
     pub fn synchronization_messages(&self) -> u64 {
         self.per_category
@@ -179,6 +191,34 @@ mod tests {
         assert_eq!(s.breakdown_messages(), 4);
         assert_eq!(s.synchronization_messages(), 2);
         assert_eq!(s.total_messages(), 7);
+    }
+
+    #[test]
+    fn diff_batch_counts_one_message_with_summed_bytes() {
+        // Double-counting guard: a `DiffBatch` of k entries crosses the
+        // fabric exactly once, so the statistics must show ONE message in
+        // the `DiffBatch` category whose bytes are the *sum* of the batched
+        // diffs' wire sizes (plus the per-entry and fixed headers the fabric
+        // adds) — never k messages. The fabric records per envelope, so one
+        // `record` call is precisely what a batch generates.
+        let entry_wire_bytes = [100u64, 40, 260];
+        let summed: u64 = entry_wire_bytes.iter().sum();
+        let mut s = NetworkStats::new();
+        s.record(NodeId(2), MsgCategory::DiffBatch, summed);
+        assert_eq!(s.category(MsgCategory::DiffBatch).count, 1);
+        assert_eq!(s.category(MsgCategory::DiffBatch).bytes, summed);
+        // The batch shows up in the diff-propagation and breakdown series
+        // once, not once per entry.
+        assert_eq!(s.diff_propagation_messages(), 1);
+        assert_eq!(s.breakdown_messages(), 1);
+        assert_eq!(s.total_messages(), 1);
+        // Contrast with k unbatched flushes: k messages, same payload sum.
+        let mut unbatched = NetworkStats::new();
+        for bytes in entry_wire_bytes {
+            unbatched.record(NodeId(2), MsgCategory::Diff, bytes);
+        }
+        assert_eq!(unbatched.diff_propagation_messages(), 3);
+        assert_eq!(unbatched.category(MsgCategory::Diff).bytes, summed);
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub struct ClusterConfig {
     /// Protocol-server poll interval (real time, not virtual): the retry
     /// cadence for deferred busy messages and the shutdown-check period.
     pub poll_interval: Duration,
+    /// Whether release-time diff flushes to the same home are batched into
+    /// one `DiffBatch` message (on by default). Disable to reproduce the
+    /// paper-faithful wire behaviour of one `DiffFlush` per dirty object.
+    pub flush_batching: bool,
 }
 
 impl ClusterConfig {
@@ -61,6 +65,7 @@ impl ClusterConfig {
             compute: ComputeModel::default(),
             seed: 0,
             poll_interval: DEFAULT_POLL_INTERVAL,
+            flush_batching: true,
         }
     }
 
@@ -86,6 +91,14 @@ impl ClusterConfig {
     pub fn with_poll_interval(mut self, interval: Duration) -> Self {
         assert!(!interval.is_zero(), "poll interval must be non-zero");
         self.poll_interval = interval;
+        self
+    }
+
+    /// Enable or disable release-time flush batching (see
+    /// [`ClusterBuilder::flush_batching`]).
+    #[must_use]
+    pub fn with_flush_batching(mut self, enabled: bool) -> Self {
+        self.flush_batching = enabled;
         self
     }
 }
@@ -117,6 +130,7 @@ pub struct ClusterBuilder {
     seed: u64,
     default_home: HomeAssignment,
     poll_interval: Duration,
+    flush_batching: bool,
     registry: ObjectRegistry,
 }
 
@@ -129,6 +143,7 @@ impl Default for ClusterBuilder {
             seed: 0,
             default_home: HomeAssignment::CreationNode,
             poll_interval: DEFAULT_POLL_INTERVAL,
+            flush_batching: true,
             registry: ObjectRegistry::new(),
         }
     }
@@ -214,6 +229,20 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enable or disable **release-time flush batching** (on by default):
+    /// when an interval releases, the diffs of all dirty objects that share
+    /// the same (believed) home travel as one `DiffBatch` message — one
+    /// per-message start-up time instead of one per object — and entries
+    /// whose home migrated mid-flight are re-planned individually from the
+    /// per-entry redirect hints in the ack. Disabling it restores the
+    /// paper-faithful wire behaviour of one `DiffFlush` (and one ack) per
+    /// dirty object, which the unbatched benchmark baselines measure.
+    #[must_use]
+    pub fn flush_batching(mut self, enabled: bool) -> Self {
+        self.flush_batching = enabled;
+        self
+    }
+
     /// Use the short stress-suite poll interval ([`FAST_POLL_INTERVAL`]):
     /// deferred messages are retried every 100 µs instead of every 2 ms,
     /// which keeps contention-heavy test runs fast at the price of busier
@@ -273,6 +302,7 @@ impl ClusterBuilder {
             compute: self.compute,
             seed: self.seed,
             poll_interval: self.poll_interval,
+            flush_batching: self.flush_batching,
         }
     }
 
@@ -342,6 +372,7 @@ impl Cluster {
                     config.protocol.handling_cost,
                     config.seed,
                     config.poll_interval,
+                    config.flush_batching,
                 )
             })
             .collect();

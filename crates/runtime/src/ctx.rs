@@ -29,7 +29,10 @@ use crate::handle::ArrayHandle;
 use crate::node::{dispatch_barrier_release, dispatch_lock_grant, NodeShared};
 use crate::view::{ReadView, WriteView};
 use dsm_core::sync::{BarrierOutcome, LockAcquireOutcome};
-use dsm_core::{AccessPlan, ProtocolMsg};
+use dsm_core::{
+    group_flush_plans, AccessPlan, DiffBatchEntry, DiffEntryStatus, FlushBatch, FlushPlan,
+    ProtocolMsg,
+};
 use dsm_model::{SimDuration, SimTime};
 use dsm_objspace::{BarrierId, DsmError, DsmResult, Element, LockId, NodeId, ObjectData, ObjectId};
 use dsm_util::SmallRng;
@@ -608,51 +611,147 @@ impl NodeCtx {
 
     /// Flush every dirty object of the current interval to its home and
     /// close the interval.
+    ///
+    /// With flush batching enabled (the default), the plans are grouped by
+    /// their believed home and each group of two or more travels as one
+    /// `DiffBatch` message — one per-message start-up time instead of one
+    /// per object. Singleton groups (and every flush when batching is
+    /// disabled) take the paper-faithful one-`DiffFlush`-per-object path.
     fn flush_interval(&self) {
-        let node = self.shared.node;
         let plans = self.shared.engine.prepare_release();
-        for plan in plans {
-            let mut target = plan.target;
-            let mut redirections = 0u32;
-            loop {
-                let req = self.shared.new_req();
-                let reply = self.shared.request(
-                    target,
-                    req,
-                    ProtocolMsg::DiffFlush {
-                        req,
-                        obj: plan.obj,
-                        diff: plan.diff.clone(),
-                        from: node,
-                        redirections,
-                    },
-                );
-                match reply {
-                    ProtocolMsg::DiffAck { version, .. } => {
-                        self.shared.engine.complete_flush(plan.obj, version);
-                        break;
-                    }
-                    ProtocolMsg::DiffRedirect {
-                        new_home, epoch, ..
-                    } => {
-                        redirections += 1;
-                        assert!(
-                            redirections <= self.redirect_limit(),
-                            "diff redirection chain for {} did not converge",
-                            plan.obj
-                        );
-                        let engine = &self.shared.engine;
-                        engine.note_redirect(plan.obj, new_home, epoch);
-                        target = if new_home == node {
-                            engine.home_hint(plan.obj)
-                        } else {
-                            new_home
-                        };
-                    }
-                    other => panic!("unexpected reply to diff flush: {other:?}"),
+        if self.shared.flush_batching {
+            for batch in group_flush_plans(plans) {
+                if batch.entries.len() == 1 {
+                    let mut entries = batch.entries;
+                    self.flush_plan(entries.pop().expect("length checked"), 0);
+                } else {
+                    self.flush_batch(batch);
                 }
+            }
+        } else {
+            for plan in plans {
+                self.flush_plan(plan, 0);
             }
         }
         self.shared.engine.finish_release();
+    }
+
+    /// Adopt a flush-redirect hint (epoch-guarded) and return the node to
+    /// retry at: the hinted home — but never ourselves; a (stale) hint
+    /// pointing back at the flusher falls back to our own forward belief,
+    /// which the epoch guard kept intact. Shared by the individual-flush
+    /// chase and the per-entry re-plan of a redirected batch entry, so the
+    /// two paths can never drift apart.
+    fn retarget_after_redirect(&self, obj: ObjectId, new_home: NodeId, epoch: u32) -> NodeId {
+        let engine = &self.shared.engine;
+        engine.note_redirect(obj, new_home, epoch);
+        if new_home == self.shared.node {
+            engine.home_hint(obj)
+        } else {
+            new_home
+        }
+    }
+
+    /// Flush one diff to its home, following forwarding pointers until the
+    /// current home acknowledges it. `redirections` seeds the hop count (a
+    /// batch entry re-planned after a per-entry redirect starts at 1, so
+    /// the home that finally applies it sees the same negative feedback
+    /// `R_i` as an individually redirected flush).
+    fn flush_plan(&self, plan: FlushPlan, redirections: u32) {
+        let node = self.shared.node;
+        let mut target = plan.target;
+        let mut redirections = redirections;
+        loop {
+            let req = self.shared.new_req();
+            let reply = self.shared.request(
+                target,
+                req,
+                ProtocolMsg::DiffFlush {
+                    req,
+                    obj: plan.obj,
+                    diff: plan.diff.clone(),
+                    from: node,
+                    redirections,
+                },
+            );
+            match reply {
+                ProtocolMsg::DiffAck { version, .. } => {
+                    self.shared.engine.complete_flush(plan.obj, version);
+                    break;
+                }
+                ProtocolMsg::DiffRedirect {
+                    new_home, epoch, ..
+                } => {
+                    redirections += 1;
+                    assert!(
+                        redirections <= self.redirect_limit(),
+                        "diff redirection chain for {} did not converge",
+                        plan.obj
+                    );
+                    target = self.retarget_after_redirect(plan.obj, new_home, epoch);
+                }
+                other => panic!("unexpected reply to diff flush: {other:?}"),
+            }
+        }
+    }
+
+    /// Flush a group of same-home diffs as one `DiffBatch` message and
+    /// resolve the per-entry results of its ack: applied entries complete
+    /// immediately; entries whose home migrated mid-flight come back as
+    /// per-entry redirects and are re-planned individually through the
+    /// usual epoch-guarded [`Self::flush_plan`] chase.
+    fn flush_batch(&self, batch: FlushBatch) {
+        let node = self.shared.node;
+        let engine = &self.shared.engine;
+        engine.note_diff_batch(batch.entries.len());
+        let req = self.shared.new_req();
+        let entries: Vec<DiffBatchEntry> = batch
+            .entries
+            .iter()
+            .map(|plan| DiffBatchEntry {
+                obj: plan.obj,
+                diff: plan.diff.clone(),
+            })
+            .collect();
+        let reply = self.shared.request(
+            batch.target,
+            req,
+            ProtocolMsg::DiffBatch {
+                req,
+                entries,
+                from: node,
+            },
+        );
+        let ProtocolMsg::DiffBatchAck { results, .. } = reply else {
+            panic!("unexpected reply to diff batch: {reply:?}");
+        };
+        assert_eq!(
+            results.len(),
+            batch.entries.len(),
+            "diff batch ack must resolve every entry"
+        );
+        for result in results {
+            match result.status {
+                DiffEntryStatus::Applied { version } => {
+                    engine.complete_flush(result.obj, version);
+                }
+                DiffEntryStatus::Redirect { new_home, epoch } => {
+                    let target = self.retarget_after_redirect(result.obj, new_home, epoch);
+                    let plan = batch
+                        .entries
+                        .iter()
+                        .find(|plan| plan.obj == result.obj)
+                        .expect("ack result matches a batch entry");
+                    self.flush_plan(
+                        FlushPlan {
+                            obj: plan.obj,
+                            target,
+                            diff: plan.diff.clone(),
+                        },
+                        1,
+                    );
+                }
+            }
+        }
     }
 }

@@ -55,6 +55,48 @@
 //! engine's `try_lease_*`/server handlers, which use non-blocking `try_`
 //! acquisition exclusively.
 //!
+//! ## Release path & flush batching
+//!
+//! When an interval releases (a lock release or barrier arrival), the
+//! engine's `prepare_release` produces one flush plan per dirty object and
+//! the context propagates each diff to its believed home. Under the paper's
+//! cost model the per-message start-up time `t0` dominates on
+//! Fast-Ethernet-class interconnects, so an interval that wrote k objects
+//! homed on the same node would pay k start-ups where one suffices. The
+//! runtime therefore **batches by default**
+//! ([`ClusterBuilder::flush_batching`] restores the paper-faithful
+//! unbatched wire behaviour):
+//!
+//! * **When batches form:** the flush plans are grouped by believed home
+//!   (deterministically — groups ordered by node, entries by object id);
+//!   every group of two or more travels as a single `DiffBatch` message,
+//!   paying one start-up plus the summed byte cost. Singleton groups take
+//!   the classic one-`DiffFlush` path, so single-object intervals (the
+//!   synthetic benchmark, counters) are wire-identical in both modes.
+//! * **Partial redirects:** the home of an individual entry can migrate
+//!   between `prepare_release` and the batch's arrival. The receiver
+//!   resolves every entry independently and the single `DiffBatchAck`
+//!   carries per-entry results: applied entries complete immediately, and
+//!   each redirected entry is re-planned *individually*, chasing the
+//!   epoch-guarded forwarding pointers exactly like a redirected
+//!   `DiffFlush` (stale hints are never adopted, so chains cannot cycle).
+//! * **Why per-entry Busy deferral keeps deadlock-freedom:** the receiving
+//!   server applies batch entries under the same per-object shard locks and
+//!   non-blocking payload `try_` locks as individual diffs. An entry whose
+//!   payload is leased to a live application view does not block the
+//!   server: the already-resolved results are parked server-side and only
+//!   the busy remainder is re-queued on the deferral queue, so the server
+//!   stays responsive and the argument above (a node blocked on the network
+//!   always has a responsive server, and no node fetches while holding
+//!   write views) carries over unchanged — the ack is simply sent when the
+//!   last entry resolves.
+//!
+//! The engine counts `batched_flushes` and `batch_entries`
+//! (`ProtocolStats`), and the network statistics tag batches with their own
+//! `DiffBatch`/`DiffBatchAck` categories: a batch of k entries is **one**
+//! message with the k diffs' wire bytes summed, which is what the modeled
+//! message-count and traffic figures (and the CI benchmark gate) measure.
+//!
 //! **Why deferral stays deadlock-free:** a server that finds a payload
 //! leased to an application view reports `Busy`; the runtime parks the
 //! message on a deferral queue and retries it on later messages and on

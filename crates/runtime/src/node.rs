@@ -1,6 +1,6 @@
 //! Per-node shared state and the protocol server loop.
 //!
-//! Every simulated node consists of two OS threads sharing a [`NodeShared`]:
+//! Every simulated node consists of two OS threads sharing a `NodeShared`:
 //!
 //! * the **application thread** runs the user closure through
 //!   [`crate::NodeCtx`]; when it needs the network it issues blocking
@@ -31,7 +31,10 @@
 
 use crate::vclock::VirtualClock;
 use dsm_core::sync::{BarrierOutcome, LockAcquireOutcome};
-use dsm_core::{DiffOutcome, ObjectRequestOutcome, ProtocolEngine, ProtocolMsg, ReqId};
+use dsm_core::{
+    DiffBatchResult, DiffEntryStatus, DiffOutcome, ObjectRequestOutcome, ProtocolEngine,
+    ProtocolMsg, ReqId,
+};
 use dsm_model::{ComputeModel, SimDuration, SimTime};
 use dsm_net::Endpoint;
 use dsm_objspace::{NodeId, ObjectRegistry};
@@ -81,6 +84,9 @@ pub(crate) struct NodeShared {
     /// How long the server loop waits for a message before retrying its
     /// deferral queue and checking for shutdown.
     pub poll_interval: Duration,
+    /// Whether the release path groups same-home diff flushes into
+    /// `DiffBatch` messages (see `ClusterBuilder::flush_batching`).
+    pub flush_batching: bool,
     /// Pending-reply senders, striped by request id so completing a reply
     /// for one request never contends with registering another.
     pending: Box<[PendingStripe]>,
@@ -96,6 +102,7 @@ impl NodeShared {
         handling_cost: SimDuration,
         seed: u64,
         poll_interval: Duration,
+        flush_batching: bool,
     ) -> Arc<Self> {
         Arc::new(NodeShared {
             node: engine.node(),
@@ -108,6 +115,7 @@ impl NodeShared {
             handling_cost,
             seed,
             poll_interval,
+            flush_batching,
             pending: (0..PENDING_STRIPES)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
@@ -196,12 +204,19 @@ impl NodeShared {
     }
 }
 
+/// Server-local bookkeeping for partially processed diff batches: results
+/// of the entries already resolved, keyed by the batch's request id, while
+/// the still-busy entries wait on the deferral queue. Purely receiver-side
+/// state — it never crosses the wire.
+type BatchPartials = HashMap<ReqId, Vec<DiffBatchResult>>;
+
 /// The protocol server loop for one node. Runs until shutdown is requested
 /// and both the endpoint and the deferral queue have been drained.
 pub(crate) fn server_loop(shared: &Arc<NodeShared>) {
     // Messages whose payload store was leased to an application view when
     // they arrived; retried after every subsequent message and poll tick.
     let mut deferred: VecDeque<(NodeId, ProtocolMsg)> = VecDeque::new();
+    let mut partials: BatchPartials = HashMap::new();
     loop {
         match shared.endpoint.recv_timeout(shared.poll_interval) {
             Ok(envelope) => {
@@ -221,15 +236,19 @@ pub(crate) fn server_loop(shared: &Arc<NodeShared>) {
                 if msg.is_reply() {
                     let req = msg.reply_req().expect("reply carries request id");
                     shared.complete(req, msg, arrival);
-                } else if let Some(busy) = handle_request(shared, src, msg) {
+                } else if let Some(busy) = handle_request(shared, src, msg, &mut partials) {
                     deferred.push_back((src, busy));
                 }
-                retry_deferred(shared, &mut deferred);
+                retry_deferred(shared, &mut deferred, &mut partials);
             }
             Err(RecvTimeoutError::Timeout) => {
-                retry_deferred(shared, &mut deferred);
+                retry_deferred(shared, &mut deferred, &mut partials);
                 if shared.should_shutdown() && shared.endpoint.pending() == 0 && deferred.is_empty()
                 {
+                    debug_assert!(
+                        partials.is_empty(),
+                        "batch partials outlived their deferred entries"
+                    );
                     return;
                 }
             }
@@ -240,19 +259,37 @@ pub(crate) fn server_loop(shared: &Arc<NodeShared>) {
 
 /// Give every deferred message one more chance, preserving arrival order
 /// among the still-busy ones.
-fn retry_deferred(shared: &Arc<NodeShared>, deferred: &mut VecDeque<(NodeId, ProtocolMsg)>) {
+fn retry_deferred(
+    shared: &Arc<NodeShared>,
+    deferred: &mut VecDeque<(NodeId, ProtocolMsg)>,
+    partials: &mut BatchPartials,
+) {
     for _ in 0..deferred.len() {
         let (src, msg) = deferred.pop_front().expect("length checked by loop");
-        if let Some(busy) = handle_request(shared, src, msg) {
+        if let Some(busy) = handle_request(shared, src, msg, partials) {
             deferred.push_back((src, busy));
         }
     }
 }
 
 /// Dispatch one incoming (non-reply) protocol message. Returns the message
-/// back when the engine reported a busy payload store, so the caller can
+/// back when the engine reported a busy payload store — for a `DiffBatch`,
+/// a residual batch holding only the still-busy entries — so the caller can
 /// defer and retry it.
-fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) -> Option<ProtocolMsg> {
+fn handle_request(
+    shared: &Arc<NodeShared>,
+    src: NodeId,
+    msg: ProtocolMsg,
+    partials: &mut BatchPartials,
+) -> Option<ProtocolMsg> {
+    // Batches are taken by value: their entries are consumed one at a time
+    // and only the busy remainder is re-queued.
+    let msg = match msg {
+        ProtocolMsg::DiffBatch { req, entries, from } => {
+            return handle_diff_batch(shared, req, entries, from, partials)
+        }
+        other => other,
+    };
     match &msg {
         ProtocolMsg::ObjectRequest {
             req,
@@ -409,6 +446,59 @@ fn handle_request(shared: &Arc<NodeShared>, src: NodeId, msg: ProtocolMsg) -> Op
         other => panic!("server received unexpected message {other:?}"),
     }
     None
+}
+
+/// Serve one `DiffBatch`: resolve every entry independently under the
+/// engine's shard locks (exactly as k individual `DiffFlush` messages
+/// would, preserving the deferral scheme's deadlock-freedom argument), and
+/// answer with a single `DiffBatchAck` once no entry is pending.
+///
+/// * `Applied` / `Redirect` outcomes become per-entry results in the ack —
+///   a redirect means the entry's home migrated mid-flight and the flusher
+///   re-plans that entry individually.
+/// * `Busy` entries (payload leased to a live application view) are
+///   returned as a residual batch for the caller's deferral queue, with the
+///   already-resolved results parked in `partials`; the server never blocks.
+fn handle_diff_batch(
+    shared: &Arc<NodeShared>,
+    req: ReqId,
+    entries: Vec<dsm_core::DiffBatchEntry>,
+    from: NodeId,
+    partials: &mut BatchPartials,
+) -> Option<ProtocolMsg> {
+    let mut results = partials.remove(&req).unwrap_or_default();
+    let mut still_busy = Vec::new();
+    for entry in entries {
+        // Entries arrive with zero redirection hops of their own: the batch
+        // was addressed directly to the believed home.
+        match shared.engine.handle_diff(entry.obj, &entry.diff, from, 0) {
+            DiffOutcome::Applied { new_version } => results.push(DiffBatchResult {
+                obj: entry.obj,
+                status: DiffEntryStatus::Applied {
+                    version: new_version,
+                },
+            }),
+            DiffOutcome::Redirect { hint, epoch } => results.push(DiffBatchResult {
+                obj: entry.obj,
+                status: DiffEntryStatus::Redirect {
+                    new_home: hint,
+                    epoch,
+                },
+            }),
+            DiffOutcome::Busy => still_busy.push(entry),
+        }
+    }
+    if still_busy.is_empty() {
+        shared.send(from, ProtocolMsg::DiffBatchAck { req, results });
+        None
+    } else {
+        partials.insert(req, results);
+        Some(ProtocolMsg::DiffBatch {
+            req,
+            entries: still_busy,
+            from,
+        })
+    }
 }
 
 /// Send (or locally deliver) a lock grant to the next holder.

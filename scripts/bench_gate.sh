@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Run the benchmark-regression gate locally — the same entry point CI's
+# bench-gate job uses. Builds the deterministic gate workloads in release
+# mode, writes BENCH_PR.json, and fails if modeled message counts or
+# modeled time regress >5% against bench/baseline.json.
+#
+#   scripts/bench_gate.sh                   # check against the baseline
+#   scripts/bench_gate.sh --write-baseline  # refresh bench/baseline.json
+#   scripts/bench_gate.sh --tolerance 10    # loosen the gate to 10%
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run -p dsm-bench --release --bin bench_gate -- "$@"

@@ -1,0 +1,123 @@
+//! End-to-end tests of release-time flush batching on the threaded runtime.
+//!
+//! The acceptance claims of the batching work, checked on real workloads:
+//!
+//! * **Semantics** — final object contents are byte-identical with batching
+//!   on and off (batching is purely a wire optimization);
+//! * **Messages** — a seeded multi-object workload sends strictly fewer
+//!   diff-propagation messages (`Diff` + `DiffBatch`) when batching is on;
+//! * **Modeled time** — each saved message saves one Hockney start-up time
+//!   `t0` plus its handling cost, so the modeled execution time drops;
+//! * **Accounting** — the network statistics count one `DiffBatch` message
+//!   per batch (matching the engine's `batched_flushes` counter), with the
+//!   per-entry diffs' wire bytes summed, never one message per entry.
+
+use dsm_core::{ProtocolConfig, DIFF_BATCH_ENTRY_HEADER_BYTES};
+use dsm_integration_tests::test_cluster;
+use dsm_net::{MsgCategory, MESSAGE_HEADER_BYTES};
+use dsm_runtime::ExecutionReport;
+
+use dsm_apps::sor::{self, SorParams};
+
+/// SOR without home migration on four nodes: every node's band of rows is
+/// homed round-robin across the cluster, so each phase release flushes
+/// several same-home diffs — the batching sweet spot.
+fn sor_run(flush_batching: bool) -> (f64, ExecutionReport) {
+    let params = SorParams::small(48, 4);
+    let config =
+        test_cluster(4, ProtocolConfig::no_migration()).with_flush_batching(flush_batching);
+    let run = sor::run(config, &params);
+    (sor::checksum(&run.result), run.report)
+}
+
+#[test]
+fn sor_batched_matches_unbatched_with_fewer_messages_and_lower_time() {
+    let (batched_sum, batched) = sor_run(true);
+    let (unbatched_sum, unbatched) = sor_run(false);
+
+    // Byte-identical application results: the checksum is a deterministic
+    // function of every matrix cell.
+    assert_eq!(
+        batched_sum, unbatched_sum,
+        "batching changed the computed matrix"
+    );
+
+    // Strictly fewer diff-propagation messages...
+    let batched_diffs = batched.network.diff_propagation_messages();
+    let unbatched_diffs = unbatched.network.diff_propagation_messages();
+    assert!(
+        batched_diffs < unbatched_diffs,
+        "batched SOR must send fewer diff messages ({batched_diffs} vs {unbatched_diffs})"
+    );
+    // ... and the same writes still arrive: per-entry flushes are conserved.
+    assert_eq!(batched.protocol.diffs_sent, unbatched.protocol.diffs_sent);
+    assert_eq!(
+        batched.protocol.diffs_applied,
+        unbatched.protocol.diffs_applied
+    );
+
+    // Each eliminated message saves at least one start-up time, so the
+    // modeled execution time drops.
+    assert!(
+        batched.execution_time < unbatched.execution_time,
+        "batched SOR must be faster under the Hockney model ({} vs {})",
+        batched.execution_time,
+        unbatched.execution_time
+    );
+}
+
+#[test]
+fn batch_accounting_is_single_message_per_batch() {
+    let (_, batched) = sor_run(true);
+
+    // The fabric recorded exactly one DiffBatch-category message per batch
+    // the engines sent — k entries never inflate the message count.
+    let batch_msgs = batched.network.category(MsgCategory::DiffBatch);
+    assert!(batched.protocol.batched_flushes > 0, "SOR must batch");
+    assert_eq!(batch_msgs.count, batched.protocol.batched_flushes);
+    // Every batch is answered by exactly one ack.
+    assert_eq!(
+        batched.network.category(MsgCategory::DiffBatchAck).count,
+        batched.protocol.batched_flushes
+    );
+
+    // Batched entries plus unbatched singletons account for every diff sent.
+    let singleton_diffs = batched.network.category(MsgCategory::Diff).count;
+    assert_eq!(
+        batched.protocol.batch_entries + singleton_diffs,
+        batched.protocol.diffs_sent,
+        "every flushed diff is either a batch entry or a singleton DiffFlush"
+    );
+
+    // Byte accounting: batch wire bytes are the summed entry diffs plus one
+    // fixed header per *message* and one small header per entry. The engine
+    // tracks the summed diff payloads of everything it flushed, so the two
+    // views must reconcile exactly.
+    let diff_wire = batched.network.category(MsgCategory::Diff).bytes;
+    let batch_wire = batch_msgs.bytes;
+    let expected = batched.protocol.diff_bytes_sent
+        + batched.protocol.batch_entries * DIFF_BATCH_ENTRY_HEADER_BYTES
+        + (batched.protocol.batched_flushes + singleton_diffs) * MESSAGE_HEADER_BYTES;
+    assert_eq!(
+        diff_wire + batch_wire,
+        expected,
+        "diff payload bytes must be counted once, under exactly one message each"
+    );
+}
+
+#[test]
+fn single_object_intervals_never_batch() {
+    // An interval that dirties one object falls back to the classic
+    // DiffFlush path even with batching enabled — the wire behaviour for
+    // the paper's single-counter workloads is unchanged.
+    use dsm_apps::synthetic::{self, SyntheticParams};
+    let params = SyntheticParams {
+        repetition: 2,
+        total_updates: 2 * 3 * 6,
+        compute_ops: 0,
+    };
+    let run = synthetic::run(test_cluster(4, ProtocolConfig::no_migration()), &params);
+    assert_eq!(run.report.protocol.batched_flushes, 0);
+    assert_eq!(run.report.network.category(MsgCategory::DiffBatch).count, 0);
+    assert!(run.report.protocol.diffs_sent > 0);
+}

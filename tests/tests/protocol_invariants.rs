@@ -13,7 +13,10 @@
 //! Schedules are generated from fixed seeds with the workspace's
 //! [`SmallRng`], so every failure is reproducible from the case index.
 
-use dsm_core::{AccessPlan, DiffOutcome, ObjectRequestOutcome, ProtocolConfig, ProtocolEngine};
+use dsm_core::{
+    group_flush_plans, AccessPlan, DiffOutcome, FlushPlan, ObjectRequestOutcome, ProtocolConfig,
+    ProtocolEngine,
+};
 use dsm_objspace::{HomeAssignment, NodeId, ObjectId, ObjectRegistry};
 use dsm_util::SmallRng;
 use std::sync::Arc;
@@ -179,6 +182,162 @@ fn adaptive_threshold_never_below_initial() {
             }
         }
     }
+}
+
+/// Fault `obj` in at `writer` for writing, following redirects.
+fn fault_in_for_write(engines: &[ProtocolEngine], writer: usize, obj: ObjectId) {
+    if let AccessPlan::Fetch { mut target } = engines[writer].plan_write(obj) {
+        let mut hops = 0;
+        loop {
+            let requester = engines[writer].node();
+            match engines[target.index()].handle_object_request(obj, requester, true, hops) {
+                ObjectRequestOutcome::Reply {
+                    data,
+                    version,
+                    migration,
+                    ..
+                } => {
+                    engines[writer].install_object(obj, data, version, migration);
+                    break;
+                }
+                ObjectRequestOutcome::Redirect { hint, epoch } => {
+                    engines[writer].note_redirect(obj, hint, epoch);
+                    hops += 1;
+                    assert!(hops <= engines.len() as u32 + 1);
+                    target = hint;
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(engines[writer].plan_write(obj), AccessPlan::LocalHit);
+    }
+}
+
+/// Flush one plan individually, following forwarding pointers until
+/// applied. `hops` seeds the redirection count (0 for a fresh flush, 1 for
+/// the re-plan of a batch entry whose batch-level redirect already counted).
+fn flush_individually(engines: &[ProtocolEngine], writer: usize, plan: &FlushPlan, hops: u32) {
+    let mut target = plan.target;
+    let mut hops = hops;
+    loop {
+        let from = engines[writer].node();
+        match engines[target.index()].handle_diff(plan.obj, &plan.diff, from, hops) {
+            DiffOutcome::Applied { new_version } => {
+                engines[writer].complete_flush(plan.obj, new_version);
+                return;
+            }
+            DiffOutcome::Redirect { hint, epoch } => {
+                engines[writer].note_redirect(plan.obj, hint, epoch);
+                hops += 1;
+                assert!(hops <= engines.len() as u32 + 2);
+                target = hint;
+            }
+            other => panic!("single-threaded diff cannot be deferred: {other:?}"),
+        }
+    }
+}
+
+/// Release-time flush batching with a home that migrated mid-flight: a
+/// writer releases an interval whose flush plans all (staleley) target the
+/// initial home, one of the objects having migrated away in between. The
+/// batch must resolve per entry — one applied, one redirected — the
+/// redirected entry must be re-planned individually under the epoch-guarded
+/// redirect rules, and no `complete_flush` ack may be lost
+/// (`finish_release` panics on any unacknowledged flush).
+#[test]
+fn batch_to_migrated_home_replans_redirected_entries_individually() {
+    let mut registry = ObjectRegistry::new();
+    for i in 0..2u64 {
+        registry.register_named(
+            "batch.obj",
+            i,
+            OBJ_BYTES,
+            NodeId::MASTER,
+            HomeAssignment::Master,
+        );
+    }
+    let registry = Arc::new(registry);
+    let engines: Vec<ProtocolEngine> = (0..NODES)
+        .map(|i| {
+            ProtocolEngine::new(
+                NodeId::from(i),
+                NODES,
+                ProtocolConfig::adaptive(),
+                Arc::clone(&registry),
+            )
+        })
+        .collect();
+    let stays = ObjectId::derive("batch.obj", 0);
+    let moves = ObjectId::derive("batch.obj", 1);
+
+    // Node 1 opens an interval and faults both objects in from node 0, then
+    // writes them — but does not release yet.
+    engines[1].begin_interval();
+    fault_in_for_write(&engines, 1, stays);
+    fault_in_for_write(&engines, 1, moves);
+    engines[1].with_object_mut(stays, |d| d.bytes_mut()[0] = 11);
+    engines[1].with_object_mut(moves, |d| d.bytes_mut()[0] = 22);
+
+    // Mid-flight: node 2 faults `moves` twice, so the adaptive policy
+    // migrates its home 0 -> 2 while node 1's release is still pending.
+    for _ in 0..2 {
+        engines[2].begin_interval();
+        fault_in_for_write(&engines, 2, moves);
+        engines[2].with_object_mut(moves, |d| d.bytes_mut()[1] = 9);
+        for plan in engines[2].prepare_release() {
+            flush_individually(&engines, 2, &plan, 0);
+        }
+        engines[2].finish_release();
+    }
+    assert!(
+        engines[2].is_home(moves),
+        "home must have migrated to node 2"
+    );
+    assert!(engines[0].is_home(stays));
+
+    // Node 1 releases: both plans still target node 0 (its belief is
+    // stale), so they group into ONE batch aimed at the old home.
+    let plans = engines[1].prepare_release();
+    assert_eq!(plans.len(), 2);
+    let mut batches = group_flush_plans(plans);
+    assert_eq!(batches.len(), 1, "stale beliefs share one (old) home");
+    let batch = batches.pop().unwrap();
+    assert_eq!(batch.target, NodeId(0));
+
+    // Serve the batch exactly as the protocol server does: per-entry
+    // handle_diff at the addressed node.
+    let mut redirected = Vec::new();
+    for plan in &batch.entries {
+        match engines[0].handle_diff(plan.obj, &plan.diff, NodeId(1), 0) {
+            DiffOutcome::Applied { new_version } => {
+                engines[1].complete_flush(plan.obj, new_version);
+            }
+            DiffOutcome::Redirect { hint, epoch } => {
+                assert_eq!(plan.obj, moves, "only the migrated object redirects");
+                assert_eq!(hint, NodeId(2));
+                assert!(epoch > 0, "redirect hints carry the home epoch");
+                assert!(engines[1].note_redirect(plan.obj, hint, epoch));
+                redirected.push(FlushPlan {
+                    obj: plan.obj,
+                    target: hint,
+                    diff: plan.diff.clone(),
+                });
+            }
+            other => panic!("single-threaded diff cannot be deferred: {other:?}"),
+        }
+    }
+    assert_eq!(redirected.len(), 1, "exactly the migrated entry re-plans");
+    for plan in &redirected {
+        flush_individually(&engines, 1, plan, 1);
+    }
+    // All acks accounted for: finish_release must not find unflushed dirt.
+    engines[1].finish_release();
+
+    // Both writes landed at the *current* homes.
+    assert_eq!(engines[0].home_bytes(stays).unwrap()[0], 11);
+    assert_eq!(engines[2].home_bytes(moves).unwrap()[0], 22);
+    // The stale hint was replaced by the epoch-guarded forward pointer.
+    assert_eq!(engines[1].home_hint(moves), NodeId(2));
 }
 
 /// The no-migration baseline never moves the home, no matter the schedule.

@@ -242,3 +242,108 @@ fn stress_repeat_seed_is_deterministic() {
     soak(SEEDS[0]);
     soak(SEEDS[0]);
 }
+
+/// Multi-object intervals under release-time flush batching: every node
+/// writes a handful of objects inside ONE critical section per round, so a
+/// release flushes several diffs at once and the per-home groups travel as
+/// `DiffBatch` messages. Run the identical seeded schedule with batching on
+/// and off; both runs must produce the final contents the pure seed replay
+/// predicts (batching is a wire optimization, never a semantic change), and
+/// the batched run must actually have batched.
+#[test]
+fn stress_batched_mode_contents_match_unbatched() {
+    const BATCH_OBJECTS: usize = 12;
+    const BATCH_ROUNDS: usize = 20;
+    const WRITES_PER_ROUND: usize = 5;
+    let seed = 0x5BA7_C4ED;
+
+    let schedule_rng = |node: usize| {
+        SmallRng::seed_from_u64(
+            seed ^ (0xBA7C_0000 + node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    };
+    // Pure replay of the schedule: per-object, per-node increment counts.
+    let mut expected = vec![[0u64; NODES]; BATCH_OBJECTS];
+    for (node, mut rng) in (0..NODES).map(|n| (n, schedule_rng(n))) {
+        for _ in 0..BATCH_ROUNDS * WRITES_PER_ROUND {
+            expected[rng.gen_index(BATCH_OBJECTS)][node] += 1;
+        }
+    }
+
+    let run = |flush_batching: bool| {
+        let mut registry = ObjectRegistry::new();
+        let handles: Vec<ArrayHandle<u64>> = (0..BATCH_OBJECTS)
+            .map(|i| {
+                ArrayHandle::register(
+                    &mut registry,
+                    "stress.batch",
+                    i as u64,
+                    NODES,
+                    NodeId::MASTER,
+                    HomeAssignment::RoundRobin,
+                )
+            })
+            .collect();
+        let lock = LockId::derive("stress.batch.lock");
+        let barrier = BarrierId(0x57E7);
+        let expected_in_run = expected.clone();
+        let config = fast_test_cluster(NODES, ProtocolConfig::adaptive())
+            .with_flush_batching(flush_batching);
+        let report = Cluster::new(config, registry).run(move |ctx| {
+            let me = ctx.node_id().index();
+            let mut rng = schedule_rng(me);
+            for _ in 0..BATCH_ROUNDS {
+                // All of a round's writes happen inside one critical
+                // section, so its release flushes them together — dirty
+                // objects homed on the same node form one DiffBatch.
+                ctx.synchronized(lock, || {
+                    for _ in 0..WRITES_PER_ROUND {
+                        let pick = rng.gen_index(BATCH_OBJECTS);
+                        ctx.view_mut(&handles[pick])[me] += 1;
+                    }
+                });
+            }
+            ctx.barrier(barrier);
+            for (i, handle) in handles.iter().enumerate() {
+                ctx.synchronized(lock, || {
+                    let view = ctx.view(handle);
+                    for (n, &count) in expected_in_run[i].iter().enumerate() {
+                        assert_eq!(
+                            view[n], count,
+                            "batching={flush_batching}: object {i} tally of node {n} \
+                             diverged on node {me}"
+                        );
+                    }
+                });
+            }
+            ctx.barrier(barrier);
+        });
+        report
+    };
+
+    let batched = run(true);
+    let unbatched = run(false);
+
+    // Both runs already verified the same replayed contents on every node;
+    // check the wire-level claims on top.
+    assert!(
+        batched.protocol.batched_flushes > 0,
+        "multi-object intervals must form batches"
+    );
+    assert!(
+        batched.protocol.batch_entries >= 2 * batched.protocol.batched_flushes,
+        "every batch carries at least two entries"
+    );
+    assert_eq!(
+        unbatched.protocol.batched_flushes, 0,
+        "flush_batching(false) must stay on the one-DiffFlush-per-object path"
+    );
+    // A batch of k entries replaces k Diff messages with one DiffBatch, so
+    // the diff-propagation message count must come out strictly lower.
+    assert!(
+        batched.network.diff_propagation_messages() < unbatched.network.diff_propagation_messages(),
+        "batching must reduce diff-propagation messages ({} vs {})",
+        batched.network.diff_propagation_messages(),
+        unbatched.network.diff_propagation_messages()
+    );
+}
