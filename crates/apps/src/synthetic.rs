@@ -16,8 +16,18 @@
 //! comes from the home migration policy.
 
 use crate::outcome::{AppRun, ResultSlot};
-use dsm_objspace::{BarrierId, HomeAssignment, LockId, NodeId, ObjectRegistry};
+use dsm_objspace::{BarrierId, HomeAssignment, LockId, NodeId, ObjectId, ObjectRegistry};
 use dsm_runtime::{ArrayHandle, Cluster, ClusterConfig, NodeCtx};
+
+/// Registered name of the benchmark's shared counter object (index 0).
+const COUNTER_NAME: &str = "synthetic.counter";
+
+/// The id of the benchmark's shared counter object — stable across runs, so
+/// experiments can target it with per-object policy overrides
+/// (`ProtocolConfig::with_object_policy`).
+pub fn counter_object() -> ObjectId {
+    ObjectId::derive(COUNTER_NAME, 0)
+}
 
 /// Synthetic benchmark parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,12 +123,13 @@ pub fn run(config: ClusterConfig, params: &SyntheticParams) -> AppRun<u64> {
     // its initial home is the master — the workers always start remote.
     let counter: ArrayHandle<u64> = ArrayHandle::register(
         &mut registry,
-        "synthetic.counter",
+        COUNTER_NAME,
         0,
         16,
         NodeId::MASTER,
         HomeAssignment::Master,
     );
+    debug_assert_eq!(counter.id, counter_object());
     let slot = ResultSlot::new();
     let slot_in = slot.clone();
     let params_in = params.clone();

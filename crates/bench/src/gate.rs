@@ -27,7 +27,7 @@ use crate::table::{fmt_f, Table};
 use crate::{cluster, Scale};
 use dsm_apps::synthetic::{self, SyntheticParams};
 use dsm_apps::{asp, sor};
-use dsm_core::ProtocolConfig;
+use dsm_core::{EwmaWriteRatioPolicy, HysteresisPolicy, MigrationPolicy, ProtocolConfig};
 use dsm_runtime::ExecutionReport;
 
 /// Relative growth in messages or modeled time that fails the gate.
@@ -58,6 +58,11 @@ pub struct GateRow {
     pub bytes: u64,
     /// Modeled (virtual) execution time in milliseconds.
     pub time_ms: f64,
+    /// Home migrations performed during the run.
+    pub migrations: u64,
+    /// Migrations that returned the home to the node it had just left (the
+    /// ping-pong events the policy matrix's hysteresis row damps).
+    pub migrate_backs: u64,
     /// Checksum of the application result (0 when the workload has none);
     /// must be identical between the two modes of one workload.
     pub checksum: f64,
@@ -72,6 +77,8 @@ impl GateRow {
             diff_messages: report.network.diff_propagation_messages(),
             bytes: report.total_traffic_bytes(),
             time_ms: report.execution_time.as_millis(),
+            migrations: report.migrations(),
+            migrate_backs: report.migrate_backs(),
             checksum,
         }
     }
@@ -86,12 +93,24 @@ impl GateRow {
     }
 }
 
-/// Every gate workload, in the order they are collected and reported.
-pub const WORKLOADS: [&str; 4] = [
+/// Every gate workload, in the order they are collected and reported. The
+/// `policy_matrix_*` family runs one fixed ping-pong workload (the
+/// synthetic single-writer benchmark on three nodes: two workers
+/// alternating short bursts) across the policy layer — the paper's
+/// baselines, the beyond-the-paper hysteresis and EWMA policies, and a
+/// mixed cluster whose default policy is overridden per object — so
+/// policy-layer regressions are gated exactly like wire-mode regressions.
+pub const WORKLOADS: [&str; 10] = [
     "fig2_sor_nohm",
     "fig3_sor_at",
     "fig3_asp_at",
     "ablation_synthetic_r2_nohm",
+    "policy_matrix_nohm",
+    "policy_matrix_at",
+    "policy_matrix_ft2",
+    "policy_matrix_hyst",
+    "policy_matrix_ewma",
+    "policy_matrix_mixed",
 ];
 
 /// Run one named gate workload in one flush-batching mode.
@@ -148,6 +167,45 @@ fn run_workload(name: &str, scale: Scale, batched: bool) -> GateRow {
             let run = synthetic::run(config, &params);
             GateRow::from_report(name, batched, run.result as f64, &run.report)
         }
+        // The policy matrix: the synthetic benchmark on three nodes (master
+        // plus two workers taking turns in bursts of two updates) is a
+        // ping-pong access trace — the hardest pattern for eager migration
+        // policies and the one hysteresis exists for. The EWMA row instead
+        // uses bursts of four: its default configuration (gain 0.5, bound
+        // 0.8) needs three unbroken remote writes to arm, so bursts of two
+        // would leave the policy permanently inert and the row would gate
+        // nothing. `total_updates` is a multiple of every repetition used,
+        // so the final counter value (the checksum) is
+        // schedule-independent.
+        name if name.starts_with("policy_matrix_") => {
+            let repetition = if name == "policy_matrix_ewma" { 4 } else { 2 };
+            let params = SyntheticParams {
+                repetition,
+                total_updates: updates,
+                compute_ops: 0,
+            };
+            let protocol = match name {
+                "policy_matrix_nohm" => ProtocolConfig::no_migration(),
+                "policy_matrix_at" => ProtocolConfig::adaptive(),
+                "policy_matrix_ft2" => ProtocolConfig::fixed_threshold(2),
+                "policy_matrix_hyst" => {
+                    ProtocolConfig::no_migration().with_migration(HysteresisPolicy::default())
+                }
+                "policy_matrix_ewma" => {
+                    ProtocolConfig::no_migration().with_migration(EwmaWriteRatioPolicy::default())
+                }
+                // The mixed cluster: a NoMigration default, overridden to
+                // the adaptive policy for the one object that matters —
+                // proof that per-object overrides reach the engine (the
+                // default alone would never migrate; see check_internal).
+                "policy_matrix_mixed" => ProtocolConfig::no_migration()
+                    .with_object_policy(synthetic::counter_object(), MigrationPolicy::adaptive()),
+                other => panic!("unknown policy-matrix workload {other:?}"),
+            };
+            let config = cluster(3, protocol).with_flush_batching(batched);
+            let run = synthetic::run(config, &params);
+            GateRow::from_report(name, batched, run.result as f64, &run.report)
+        }
         other => panic!("unknown gate workload {other:?}"),
     }
 }
@@ -183,6 +241,8 @@ pub fn render(rows: &[GateRow]) -> Table {
         "diff_msgs",
         "bytes",
         "time_ms",
+        "migr",
+        "backs",
     ]);
     for row in rows {
         table.row(vec![
@@ -192,6 +252,8 @@ pub fn render(rows: &[GateRow]) -> Table {
             row.diff_messages.to_string(),
             row.bytes.to_string(),
             fmt_f(row.time_ms),
+            row.migrations.to_string(),
+            row.migrate_backs.to_string(),
         ]);
     }
     table
@@ -252,6 +314,67 @@ pub fn check_internal(rows: &[GateRow]) -> Vec<String> {
                  ({} ms vs {} ms)",
                 on.time_ms, off.time_ms
             ));
+        }
+    }
+    // The policy-matrix claims, checked per flush-batching mode:
+    // 1. NoMigration never migrates — the trait-based NM policy must be as
+    //    inert as the old enum variant.
+    // 2. The adaptive default migrates on the worker pattern, and on the
+    //    two-worker ping-pong trace it pays migrate-backs.
+    // 3. The hysteresis policy's whole point: strictly fewer migrate-backs
+    //    than the adaptive policy on the same ping-pong trace.
+    // 4. The mixed cluster's NoMigration *default* would never migrate, so
+    //    any migration there proves the per-object override reached the
+    //    engine's decision point.
+    for batched in [true, false] {
+        let mode = if batched { "batched" } else { "unbatched" };
+        if let Some(nohm) = find("policy_matrix_nohm", batched) {
+            if nohm.migrations != 0 || nohm.migrate_backs != 0 {
+                errors.push(format!(
+                    "policy_matrix_nohm[{mode}]: NoMigration migrated \
+                     ({} migrations, {} migrate-backs)",
+                    nohm.migrations, nohm.migrate_backs
+                ));
+            }
+        }
+        if let (Some(at), Some(hyst)) = (
+            find("policy_matrix_at", batched),
+            find("policy_matrix_hyst", batched),
+        ) {
+            if at.migrations == 0 || at.migrate_backs == 0 {
+                errors.push(format!(
+                    "policy_matrix_at[{mode}]: the adaptive policy must \
+                     migrate (and migrate back) on the ping-pong trace \
+                     ({} migrations, {} migrate-backs)",
+                    at.migrations, at.migrate_backs
+                ));
+            } else if hyst.migrate_backs >= at.migrate_backs {
+                errors.push(format!(
+                    "policy_matrix[{mode}]: hysteresis must suffer strictly \
+                     fewer migrate-backs than adaptive ({} vs {})",
+                    hyst.migrate_backs, at.migrate_backs
+                ));
+            }
+        }
+        if let Some(mixed) = find("policy_matrix_mixed", batched) {
+            if mixed.migrations == 0 {
+                errors.push(format!(
+                    "policy_matrix_mixed[{mode}]: the per-object adaptive \
+                     override never migrated — overrides are not reaching \
+                     the engine"
+                ));
+            }
+        }
+        // The EWMA row runs bursts of four, which deterministically arm the
+        // default write-ratio bound within a single writer's turn — a row
+        // that never migrates means the policy (or its scratch hooks) broke.
+        if let Some(ewma) = find("policy_matrix_ewma", batched) {
+            if ewma.migrations == 0 {
+                errors.push(format!(
+                    "policy_matrix_ewma[{mode}]: the EWMA policy must \
+                     migrate on bursts of four (0 migrations)"
+                ));
+            }
         }
     }
     errors
@@ -333,6 +456,7 @@ pub fn to_json(rows: &[GateRow]) -> String {
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"batched\": {}, \"messages\": {}, \
              \"diff_messages\": {}, \"bytes\": {}, \"time_ms\": {:.6}, \
+             \"migrations\": {}, \"migrate_backs\": {}, \
              \"checksum\": {:.6}}}{}\n",
             row.workload,
             row.batched,
@@ -340,6 +464,8 @@ pub fn to_json(rows: &[GateRow]) -> String {
             row.diff_messages,
             row.bytes,
             row.time_ms,
+            row.migrations,
+            row.migrate_backs,
             row.checksum,
             if i + 1 < rows.len() { "," } else { "" }
         ));
@@ -492,6 +618,8 @@ impl Parser<'_> {
             diff_messages: 0,
             bytes: 0,
             time_ms: 0.0,
+            migrations: 0,
+            migrate_backs: 0,
             checksum: 0.0,
         };
         loop {
@@ -507,6 +635,8 @@ impl Parser<'_> {
                 "diff_messages" => row.diff_messages = self.number()? as u64,
                 "bytes" => row.bytes = self.number()? as u64,
                 "time_ms" => row.time_ms = self.number()?,
+                "migrations" => row.migrations = self.number()? as u64,
+                "migrate_backs" => row.migrate_backs = self.number()? as u64,
                 "checksum" => row.checksum = self.number()?,
                 other => return Err(format!("unknown workload key {other:?}")),
             }
@@ -535,16 +665,20 @@ mod tests {
             diff_messages: messages / 3,
             bytes: messages * 100,
             time_ms,
+            migrations: 0,
+            migrate_backs: 0,
             checksum: 42.5,
         }
     }
 
     #[test]
     fn json_round_trips() {
-        let rows = vec![
+        let mut rows = vec![
             row("fig2_sor_nohm", true, 1200, 35.25),
             row("x", false, 7, 0.5),
         ];
+        rows[0].migrations = 17;
+        rows[0].migrate_backs = 3;
         let text = to_json(&rows);
         let parsed = parse_json(&text).expect("own output parses");
         assert_eq!(parsed.len(), 2);
@@ -554,6 +688,8 @@ mod tests {
         assert_eq!(parsed[0].diff_messages, 400);
         assert_eq!(parsed[0].bytes, 120_000);
         assert!((parsed[0].time_ms - 35.25).abs() < 1e-9);
+        assert_eq!(parsed[0].migrations, 17);
+        assert_eq!(parsed[0].migrate_backs, 3);
         assert!((parsed[0].checksum - 42.5).abs() < 1e-9);
         assert!(!parsed[1].batched);
     }
@@ -625,6 +761,56 @@ mod tests {
         let errors = check_internal(&rows);
         assert_eq!(errors.len(), 1);
         assert!(errors[0].contains("checksum"));
+    }
+
+    #[test]
+    fn internal_checks_enforce_the_policy_matrix_claims() {
+        // A healthy matrix (both modes): NM inert, AT ping-pongs, HYST damps
+        // the migrate-backs, the mixed cluster's override migrates.
+        let mut rows = Vec::new();
+        for batched in [true, false] {
+            let mut nohm = row("policy_matrix_nohm", batched, 100, 10.0);
+            nohm.migrations = 0;
+            let mut at = row("policy_matrix_at", batched, 80, 9.0);
+            at.migrations = 20;
+            at.migrate_backs = 12;
+            let mut hyst = row("policy_matrix_hyst", batched, 70, 8.0);
+            hyst.migrations = 2;
+            hyst.migrate_backs = 0;
+            let mut mixed = row("policy_matrix_mixed", batched, 80, 9.0);
+            mixed.migrations = 20;
+            let mut ewma = row("policy_matrix_ewma", batched, 85, 9.5);
+            ewma.migrations = 10;
+            rows.extend([nohm, at, hyst, mixed, ewma]);
+        }
+        assert!(
+            check_internal(&rows).is_empty(),
+            "{:?}",
+            check_internal(&rows)
+        );
+        // A migrating NM row, a hysteresis row that ping-pongs as much as
+        // adaptive, an inert mixed row and a dead EWMA row are each caught
+        // (in one mode).
+        rows[0].migrations = 1;
+        rows[2].migrate_backs = 12;
+        rows[3].migrations = 0;
+        rows[4].migrations = 0;
+        let errors = check_internal(&rows);
+        assert_eq!(errors.len(), 4, "{errors:?}");
+        assert!(errors[0].contains("NoMigration migrated"));
+        assert!(errors[1].contains("strictly fewer migrate-backs"));
+        assert!(errors[2].contains("overrides are not reaching"));
+        assert!(errors[3].contains("EWMA policy must migrate"));
+        // An adaptive row that never migrated is itself an error.
+        rows[0].migrations = 0;
+        rows[2].migrate_backs = 0;
+        rows[3].migrations = 20;
+        rows[4].migrations = 10;
+        rows[1].migrations = 0;
+        rows[1].migrate_backs = 0;
+        let errors = check_internal(&rows);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("must migrate"));
     }
 
     #[test]

@@ -1,7 +1,17 @@
 //! Protocol configuration.
+//!
+//! The central knob is the home-migration **policy** — the independent
+//! variable of every experiment in the paper. A policy is any
+//! [`HomeMigrationPolicy`] trait object (see [`crate::policy`] for the
+//! contract and the built-in set); [`ProtocolConfig`] carries one
+//! cluster-wide default plus optional **per-object overrides**, so a single
+//! cluster can run different policies on different objects.
 
 use crate::migration::MigrationPolicy;
+use crate::policy::{HomeMigrationPolicy, IntoMigrationPolicy, PolicyOverrides};
 use dsm_model::{NetworkParams, SimDuration};
+use dsm_objspace::ObjectId;
+use std::sync::Arc;
 
 /// How other nodes learn the new home location after a migration (§3.2 of
 /// the paper).
@@ -26,10 +36,19 @@ pub enum NotificationMechanism {
 }
 
 /// Complete configuration of the coherence protocol on every node.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ProtocolConfig {
-    /// Home migration policy (the independent variable of every experiment).
-    pub migration: MigrationPolicy,
+    /// The cluster-wide default home-migration **policy** (the independent
+    /// variable of every experiment). Accepts anything implementing
+    /// [`HomeMigrationPolicy`]; the paper's policies are described by the
+    /// [`MigrationPolicy`] enum, which converts in
+    /// (`config.with_migration(MigrationPolicy::adaptive())`). Objects
+    /// listed in [`Self::policy_overrides`] use their own policy instead —
+    /// resolution goes through [`Self::policy_for`].
+    pub migration: Arc<dyn HomeMigrationPolicy>,
+    /// Per-object policy overrides (empty by default; see
+    /// [`Self::with_object_policy`]).
+    pub policy_overrides: PolicyOverrides,
     /// New-home notification mechanism.
     pub notification: NotificationMechanism,
     /// Network parameters; used to derive the half-peak length `m_½` that
@@ -52,7 +71,7 @@ impl ProtocolConfig {
     /// threshold migration, forwarding pointers, Fast Ethernet.
     pub fn adaptive() -> Self {
         ProtocolConfig {
-            migration: MigrationPolicy::adaptive(),
+            migration: MigrationPolicy::adaptive().into_policy(),
             ..ProtocolConfig::no_migration()
         }
     }
@@ -61,7 +80,8 @@ impl ProtocolConfig {
     pub fn no_migration() -> Self {
         let network = NetworkParams::fast_ethernet();
         ProtocolConfig {
-            migration: MigrationPolicy::NoMigration,
+            migration: MigrationPolicy::NoMigration.into_policy(),
+            policy_overrides: PolicyOverrides::new(),
             notification: NotificationMechanism::ForwardingPointer,
             network,
             cache_immutable_objects: true,
@@ -73,7 +93,7 @@ impl ProtocolConfig {
     /// and 2).
     pub fn fixed_threshold(threshold: u32) -> Self {
         ProtocolConfig {
-            migration: MigrationPolicy::fixed(threshold),
+            migration: MigrationPolicy::fixed(threshold).into_policy(),
             ..ProtocolConfig::no_migration()
         }
     }
@@ -86,10 +106,20 @@ impl ProtocolConfig {
         self
     }
 
-    /// Replace the migration policy.
+    /// Replace the cluster-wide default migration policy. Accepts a
+    /// [`MigrationPolicy`] description, a built-in policy value, or an
+    /// `Arc<dyn HomeMigrationPolicy>`.
     #[must_use]
-    pub fn with_migration(mut self, migration: MigrationPolicy) -> Self {
-        self.migration = migration;
+    pub fn with_migration(mut self, migration: impl IntoMigrationPolicy) -> Self {
+        self.migration = migration.into_policy();
+        self
+    }
+
+    /// Override the migration policy for one object: `obj` consults `policy`
+    /// instead of the cluster-wide default.
+    #[must_use]
+    pub fn with_object_policy(mut self, obj: ObjectId, policy: impl IntoMigrationPolicy) -> Self {
+        self.policy_overrides.set(obj, policy);
         self
     }
 
@@ -98,6 +128,16 @@ impl ProtocolConfig {
     pub fn with_notification(mut self, notification: NotificationMechanism) -> Self {
         self.notification = notification;
         self
+    }
+
+    /// The policy governing `obj`: its override if one was registered, the
+    /// cluster-wide default otherwise. Called on protocol fast paths, so the
+    /// common no-overrides case skips the map probe entirely.
+    pub fn policy_for(&self, obj: ObjectId) -> &Arc<dyn HomeMigrationPolicy> {
+        if self.policy_overrides.is_empty() {
+            return &self.migration;
+        }
+        self.policy_overrides.get(obj).unwrap_or(&self.migration)
     }
 
     /// Half-peak message length `m_½` of the configured network, in bytes.
@@ -118,18 +158,10 @@ mod tests {
 
     #[test]
     fn presets_select_expected_policies() {
-        assert_eq!(
-            ProtocolConfig::no_migration().migration,
-            MigrationPolicy::NoMigration
-        );
-        assert!(matches!(
-            ProtocolConfig::adaptive().migration,
-            MigrationPolicy::AdaptiveThreshold { .. }
-        ));
-        assert!(matches!(
-            ProtocolConfig::fixed_threshold(2).migration,
-            MigrationPolicy::FixedThreshold { threshold: 2 }
-        ));
+        assert_eq!(ProtocolConfig::no_migration().migration.label(), "NM");
+        assert_eq!(ProtocolConfig::adaptive().migration.label(), "AT");
+        assert_eq!(ProtocolConfig::fixed_threshold(2).migration.label(), "FT2");
+        assert_eq!(ProtocolConfig::default().migration.label(), "AT");
     }
 
     #[test]
@@ -152,10 +184,18 @@ mod tests {
             .with_migration(MigrationPolicy::fixed(3));
         assert_eq!(cfg.network, NetworkParams::myrinet());
         assert_eq!(cfg.notification, NotificationMechanism::Broadcast);
-        assert!(matches!(
-            cfg.migration,
-            MigrationPolicy::FixedThreshold { threshold: 3 }
-        ));
+        assert_eq!(cfg.migration.label(), "FT3");
         assert!(cfg.half_peak_length() > 0.0);
+    }
+
+    #[test]
+    fn object_policies_override_the_default() {
+        let special = ObjectId::derive("cfg.special", 0);
+        let plain = ObjectId::derive("cfg.plain", 0);
+        let cfg =
+            ProtocolConfig::no_migration().with_object_policy(special, MigrationPolicy::adaptive());
+        assert_eq!(cfg.policy_for(special).label(), "AT");
+        assert_eq!(cfg.policy_for(plain).label(), "NM");
+        assert_eq!(cfg.policy_overrides.len(), 1);
     }
 }

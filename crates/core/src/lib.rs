@@ -41,22 +41,57 @@
 //! access coefficient* `α ≈ 2 + (o + d)/m_½` (Appendix A) because one
 //! eliminated fault-in/diff pair is worth more than one redirection.
 //!
+//! ## Writing a migration policy
+//!
+//! The migration rule is an open extension point: implement
+//! [`policy::HomeMigrationPolicy`] and hand the value to
+//! `ClusterBuilder::migration` (cluster-wide) or
+//! `ClusterBuilder::object_policy` (one object). The contract, in brief —
+//! the full version lives in the [`policy`] module docs:
+//!
+//! * **The engine owns the observation state.** Every protocol event is
+//!   recorded into the object's [`MigrationState`] (consecutive remote
+//!   writes, redirection/exclusive-write feedback, diff-size history,
+//!   previous home) *before* the policy's matching hook
+//!   (`on_remote_write`, `on_home_write`, `on_redirect`) runs. The engine
+//!   also performs the migration epoch reset and ships the state to the new
+//!   home inside the grant.
+//! * **The policy owns its configuration and the scratch.** Policy values
+//!   are shared `Send + Sync` objects consulted by every shard without
+//!   locks, so they must be immutable after construction; per-object state
+//!   a policy needs goes into the [`migration::PolicyScratch`] embedded in
+//!   `MigrationState`, which only the hooks mutate.
+//! * **Decisions must be deterministic.** `decide` is a pure function of
+//!   [`policy::PolicyInputs`] (state + requester + cost-model terms); no
+//!   randomness, clocks or interior mutability — the seeded equivalence
+//!   and replay suites assert bit-identical decisions across runs.
+//! * **Telemetry is free.** Every considered decision, taken migration,
+//!   migrate-back and finite `current_threshold` sample flows into
+//!   [`stats::PolicyTelemetry`], visible per run through `stats()` and the
+//!   runtime's `ExecutionReport`.
+//!
 //! ## Crate layout
 //!
-//! * [`config`] — protocol configuration (migration policy, notification
-//!   mechanism, coefficients).
+//! * [`config`] — protocol configuration (migration policy + per-object
+//!   overrides, notification mechanism, coefficients).
 //! * [`messages`] — the wire protocol between nodes.
-//! * [`migration`] — the migration policies: `NoMigration`, `FixedThreshold`
-//!   (FT), `AdaptiveThreshold` (AT, the contribution), plus the JUMP-style
-//!   `MigrateOnRequest` and Jackal-style `LazyFlushing` baselines from the
-//!   related-work section.
+//! * [`policy`] — the pluggable policy API: the `HomeMigrationPolicy`
+//!   trait, the built-in impls (`NoMigrationPolicy`, `FixedThresholdPolicy`
+//!   (FT), `AdaptiveThresholdPolicy` (AT, the contribution), JUMP-style
+//!   `MigrateOnRequestPolicy`, Jackal-style `LazyFlushingPolicy`), the
+//!   beyond-the-paper `HysteresisPolicy` and `EwmaWriteRatioPolicy`, and
+//!   per-object `PolicyOverrides`.
+//! * [`migration`] — the engine-owned per-object observation state
+//!   (`MigrationState`) and the [`MigrationPolicy`] description enum, whose
+//!   decision methods are kept as the frozen pre-refactor spec.
 //! * [`sync`] — distributed lock and barrier managers (the synchronization
 //!   substrate that delimits intervals).
 //! * [`engine`] — the per-node protocol engine gluing it all together: a
 //!   lock-striped facade over per-object shards ([`shard`], private) and the
 //!   node-global synchronization state ([`global`], private), so protocol
 //!   serving scales with cores instead of serializing on one engine mutex.
-//! * [`stats`] — per-node protocol statistics.
+//! * [`stats`] — per-node protocol statistics, including the policy
+//!   decision telemetry.
 //!
 //! [`shard`]: engine::ProtocolEngine#sharded-locking
 //! [`global`]: engine::ProtocolEngine#sharded-locking
@@ -69,6 +104,7 @@ pub mod engine;
 mod global;
 pub mod messages;
 pub mod migration;
+pub mod policy;
 mod shard;
 pub mod stats;
 pub mod sync;
@@ -82,6 +118,11 @@ pub use messages::{
     DiffBatchEntry, DiffBatchResult, DiffEntryStatus, ProtocolMsg, ReqId,
     DIFF_BATCH_ENTRY_HEADER_BYTES,
 };
-pub use migration::{MigrationPolicy, MigrationState};
-pub use stats::ProtocolStats;
+pub use migration::{MigrationPolicy, MigrationState, PolicyScratch};
+pub use policy::{
+    AdaptiveThresholdPolicy, Decision, EwmaWriteRatioPolicy, FixedThresholdPolicy,
+    HomeMigrationPolicy, HysteresisPolicy, IntoMigrationPolicy, LazyFlushingPolicy,
+    MigrateOnRequestPolicy, NoMigrationPolicy, PolicyInputs, PolicyOverrides,
+};
+pub use stats::{PolicyTelemetry, ProtocolStats};
 pub use sync::{BarrierOutcome, LockAcquireOutcome, LockReleaseOutcome};

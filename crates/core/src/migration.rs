@@ -17,15 +17,32 @@
 //!   pattern has been detected and the writing node faults the object again,
 //!   the reply both carries the data and migrates the home.
 //!
-//! Five policies are provided: the paper's adaptive threshold (AT), the
-//! fixed threshold (FT) of the authors' earlier work, no migration (NoHM),
-//! and two related-work baselines — JUMP's migrating-home protocol (always
-//! migrate to the requester) and Jackal's lazy-flushing-style exclusive
-//! ownership transfer capped at a maximum number of transitions.
+//! The engine no longer consults the closed [`MigrationPolicy`] enum
+//! directly — protocol decisions go through the open
+//! [`HomeMigrationPolicy`](crate::policy::HomeMigrationPolicy) trait of the
+//! [`policy`](crate::policy) module. The enum survives as two things: the
+//! ergonomic *description* of the paper's policies (every historical call
+//! site such as `builder.migration(MigrationPolicy::adaptive())` still
+//! compiles, converting into the matching trait impl), and the **frozen
+//! pre-refactor decision spec**: the `MigrationState` methods below that take
+//! `&MigrationPolicy` are the original decision rules, kept verbatim as the
+//! oracle the seeded equivalence suite replays against the trait-based
+//! implementations.
+//!
+//! Five paper/related-work policies are described: the paper's adaptive
+//! threshold (AT), the fixed threshold (FT) of the authors' earlier work, no
+//! migration (NoHM), and two related-work baselines — JUMP's migrating-home
+//! protocol (always migrate to the requester) and Jackal's
+//! lazy-flushing-style exclusive ownership transfer capped at a maximum
+//! number of transitions. The genuinely new policies (hysteresis, EWMA
+//! write-ratio) exist only behind the trait.
 
 use dsm_objspace::NodeId;
+use std::fmt;
 
-/// The home migration policy, selected once per experiment run.
+/// Description of a home migration policy (see the module docs: the open,
+/// engine-facing interface is [`crate::policy::HomeMigrationPolicy`]; this
+/// enum converts into the built-in trait impls).
 #[derive(Debug, Clone, PartialEq)]
 pub enum MigrationPolicy {
     /// Never migrate (the paper's `NoHM` / `NM` baseline).
@@ -83,17 +100,42 @@ impl MigrationPolicy {
     pub fn lazy_flushing() -> Self {
         MigrationPolicy::LazyFlushing { max_transitions: 5 }
     }
+}
 
-    /// Short label used in reports ("NM", "FT2", "AT", ...).
-    pub fn label(&self) -> String {
+/// The short report label ("NM", "FT2", "AT", ...), written without
+/// allocating. The strings are byte-identical to the historical
+/// `label() -> String` output, so figure reproductions keyed on them stay
+/// stable; code that needs a borrowed label should go through the cached
+/// [`HomeMigrationPolicy::label`](crate::policy::HomeMigrationPolicy::label)
+/// of the corresponding trait impl.
+impl fmt::Display for MigrationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MigrationPolicy::NoMigration => "NM".to_string(),
-            MigrationPolicy::FixedThreshold { threshold } => format!("FT{threshold}"),
-            MigrationPolicy::AdaptiveThreshold { .. } => "AT".to_string(),
-            MigrationPolicy::MigrateOnRequest => "JUMP".to_string(),
-            MigrationPolicy::LazyFlushing { .. } => "LAZY".to_string(),
+            MigrationPolicy::NoMigration => f.write_str("NM"),
+            MigrationPolicy::FixedThreshold { threshold } => write!(f, "FT{threshold}"),
+            MigrationPolicy::AdaptiveThreshold { .. } => f.write_str("AT"),
+            MigrationPolicy::MigrateOnRequest => f.write_str("JUMP"),
+            MigrationPolicy::LazyFlushing { .. } => f.write_str("LAZY"),
         }
     }
+}
+
+/// Small per-object state owned by the *policy* rather than the engine.
+///
+/// The engine never reads or writes these fields; they exist so stateful
+/// policies (EWMA write-ratio, hysteresis variants, user-defined impls) can
+/// keep per-object observations without the engine knowing their shape. The
+/// scratch travels inside [`MigrationState`]: it is shipped to the new home
+/// with the migration grant, and the default epoch reset leaves it untouched
+/// (a policy that wants a fresh scratch after migration clears it in its
+/// [`on_migrate`](crate::policy::HomeMigrationPolicy::on_migrate) hook).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PolicyScratch {
+    /// First policy-defined value (the EWMA write-ratio policy keeps its
+    /// exponentially weighted remote-write share here).
+    pub a: f64,
+    /// Second policy-defined value (unused by the built-in policies).
+    pub b: f64,
 }
 
 /// Per-object migration bookkeeping kept at the object's current home.
@@ -126,6 +168,13 @@ pub struct MigrationState {
     pub mean_diff_bytes: f64,
     /// Number of diffs contributing to `mean_diff_bytes`.
     pub diff_samples: u64,
+    /// The node the home most recently migrated *away from* (`None` until
+    /// the first migration). A migration granted back to this node is a
+    /// *migrate-back* — the ping-pong signature that hysteresis policies
+    /// damp and the decision telemetry counts.
+    pub prev_home: Option<NodeId>,
+    /// Policy-owned per-object state; see [`PolicyScratch`].
+    pub scratch: PolicyScratch,
 }
 
 impl Default for MigrationState {
@@ -147,6 +196,8 @@ impl MigrationState {
             migrations: 0,
             mean_diff_bytes: 0.0,
             diff_samples: 0,
+            prev_home: None,
+            scratch: PolicyScratch::default(),
         }
     }
 
@@ -240,6 +291,11 @@ impl MigrationState {
 
     /// Decide whether the home should migrate to `requester`, which has just
     /// faulted the object (with `for_write` indicating a write fault).
+    ///
+    /// This is the frozen pre-refactor decision rule; the engine consults
+    /// [`crate::policy::HomeMigrationPolicy::decide`] instead, and the
+    /// seeded equivalence suite replays this method as the oracle for the
+    /// built-in trait impls.
     pub fn should_migrate(
         &self,
         policy: &MigrationPolicy,
@@ -266,7 +322,9 @@ impl MigrationState {
 
     /// Called at the old home when a migration is performed: returns the
     /// state to be shipped to the new home (threshold carried over, per-epoch
-    /// counters reset, migration count incremented).
+    /// counters reset, migration count incremented). Part of the frozen
+    /// pre-refactor spec; the engine goes through [`Self::migrated`], which
+    /// the trait layer feeds with the policy's own carried threshold.
     #[must_use]
     pub fn migrate(
         &self,
@@ -274,18 +332,35 @@ impl MigrationState {
         object_bytes: u64,
         half_peak_len: f64,
     ) -> MigrationState {
+        let mut shipped = self.migrated(
+            self.current_threshold(policy, object_bytes, half_peak_len),
+            None,
+        );
+        // The spec predates previous-home tracking.
+        shipped.prev_home = None;
+        shipped
+    }
+
+    /// The engine-facing migration transition: the per-epoch counters reset,
+    /// the migration count (home epoch) advances, `threshold_base` becomes
+    /// `carried_threshold` (clamped to a large finite value so `NoMigration`
+    /// style infinities cannot poison later arithmetic), diff-size history
+    /// and the policy scratch are retained, and `old_home` is recorded so a
+    /// later migration back to it is observable as a migrate-back.
+    #[must_use]
+    pub fn migrated(&self, carried_threshold: f64, old_home: Option<NodeId>) -> MigrationState {
         MigrationState {
             consecutive_remote_writes: 0,
             last_remote_writer: None,
-            threshold_base: self
-                .current_threshold(policy, object_bytes, half_peak_len)
-                .min(1e9),
+            threshold_base: carried_threshold.min(1e9),
             redirected_requests: 0,
             exclusive_home_writes: 0,
             last_write_was_home: false,
             migrations: self.migrations + 1,
             mean_diff_bytes: self.mean_diff_bytes,
             diff_samples: self.diff_samples,
+            prev_home: old_home,
+            scratch: self.scratch,
         }
     }
 }
@@ -302,13 +377,13 @@ mod tests {
     }
 
     #[test]
-    fn labels() {
-        assert_eq!(MigrationPolicy::NoMigration.label(), "NM");
-        assert_eq!(MigrationPolicy::fixed(1).label(), "FT1");
-        assert_eq!(MigrationPolicy::fixed(2).label(), "FT2");
-        assert_eq!(MigrationPolicy::adaptive().label(), "AT");
-        assert_eq!(MigrationPolicy::MigrateOnRequest.label(), "JUMP");
-        assert_eq!(MigrationPolicy::lazy_flushing().label(), "LAZY");
+    fn display_labels_are_byte_identical_to_the_historical_strings() {
+        assert_eq!(MigrationPolicy::NoMigration.to_string(), "NM");
+        assert_eq!(MigrationPolicy::fixed(1).to_string(), "FT1");
+        assert_eq!(MigrationPolicy::fixed(2).to_string(), "FT2");
+        assert_eq!(MigrationPolicy::adaptive().to_string(), "AT");
+        assert_eq!(MigrationPolicy::MigrateOnRequest.to_string(), "JUMP");
+        assert_eq!(MigrationPolicy::lazy_flushing().to_string(), "LAZY");
     }
 
     #[test]

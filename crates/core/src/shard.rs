@@ -16,6 +16,7 @@
 use crate::config::{NotificationMechanism, ProtocolConfig};
 use crate::engine::{AccessPlan, DiffOutcome, FlushPlan, MigrationGrant, ObjectRequestOutcome};
 use crate::migration::MigrationState;
+use crate::policy::PolicyInputs;
 use crate::stats::ProtocolStats;
 use dsm_objspace::{
     new_store, AccessState, Diff, NodeId, ObjectData, ObjectId, ObjectRegistry, ObjectStore, Twin,
@@ -220,9 +221,16 @@ impl EngineShard {
         if let Some(entry) = self.homes.get_mut(&obj) {
             if entry.state.write_faults() {
                 self.stats.home_writes += 1;
-                if entry.migration.record_home_write() {
+                let exclusive = entry.migration.record_home_write();
+                if exclusive {
                     self.stats.exclusive_home_writes += 1;
                 }
+                // `config` and `homes` are disjoint fields, so the policy
+                // borrow coexists with the entry borrow — no Arc clone on
+                // the home-write fast path.
+                self.config
+                    .policy_for(obj)
+                    .on_home_write(&mut entry.migration, exclusive);
                 entry.state = entry.state.after_write();
                 self.home_written.insert(obj);
             } else {
@@ -512,7 +520,7 @@ impl EngineShard {
         }
         let desc_size = self.registry.expect(obj).size_bytes as u64;
         let half_peak = self.config.half_peak_length();
-        let policy = self.config.migration.clone();
+        let policy = self.config.policy_for(obj);
         let notification = self.config.notification;
         let num_nodes = self.num_nodes;
         let node = self.node;
@@ -530,11 +538,30 @@ impl EngineShard {
         };
         self.stats.requests_served += 1;
         entry.migration.record_redirections(redirections);
+        if redirections > 0 {
+            policy.on_redirect(&mut entry.migration, redirections);
+        }
 
-        let migrate = requester != node
-            && entry
-                .migration
-                .should_migrate(&policy, requester, for_write, desc_size, half_peak);
+        // The decision point: every remote request reaching the home is one
+        // considered policy decision (telemetry), and the policy's reported
+        // threshold at that instant feeds the threshold trajectory.
+        let mut migrate = false;
+        let mut carried_threshold = f64::INFINITY;
+        if requester != node {
+            let inputs = PolicyInputs {
+                state: &entry.migration,
+                requester,
+                for_write,
+                object_bytes: desc_size,
+                half_peak_len: half_peak,
+            };
+            migrate = policy.decide(&inputs).is_migrate();
+            carried_threshold = policy.current_threshold(&inputs);
+            let migrate_back = migrate && entry.migration.prev_home == Some(requester);
+            self.stats
+                .policy
+                .record_decision(migrate, migrate_back, carried_threshold);
+        }
         let version = entry.version;
         if !migrate {
             return ObjectRequestOutcome::Reply {
@@ -548,9 +575,9 @@ impl EngineShard {
         // Perform the migration: the home entry becomes an ordinary cached
         // copy here, the migration bookkeeping ships to the new home, and a
         // forwarding pointer (stamped with the new epoch) is left behind.
-        let grant = MigrationGrant {
-            state: entry.migration.migrate(&policy, desc_size, half_peak),
-        };
+        let mut shipped = entry.migration.migrated(carried_threshold, Some(node));
+        policy.on_migrate(&mut shipped);
+        let grant = MigrationGrant { state: shipped };
         let new_epoch = grant.epoch();
         let old = self.homes.remove(&obj).expect("home entry present");
         self.caches.insert(
@@ -611,18 +638,22 @@ impl EngineShard {
             let (hint, epoch) = self.redirect_hint(obj);
             return DiffOutcome::Redirect { hint, epoch };
         }
+        let policy = self.config.policy_for(obj);
         let entry = self.homes.get_mut(&obj).expect("checked is_home above");
         let Some(mut guard) = entry.data.try_write() else {
             self.stats.busy_responses += 1;
             return DiffOutcome::Busy;
         };
         entry.migration.record_redirections(redirections);
+        if redirections > 0 {
+            policy.on_redirect(&mut entry.migration, redirections);
+        }
         diff.apply(&mut guard);
         drop(guard);
         entry.version = entry.version.next();
-        entry
-            .migration
-            .record_remote_write(from, diff.wire_bytes() as u64);
+        let wire_bytes = diff.wire_bytes() as u64;
+        entry.migration.record_remote_write(from, wire_bytes);
+        policy.on_remote_write(&mut entry.migration, from, wire_bytes);
         self.stats.diffs_applied += 1;
         DiffOutcome::Applied {
             new_version: entry.version,

@@ -5,6 +5,80 @@
 //! redirections and diff volume. The harness merges them across nodes into
 //! the experiment report.
 
+/// Telemetry of the home-migration policy's decision process.
+///
+/// Every object request that reaches an object's home from a remote node is
+/// one *considered* decision (one [`decide`] call); the decisions that chose
+/// to migrate, the subset that moved the home back to the node it last came
+/// from (*migrate-backs* — the ping-pong signature), and the trajectory of
+/// the policy's reported threshold are all recorded here. Thresholds are
+/// kept in integer millis so the telemetry stays `Eq` and merges exactly;
+/// non-finite thresholds (e.g. `NoMigration`'s "never") are not sampled.
+///
+/// [`decide`]: crate::policy::HomeMigrationPolicy::decide
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyTelemetry {
+    /// Migration decisions evaluated (remote requests reaching the home).
+    pub decisions_considered: u64,
+    /// Decisions that chose to migrate the home.
+    pub decisions_migrate: u64,
+    /// Migrations granted back to the previous home (ping-pong events).
+    pub migrate_backs: u64,
+    /// Finite threshold samples taken (one per considered decision whose
+    /// policy reported a finite threshold).
+    pub threshold_samples: u64,
+    /// Sum of sampled thresholds, in integer millis (saturating).
+    pub threshold_sum_milli: u64,
+    /// Largest sampled threshold, in integer millis.
+    pub threshold_peak_milli: u64,
+}
+
+impl PolicyTelemetry {
+    /// Record one considered decision: whether it migrated, whether that
+    /// migration returned the home to its previous node, and the threshold
+    /// the policy reported at the decision point.
+    pub fn record_decision(&mut self, migrated: bool, migrate_back: bool, threshold: f64) {
+        self.decisions_considered += 1;
+        if migrated {
+            self.decisions_migrate += 1;
+            if migrate_back {
+                self.migrate_backs += 1;
+            }
+        }
+        if threshold.is_finite() && threshold >= 0.0 {
+            let milli = (threshold * 1000.0).round().min(u64::MAX as f64) as u64;
+            self.threshold_samples += 1;
+            self.threshold_sum_milli = self.threshold_sum_milli.saturating_add(milli);
+            self.threshold_peak_milli = self.threshold_peak_milli.max(milli);
+        }
+    }
+
+    /// Mean sampled threshold (0 when nothing was sampled).
+    pub fn mean_threshold(&self) -> f64 {
+        if self.threshold_samples == 0 {
+            return 0.0;
+        }
+        self.threshold_sum_milli as f64 / self.threshold_samples as f64 / 1000.0
+    }
+
+    /// Largest sampled threshold (0 when nothing was sampled).
+    pub fn peak_threshold(&self) -> f64 {
+        self.threshold_peak_milli as f64 / 1000.0
+    }
+
+    /// Merge counters from another node.
+    pub fn merge(&mut self, other: &PolicyTelemetry) {
+        self.decisions_considered += other.decisions_considered;
+        self.decisions_migrate += other.decisions_migrate;
+        self.migrate_backs += other.migrate_backs;
+        self.threshold_samples += other.threshold_samples;
+        self.threshold_sum_milli = self
+            .threshold_sum_milli
+            .saturating_add(other.threshold_sum_milli);
+        self.threshold_peak_milli = self.threshold_peak_milli.max(other.threshold_peak_milli);
+    }
+}
+
 /// Protocol event counters for one node (or, after merging, a whole run).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProtocolStats {
@@ -59,6 +133,9 @@ pub struct ProtocolStats {
     /// individually, so with migrations the same diff can appear both as a
     /// batch entry and on the singleton wire path.
     pub batch_entries: u64,
+    /// Home-migration decision telemetry (considered vs. taken decisions,
+    /// migrate-backs, threshold trajectory).
+    pub policy: PolicyTelemetry,
 }
 
 impl ProtocolStats {
@@ -85,6 +162,7 @@ impl ProtocolStats {
         self.barriers += other.barriers;
         self.batched_flushes += other.batched_flushes;
         self.batch_entries += other.batch_entries;
+        self.policy.merge(&other.policy);
     }
 
     /// Total home migrations in a merged record (each migration is counted
@@ -99,6 +177,31 @@ impl ProtocolStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn telemetry_records_decisions_and_threshold_trajectory() {
+        let mut t = PolicyTelemetry::default();
+        t.record_decision(false, false, 1.0);
+        t.record_decision(true, false, 2.5);
+        t.record_decision(true, true, 4.0);
+        // Non-finite thresholds (NoMigration's "never") are not sampled but
+        // still count as considered decisions.
+        t.record_decision(false, false, f64::INFINITY);
+        assert_eq!(t.decisions_considered, 4);
+        assert_eq!(t.decisions_migrate, 2);
+        assert_eq!(t.migrate_backs, 1);
+        assert_eq!(t.threshold_samples, 3);
+        assert!((t.mean_threshold() - 2.5).abs() < 1e-9);
+        assert!((t.peak_threshold() - 4.0).abs() < 1e-9);
+
+        let mut merged = PolicyTelemetry::default();
+        merged.record_decision(true, true, 8.0);
+        merged.merge(&t);
+        assert_eq!(merged.decisions_considered, 5);
+        assert_eq!(merged.migrate_backs, 2);
+        assert!((merged.peak_threshold() - 8.0).abs() < 1e-9);
+        assert_eq!(merged.threshold_samples, 4);
+    }
 
     #[test]
     fn default_is_all_zero() {

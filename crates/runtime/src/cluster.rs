@@ -12,12 +12,12 @@ use crate::handle::{ArrayHandle, Matrix2dHandle, ScalarHandle};
 use crate::node::{server_loop, NodeShared};
 use crate::report::ExecutionReport;
 use dsm_core::{
-    MigrationPolicy, NotificationMechanism, ProtocolConfig, ProtocolEngine, ProtocolMsg,
+    IntoMigrationPolicy, NotificationMechanism, ProtocolConfig, ProtocolEngine, ProtocolMsg,
     ProtocolStats,
 };
 use dsm_model::{ComputeModel, NetworkParams};
 use dsm_net::{Fabric, StatsCollector};
-use dsm_objspace::{Element, HomeAssignment, NodeId, ObjectRegistry};
+use dsm_objspace::{Element, HomeAssignment, NodeId, ObjectId, ObjectRegistry};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -123,6 +123,8 @@ impl ClusterConfig {
 /// });
 /// ```
 #[derive(Debug, Clone)]
+#[must_use = "a ClusterBuilder does nothing until .build() or .config() — \
+              every chainable setter returns the (moved) builder"]
 pub struct ClusterBuilder {
     nodes: usize,
     protocol: ProtocolConfig,
@@ -160,7 +162,6 @@ impl ClusterBuilder {
     ///
     /// # Panics
     /// Panics if `nodes` is zero.
-    #[must_use]
     pub fn nodes(mut self, nodes: usize) -> Self {
         assert!(nodes > 0, "cluster must have at least one node");
         self.nodes = nodes;
@@ -168,42 +169,49 @@ impl ClusterBuilder {
     }
 
     /// Replace the whole protocol configuration.
-    #[must_use]
     pub fn protocol(mut self, protocol: ProtocolConfig) -> Self {
         self.protocol = protocol;
         self
     }
 
-    /// Replace the home migration policy.
-    #[must_use]
-    pub fn migration(mut self, migration: MigrationPolicy) -> Self {
+    /// Replace the cluster-wide default home-migration policy. Accepts a
+    /// `MigrationPolicy` description (`MigrationPolicy::adaptive()`), a
+    /// built-in policy value (`HysteresisPolicy::default()`), or any shared
+    /// `Arc<dyn HomeMigrationPolicy>` — see `dsm_core::policy` for the
+    /// trait contract.
+    pub fn migration(mut self, migration: impl IntoMigrationPolicy) -> Self {
         self.protocol = self.protocol.with_migration(migration);
         self
     }
 
+    /// Override the home-migration policy for a single object, so one
+    /// cluster runs different policies on different objects (handles expose
+    /// their [`ObjectId`] via `handle.id` / `handle.id()`). Objects without
+    /// an override use the cluster-wide [`Self::migration`] policy.
+    pub fn object_policy(mut self, obj: ObjectId, policy: impl IntoMigrationPolicy) -> Self {
+        self.protocol = self.protocol.with_object_policy(obj, policy);
+        self
+    }
+
     /// Replace the new-home notification mechanism.
-    #[must_use]
     pub fn notification(mut self, notification: NotificationMechanism) -> Self {
         self.protocol = self.protocol.with_notification(notification);
         self
     }
 
     /// Replace the network parameters (affects virtual time and α).
-    #[must_use]
     pub fn network(mut self, network: NetworkParams) -> Self {
         self.protocol = self.protocol.with_network(network);
         self
     }
 
     /// Replace the computation cost model.
-    #[must_use]
     pub fn compute(mut self, compute: ComputeModel) -> Self {
         self.compute = compute;
         self
     }
 
     /// Set the cluster seed (exposed as `NodeCtx::seed`).
-    #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -211,7 +219,6 @@ impl ClusterBuilder {
 
     /// Set the default home assignment used by the builder's `register_*`
     /// helpers.
-    #[must_use]
     pub fn default_home(mut self, assignment: HomeAssignment) -> Self {
         self.default_home = assignment;
         self
@@ -222,7 +229,6 @@ impl ClusterBuilder {
     ///
     /// # Panics
     /// Panics if `interval` is zero (the server would spin).
-    #[must_use]
     pub fn poll_interval(mut self, interval: Duration) -> Self {
         assert!(!interval.is_zero(), "poll interval must be non-zero");
         self.poll_interval = interval;
@@ -237,7 +243,6 @@ impl ClusterBuilder {
     /// per-entry redirect hints in the ack. Disabling it restores the
     /// paper-faithful wire behaviour of one `DiffFlush` (and one ack) per
     /// dirty object, which the unbatched benchmark baselines measure.
-    #[must_use]
     pub fn flush_batching(mut self, enabled: bool) -> Self {
         self.flush_batching = enabled;
         self
@@ -247,7 +252,6 @@ impl ClusterBuilder {
     /// deferred messages are retried every 100 µs instead of every 2 ms,
     /// which keeps contention-heavy test runs fast at the price of busier
     /// idle server threads.
-    #[must_use]
     pub fn fast_poll(self) -> Self {
         self.poll_interval(FAST_POLL_INTERVAL)
     }
@@ -425,7 +429,7 @@ impl Cluster {
             network: stats.snapshot(),
             protocol,
             num_nodes,
-            policy_label: config.protocol.migration.label(),
+            policy_label: config.protocol.migration.label().to_string(),
         }
     }
 }

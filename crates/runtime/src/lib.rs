@@ -111,6 +111,16 @@
 //! ([`DsmError::ViewsOutstanding`]). Read views are safe to hold across a
 //! fetch because serving a fault-in needs only a shared payload lock.
 //!
+//! **Pluggable migration policies:** [`ClusterBuilder::migration`] accepts
+//! the paper's `MigrationPolicy` descriptions, any built-in policy value
+//! (`HysteresisPolicy`, `EwmaWriteRatioPolicy`, ...), or a custom
+//! `Arc<dyn HomeMigrationPolicy>` (see `dsm_core::policy` for the trait
+//! contract and determinism rules). [`ClusterBuilder::object_policy`] pins
+//! a different policy to a single object, so one cluster can run a policy ×
+//! object experiment grid; the per-run decision telemetry (considered vs.
+//! taken decisions, migrate-backs, threshold trajectory) is merged into
+//! [`ExecutionReport::policy_telemetry`].
+//!
 //! ```no_run
 //! use dsm_runtime::Cluster;
 //! use dsm_core::MigrationPolicy;

@@ -5,7 +5,7 @@
 //! — Figures 3 and 5(b)) and merged protocol counters (migrations,
 //! redirections, fault-ins — used for the analysis sections).
 
-use dsm_core::ProtocolStats;
+use dsm_core::{PolicyTelemetry, ProtocolStats};
 use dsm_model::{SimDuration, SimTime};
 use dsm_net::{MsgCategory, NetworkStats};
 
@@ -57,6 +57,28 @@ impl ExecutionReport {
     /// Number of redirection replies served during the run.
     pub fn redirections(&self) -> u64 {
         self.protocol.redirections_served
+    }
+
+    /// The merged home-migration decision telemetry: decisions considered
+    /// vs. taken, migrate-backs and the threshold trajectory.
+    pub fn policy_telemetry(&self) -> &PolicyTelemetry {
+        &self.protocol.policy
+    }
+
+    /// Migrations that returned an object's home to the node it had just
+    /// left — the ping-pong events hysteresis policies exist to damp.
+    pub fn migrate_backs(&self) -> u64 {
+        self.protocol.policy.migrate_backs
+    }
+
+    /// Fraction of considered migration decisions that migrated (0 when no
+    /// decision was considered).
+    pub fn migration_rate(&self) -> f64 {
+        let t = &self.protocol.policy;
+        if t.decisions_considered == 0 {
+            return 0.0;
+        }
+        t.decisions_migrate as f64 / t.decisions_considered as f64
     }
 
     /// Relative improvement of this run over a `baseline` run in execution
@@ -129,5 +151,18 @@ mod tests {
         assert_eq!(r.migrations(), 0);
         assert_eq!(r.redirections(), 0);
         assert_eq!(r.total_traffic_bytes(), 300);
+    }
+
+    #[test]
+    fn policy_telemetry_surfaces_in_the_report() {
+        let mut r = report(10.0, 1);
+        r.protocol.policy.record_decision(false, false, 1.0);
+        r.protocol.policy.record_decision(true, true, 3.0);
+        assert_eq!(r.policy_telemetry().decisions_considered, 2);
+        assert_eq!(r.migrate_backs(), 1);
+        assert!((r.migration_rate() - 0.5).abs() < 1e-12);
+        assert!((r.policy_telemetry().mean_threshold() - 2.0).abs() < 1e-9);
+        let empty = report(10.0, 1);
+        assert_eq!(empty.migration_rate(), 0.0);
     }
 }

@@ -11,9 +11,14 @@
 //! * [`objspace`] — shared objects, twins, diffs, access states, home
 //!   assignment, and the [`prelude::DsmError`] taxonomy;
 //! * [`net`] — the simulated cluster fabric and message statistics;
-//! * [`protocol`] — the home-based LRC coherence engine and the migration
-//!   policies (`NoMigration`, `FixedThreshold`, `AdaptiveThreshold`,
-//!   `MigrateOnRequest`, `LazyFlushing`);
+//! * [`protocol`] — the home-based LRC coherence engine and the pluggable
+//!   home-migration policy API: the [`prelude::HomeMigrationPolicy`] trait
+//!   with built-in impls for the paper's policies (`NoMigration`,
+//!   `FixedThreshold`, `AdaptiveThreshold`, JUMP-style `MigrateOnRequest`,
+//!   Jackal-style `LazyFlushing`) plus the beyond-the-paper
+//!   [`prelude::HysteresisPolicy`] and [`prelude::EwmaWriteRatioPolicy`],
+//!   per-object policy overrides, and decision telemetry
+//!   ([`prelude::PolicyTelemetry`]);
 //! * [`runtime`] — the threaded cluster runtime and the typed GOS API:
 //!   the seeded [`prelude::ClusterBuilder`], the handle family
 //!   ([`prelude::ArrayHandle`], [`prelude::ScalarHandle`],
@@ -78,7 +83,12 @@ pub use dsm_runtime as runtime;
 
 /// The most commonly used types, re-exported in one place.
 pub mod prelude {
-    pub use dsm_core::{MigrationPolicy, NotificationMechanism, ProtocolConfig};
+    pub use dsm_core::{
+        AdaptiveThresholdPolicy, Decision, EwmaWriteRatioPolicy, FixedThresholdPolicy,
+        HomeMigrationPolicy, HysteresisPolicy, IntoMigrationPolicy, LazyFlushingPolicy,
+        MigrateOnRequestPolicy, MigrationPolicy, NoMigrationPolicy, NotificationMechanism,
+        PolicyInputs, PolicyOverrides, PolicyTelemetry, ProtocolConfig,
+    };
     pub use dsm_model::{ComputeModel, HockneyModel, NetworkParams, SimDuration, SimTime};
     pub use dsm_net::MsgCategory;
     pub use dsm_objspace::{

@@ -14,8 +14,8 @@
 //! [`SmallRng`], so every failure is reproducible from the case index.
 
 use dsm_core::{
-    group_flush_plans, AccessPlan, DiffOutcome, FlushPlan, ObjectRequestOutcome, ProtocolConfig,
-    ProtocolEngine,
+    group_flush_plans, AccessPlan, DiffOutcome, FlushPlan, ObjectRequestOutcome, PolicyInputs,
+    ProtocolConfig, ProtocolEngine,
 };
 use dsm_objspace::{HomeAssignment, NodeId, ObjectId, ObjectRegistry};
 use dsm_util::SmallRng;
@@ -169,11 +169,16 @@ fn adaptive_threshold_never_below_initial() {
             write_interval(&mut cluster, writer, (step % 250) as u8 + 1);
             for engine in &cluster {
                 if let Some(state) = engine.migration_state(obj()) {
-                    let t = state.current_threshold(
-                        &engine.config().migration,
-                        OBJ_BYTES as u64,
-                        half_peak,
-                    );
+                    // The threshold the engine's policy reports through the
+                    // trait surface (the requester does not enter the
+                    // adaptive threshold formula).
+                    let t = engine.config().migration.current_threshold(&PolicyInputs {
+                        state: &state,
+                        requester: engine.node(),
+                        for_write: true,
+                        object_bytes: OBJ_BYTES as u64,
+                        half_peak_len: half_peak,
+                    });
                     assert!(
                         t >= 1.0 - 1e-12,
                         "case {case}: threshold dropped below T_init: {t}"
