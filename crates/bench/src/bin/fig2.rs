@@ -1,14 +1,17 @@
 //! Regenerates Figure 2 of the paper: execution time vs. number of
 //! processors for ASP, SOR, Nbody and TSP, with and without home migration.
 //!
-//! Usage: `cargo run -p dsm-bench --release --bin fig2 [--full]`
+//! Usage: `cargo run -p dsm-bench --release --bin fig2 [--full]
+//! [--fabric sim --seed N]` — the sim fabric makes the whole reproduction
+//! replayable seed-exactly.
 
-use dsm_bench::{fig2, gate, Scale};
+use dsm_bench::{fabric_from_args, fig2, gate, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("collecting Figure 2 data at {scale:?} scale ...");
-    let points = fig2::collect(scale);
+    let fabric = fabric_from_args();
+    eprintln!("collecting Figure 2 data at {scale:?} scale on the {fabric:?} fabric ...");
+    let points = fig2::collect_on(scale, &fabric);
     let table = fig2::render(&points);
     println!("Figure 2 — execution time vs. number of processors (HM = adaptive migration, NoHM = disabled)\n");
     println!("{}", table.render());

@@ -2,14 +2,17 @@
 //! protocol (AT) over the fixed threshold FT2 against problem size, for ASP
 //! and SOR on eight nodes.
 //!
-//! Usage: `cargo run -p dsm-bench --release --bin fig3 [--full]`
+//! Usage: `cargo run -p dsm-bench --release --bin fig3 [--full]
+//! [--fabric sim --seed N]` — the sim fabric makes the whole reproduction
+//! replayable seed-exactly.
 
-use dsm_bench::{fig3, gate, Scale};
+use dsm_bench::{fabric_from_args, fig3, gate, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("collecting Figure 3 data at {scale:?} scale ...");
-    let points = fig3::collect(scale);
+    let fabric = fabric_from_args();
+    eprintln!("collecting Figure 3 data at {scale:?} scale on the {fabric:?} fabric ...");
+    let points = fig3::collect_on(scale, &fabric);
     let table = fig3::render(&points);
     println!("Figure 3 — improvement of AT over FT2 against problem size (8 nodes)\n");
     println!("{}", table.render());

@@ -3,14 +3,17 @@
 //! breakdown for NM, FT1, FT2 and AT against the repetition of the
 //! single-writer pattern.
 //!
-//! Usage: `cargo run -p dsm-bench --release --bin fig5 [--full]`
+//! Usage: `cargo run -p dsm-bench --release --bin fig5 [--full]
+//! [--fabric sim --seed N]` — the sim fabric makes the whole reproduction
+//! replayable seed-exactly.
 
-use dsm_bench::{fig5, Scale};
+use dsm_bench::{fabric_from_args, fig5, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("collecting Figure 5 data at {scale:?} scale ...");
-    let points = fig5::collect(scale);
+    let fabric = fabric_from_args();
+    eprintln!("collecting Figure 5 data at {scale:?} scale on the {fabric:?} fabric ...");
+    let points = fig5::collect_on(scale, &fabric);
     println!(
         "Figure 5(a) — normalized execution time vs. repetition of the single-writer pattern\n"
     );

@@ -2,10 +2,13 @@
 //! with home migration enabled (HM = adaptive threshold) and disabled
 //! (NoHM), for ASP, SOR, Nbody and TSP.
 
+#[cfg(test)]
+use crate::cluster;
 use crate::table::{fmt_f, Table};
-use crate::{cluster, Scale};
+use crate::{cluster_on, Scale};
 use dsm_apps::{asp, nbody, sor, tsp};
 use dsm_core::ProtocolConfig;
+use dsm_runtime::FabricMode;
 
 /// One measurement point of Figure 2.
 #[derive(Debug, Clone)]
@@ -47,6 +50,15 @@ fn policies() -> Vec<(&'static str, ProtocolConfig)> {
 /// which would skew exactly the comparison the figure makes. The gate table
 /// the `fig2` binary prints alongside reports both wire modes.
 pub fn collect(scale: Scale) -> Vec<Fig2Point> {
+    collect_on(scale, &FabricMode::Threaded)
+}
+
+/// As [`collect`], on an explicit fabric: `--fabric sim --seed N` runs the
+/// whole figure on the deterministic sim fabric, making the reproduction
+/// replayable seed-exactly.
+pub fn collect_on(scale: Scale, fabric: &FabricMode) -> Vec<Fig2Point> {
+    // Shadows the crate-level threaded helper for the body below.
+    let cluster = |nodes: usize, protocol: ProtocolConfig| cluster_on(nodes, protocol, fabric);
     let mut points = Vec::new();
     for nodes in node_counts(scale) {
         for (label, protocol) in policies() {

@@ -4,9 +4,10 @@
 //! eight cluster nodes.
 
 use crate::table::{fmt_pct, Table};
-use crate::{cluster, Scale};
+use crate::{cluster_on, Scale};
 use dsm_apps::{asp, sor};
 use dsm_core::ProtocolConfig;
+use dsm_runtime::FabricMode;
 
 /// Number of cluster nodes used by the figure (the paper uses eight).
 pub const NODES: usize = 8;
@@ -36,12 +37,23 @@ pub fn problem_sizes(scale: Scale) -> Vec<usize> {
 
 /// Collect the ASP and SOR series.
 pub fn collect(scale: Scale) -> Vec<Fig3Point> {
+    collect_on(scale, &FabricMode::Threaded)
+}
+
+/// As [`collect`], on an explicit fabric (`--fabric sim --seed N` makes the
+/// reproduction replayable seed-exactly).
+pub fn collect_on(scale: Scale, fabric: &FabricMode) -> Vec<Fig3Point> {
     let mut points = Vec::new();
     for size in problem_sizes(scale) {
-        points.push(asp_point(size));
-        points.push(sor_point(size));
+        points.push(asp_point_on(size, fabric));
+        points.push(sor_point_on(size, fabric));
     }
     points
+}
+
+/// One ASP measurement at a given graph size, threaded fabric.
+pub fn asp_point(size: usize) -> Fig3Point {
+    asp_point_on(size, &FabricMode::Threaded)
 }
 
 /// One ASP measurement at a given graph size.
@@ -50,14 +62,14 @@ pub fn collect(scale: Scale) -> Vec<Fig3Point> {
 /// disabled (the paper's one-`DiffFlush`-per-object wire protocol), so the
 /// AT-vs-FT2 comparison measures exactly what the paper measured; the gate
 /// table the `fig3` binary prints alongside reports both wire modes.
-pub fn asp_point(size: usize) -> Fig3Point {
+pub fn asp_point_on(size: usize, fabric: &FabricMode) -> Fig3Point {
     let params = asp::AspParams::small(size);
     let at = asp::run(
-        cluster(NODES, ProtocolConfig::adaptive()).with_flush_batching(false),
+        cluster_on(NODES, ProtocolConfig::adaptive(), fabric).with_flush_batching(false),
         &params,
     );
     let ft2 = asp::run(
-        cluster(NODES, ProtocolConfig::fixed_threshold(2)).with_flush_batching(false),
+        cluster_on(NODES, ProtocolConfig::fixed_threshold(2), fabric).with_flush_batching(false),
         &params,
     );
     Fig3Point {
@@ -69,16 +81,21 @@ pub fn asp_point(size: usize) -> Fig3Point {
     }
 }
 
-/// One SOR measurement at a given matrix size (paper wire mode, see
-/// [`asp_point`]).
+/// One SOR measurement at a given matrix size, threaded fabric.
 pub fn sor_point(size: usize) -> Fig3Point {
+    sor_point_on(size, &FabricMode::Threaded)
+}
+
+/// One SOR measurement at a given matrix size (paper wire mode, see
+/// [`asp_point_on`]).
+pub fn sor_point_on(size: usize, fabric: &FabricMode) -> Fig3Point {
     let params = sor::SorParams::small(size, 6);
     let at = sor::run(
-        cluster(NODES, ProtocolConfig::adaptive()).with_flush_batching(false),
+        cluster_on(NODES, ProtocolConfig::adaptive(), fabric).with_flush_batching(false),
         &params,
     );
     let ft2 = sor::run(
-        cluster(NODES, ProtocolConfig::fixed_threshold(2)).with_flush_batching(false),
+        cluster_on(NODES, ProtocolConfig::fixed_threshold(2), fabric).with_flush_batching(false),
         &params,
     );
     Fig3Point {

@@ -4,10 +4,11 @@
 //! `r` of the single-writer pattern.
 
 use crate::table::{fmt_f, Table};
-use crate::{cluster, Scale};
+use crate::{cluster_on, Scale};
 use dsm_apps::synthetic::{self, SyntheticParams};
 use dsm_core::ProtocolConfig;
 use dsm_net::MsgCategory;
+use dsm_runtime::FabricMode;
 
 /// One protocol's measurement at one repetition value.
 #[derive(Debug, Clone)]
@@ -61,12 +62,23 @@ pub fn nodes(scale: Scale) -> usize {
     }
 }
 
-/// Run one protocol at one repetition.
+/// Run one protocol at one repetition, threaded fabric.
 pub fn measure(
     repetition: usize,
     label: &str,
     protocol: ProtocolConfig,
     scale: Scale,
+) -> Fig5Point {
+    measure_on(repetition, label, protocol, scale, &FabricMode::Threaded)
+}
+
+/// Run one protocol at one repetition on an explicit fabric.
+pub fn measure_on(
+    repetition: usize,
+    label: &str,
+    protocol: ProtocolConfig,
+    scale: Scale,
+    fabric: &FabricMode,
 ) -> Fig5Point {
     let n = nodes(scale);
     let workers = n - 1;
@@ -78,7 +90,7 @@ pub fn measure(
         },
         Scale::Paper => SyntheticParams::paper(repetition, workers),
     };
-    let run = synthetic::run(cluster(n, protocol), &params);
+    let run = synthetic::run(cluster_on(n, protocol, fabric), &params);
     Fig5Point {
         repetition,
         policy: label.to_string(),
@@ -93,10 +105,16 @@ pub fn measure(
 
 /// Collect the whole figure.
 pub fn collect(scale: Scale) -> Vec<Fig5Point> {
+    collect_on(scale, &FabricMode::Threaded)
+}
+
+/// As [`collect`], on an explicit fabric (`--fabric sim --seed N` makes
+/// the reproduction replayable seed-exactly).
+pub fn collect_on(scale: Scale, fabric: &FabricMode) -> Vec<Fig5Point> {
     let mut points = Vec::new();
     for repetition in repetitions(scale) {
         for (label, protocol) in protocols() {
-            points.push(measure(repetition, label, protocol, scale));
+            points.push(measure_on(repetition, label, protocol, scale, fabric));
         }
     }
     points

@@ -22,11 +22,12 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig5;
 pub mod gate;
+pub mod matrix;
 pub mod table;
 
 use dsm_core::ProtocolConfig;
 use dsm_model::ComputeModel;
-use dsm_runtime::ClusterConfig;
+use dsm_runtime::{ClusterConfig, FabricMode, SimConfig};
 
 /// Workload scale selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +60,42 @@ pub fn cluster(nodes: usize, protocol: ProtocolConfig) -> ClusterConfig {
         .protocol(protocol)
         .compute(ComputeModel::pentium4_2ghz())
         .config()
+}
+
+/// As [`cluster`], but on an explicit fabric — the figure harnesses thread
+/// this through so paper reproductions can run on the deterministic sim
+/// fabric (`--fabric sim --seed N`) and be replayed seed-exactly.
+pub fn cluster_on(nodes: usize, protocol: ProtocolConfig, fabric: &FabricMode) -> ClusterConfig {
+    cluster(nodes, protocol).with_fabric(fabric.clone())
+}
+
+/// Parse the fabric selection from process arguments: `--fabric sim`
+/// selects the deterministic sim fabric (seeded by `--seed N`, default
+/// 2004; hex `0x...` accepted, so the seeds printed by failure reports can
+/// be pasted verbatim); `--fabric threaded` (or no flag) keeps the
+/// threaded fabric.
+///
+/// # Panics
+/// Panics on an unknown `--fabric` value or an unparsable `--seed`, so a
+/// typo cannot silently fall back to a different experiment.
+pub fn fabric_from_args() -> FabricMode {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    match value_of("--fabric") {
+        None | Some("threaded") => FabricMode::Threaded,
+        Some("sim") => {
+            let seed = value_of("--seed").map_or(2004, |s| {
+                dsm_util::parse_seed(s).unwrap_or_else(|e| panic!("--seed {s:?} is invalid: {e}"))
+            });
+            FabricMode::Sim(SimConfig::perturbed(seed))
+        }
+        Some(other) => panic!("unknown --fabric {other:?} (expected: threaded, sim)"),
+    }
 }
 
 /// Run `f` `iters` times and print the minimum and mean wall-clock duration.

@@ -69,6 +69,37 @@
 //! cannot form cycles even under racy cross-node interleavings (a stale
 //! backward hint could otherwise overwrite a correct forward pointer and
 //! strand the requester in a redirect loop).
+//!
+//! ## Ordering assumptions
+//!
+//! The protocol's delivery-order requirements, stated explicitly because
+//! the fabrics (threaded channels, and the perturbing sim fabric with its
+//! per-link FIFO clamp) are built to honour exactly these and no more:
+//!
+//! * **Per-link FIFO.** Messages from one node to another must arrive in
+//!   send order. The load-bearing case is the *one-way* synchronization
+//!   traffic: a node's `LockRelease` is fire-and-forget, and its next
+//!   `LockAcquire` of the same lock is a fresh message on the same link —
+//!   if the acquire overtook the release, the manager would queue the
+//!   requester behind itself and deadlock (barrier arrivals of successive
+//!   epochs are analogous). Request/reply pairs are immune (the requester
+//!   blocks), and home beliefs are epoch-guarded, so overtaking *across*
+//!   links — which the sim fabric's seeded perturbations explore
+//!   aggressively — is always safe: hints and notifications are adopted
+//!   only when strictly newer.
+//! * **No loss, no duplication.** Every message is delivered exactly once;
+//!   there are no timeouts or retransmissions at this layer. The sim
+//!   fabric asserts send/delivery conservation at teardown.
+//! * **No global order.** Nothing assumes cluster-wide delivery order or
+//!   a shared clock; any interleaving consistent with the two points above
+//!   must produce the same application results (the conformance matrix's
+//!   seed sweep checks precisely this).
+//! * **Deterministic iteration for reproducibility.** Where the engine
+//!   *emits* ordered work derived from unordered containers, it orders it
+//!   explicitly — [`ProtocolEngine::prepare_release`] sorts flush plans by
+//!   object id and [`group_flush_plans`] orders batches by target node —
+//!   so a fixed schedule (e.g. a sim-fabric seed) replays bit-identically
+//!   regardless of hash-map iteration order.
 
 use crate::config::ProtocolConfig;
 use crate::global::NodeGlobals;

@@ -16,9 +16,14 @@
 //!   node threads. Sending is non-blocking; each node's protocol server
 //!   drains its endpoint. The fabric also offers a deterministic single-
 //!   threaded [`Loopback`] used by protocol unit tests.
+//! * [`SimFabric`] / [`SimEndpoint`] — the deterministic simulation fabric:
+//!   a seeded virtual-time scheduler that owns delivery itself, applies
+//!   pluggable [`LinkPerturbation`]s (latency jitter, bounded reordering,
+//!   bursty delay spikes) and records a replayable [`DeliveryTrace`]. The
+//!   runtime's sim mode drives it with event-driven wakeups — no polling.
 //!
-//! The fabric is deliberately dumb: it moves payloads, stamps virtual times
-//! and counts bytes. All protocol semantics live in `dsm-core`.
+//! The fabrics are deliberately dumb: they move payloads, stamp virtual
+//! times and count bytes. All protocol semantics live in `dsm-core`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,10 +32,15 @@ pub mod category;
 pub mod envelope;
 pub mod fabric;
 pub mod loopback;
+pub mod sim;
 pub mod stats;
 
 pub use category::MsgCategory;
 pub use envelope::{Envelope, MESSAGE_HEADER_BYTES};
 pub use fabric::{Endpoint, Fabric};
 pub use loopback::Loopback;
+pub use sim::{
+    BoundedReorder, DelayBursts, DeliveryRecord, DeliveryTrace, LatencyJitter, LinkPerturbation,
+    SimConfig, SimEndpoint, SimFabric, SimStep,
+};
 pub use stats::{CategoryStats, NetworkStats, StatsCollector};

@@ -9,18 +9,35 @@
 
 use crate::ctx::NodeCtx;
 use crate::handle::{ArrayHandle, Matrix2dHandle, ScalarHandle};
-use crate::node::{server_loop, NodeShared};
+use crate::node::{server_loop, NodeLink, NodeShared};
 use crate::report::ExecutionReport;
+use crate::sim::{sim_server_loop, AppAgent};
 use dsm_core::{
     IntoMigrationPolicy, NotificationMechanism, ProtocolConfig, ProtocolEngine, ProtocolMsg,
     ProtocolStats,
 };
 use dsm_model::{ComputeModel, NetworkParams};
-use dsm_net::{Fabric, StatsCollector};
+use dsm_net::{Fabric, SimConfig, SimFabric, StatsCollector};
 use dsm_objspace::{Element, HomeAssignment, NodeId, ObjectId, ObjectRegistry};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
+
+/// Which fabric a cluster runs its protocol traffic over.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum FabricMode {
+    /// The channel-based threaded fabric: one protocol server thread per
+    /// node, message interleaving decided by the OS scheduler (the
+    /// default, and the fastest wall-clock option on many cores).
+    #[default]
+    Threaded,
+    /// The deterministic simulation fabric: a seeded virtual-time scheduler
+    /// owns delivery, applies the configured perturbations, and records a
+    /// replayable [`dsm_net::DeliveryTrace`] into the execution report.
+    /// Event-driven — the poll interval is unused in this mode.
+    Sim(SimConfig),
+}
 
 /// Default protocol-server poll interval: how long a server thread waits
 /// for a message before retrying deferred work and checking for shutdown.
@@ -51,6 +68,9 @@ pub struct ClusterConfig {
     /// one `DiffBatch` message (on by default). Disable to reproduce the
     /// paper-faithful wire behaviour of one `DiffFlush` per dirty object.
     pub flush_batching: bool,
+    /// The fabric the cluster runs on (threaded by default; see
+    /// [`ClusterBuilder::sim_fabric`] for the deterministic sim mode).
+    pub fabric: FabricMode,
 }
 
 impl ClusterConfig {
@@ -66,6 +86,7 @@ impl ClusterConfig {
             seed: 0,
             poll_interval: DEFAULT_POLL_INTERVAL,
             flush_batching: true,
+            fabric: FabricMode::Threaded,
         }
     }
 
@@ -101,6 +122,21 @@ impl ClusterConfig {
         self.flush_batching = enabled;
         self
     }
+
+    /// Replace the fabric mode (see [`ClusterBuilder::sim_fabric`]).
+    #[must_use]
+    pub fn with_fabric(mut self, fabric: FabricMode) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// Run on the deterministic sim fabric with the default seeded
+    /// perturbations — the config-value form of
+    /// [`ClusterBuilder::sim_fabric`].
+    #[must_use]
+    pub fn with_sim_fabric(self, seed: u64) -> Self {
+        self.with_fabric(FabricMode::Sim(SimConfig::perturbed(seed)))
+    }
 }
 
 /// Chainable, seeded cluster construction: nodes, protocol pieces, compute
@@ -133,6 +169,7 @@ pub struct ClusterBuilder {
     default_home: HomeAssignment,
     poll_interval: Duration,
     flush_batching: bool,
+    fabric: FabricMode,
     registry: ObjectRegistry,
 }
 
@@ -146,6 +183,7 @@ impl Default for ClusterBuilder {
             default_home: HomeAssignment::CreationNode,
             poll_interval: DEFAULT_POLL_INTERVAL,
             flush_batching: true,
+            fabric: FabricMode::Threaded,
             registry: ObjectRegistry::new(),
         }
     }
@@ -256,6 +294,28 @@ impl ClusterBuilder {
         self.poll_interval(FAST_POLL_INTERVAL)
     }
 
+    /// Run on the **deterministic simulation fabric** with the default
+    /// seeded perturbations ([`SimConfig::perturbed`]): message delivery is
+    /// owned by a seeded virtual-time scheduler with event-driven wakeups
+    /// (the poll interval is unused), per-link latency jitter, bounded
+    /// reordering and bursty delay spikes reshape the schedule, and the
+    /// execution report carries a replayable
+    /// [`delivery trace`](ExecutionReport::delivery_trace) — the same seed
+    /// reproduces it bit-identically, a different seed explores a different
+    /// interleaving. Use [`ClusterBuilder::fabric`] with an explicit
+    /// [`SimConfig`] (e.g. [`SimConfig::calm`] / [`SimConfig::stormy`]) to
+    /// tune the perturbations.
+    pub fn sim_fabric(self, seed: u64) -> Self {
+        self.fabric(FabricMode::Sim(SimConfig::perturbed(seed)))
+    }
+
+    /// Replace the fabric mode (threaded, or sim with an explicit
+    /// perturbation configuration).
+    pub fn fabric(mut self, fabric: FabricMode) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
     /// Register an array object under the default home assignment, created
     /// by the master node.
     pub fn register_array<T: Element>(&mut self, name: &str, len: usize) -> ArrayHandle<T> {
@@ -307,6 +367,7 @@ impl ClusterBuilder {
             seed: self.seed,
             poll_interval: self.poll_interval,
             flush_batching: self.flush_batching,
+            fabric: self.fabric.clone(),
         }
     }
 
@@ -345,10 +406,27 @@ impl Cluster {
     /// the paper's distributed JVM dispatches one Java thread per cluster
     /// node) and return the merged execution report.
     ///
+    /// With [`FabricMode::Threaded`] (the default) every node also gets a
+    /// protocol server thread and message interleaving is whatever the OS
+    /// scheduler produces; with [`FabricMode::Sim`] the calling thread runs
+    /// a deterministic, event-driven virtual-time scheduler instead and the
+    /// report carries a replayable delivery trace.
+    ///
     /// # Panics
     /// Propagates a panic from any application thread after shutting the
     /// cluster down.
     pub fn run<F>(self, app: F) -> ExecutionReport
+    where
+        F: Fn(&NodeCtx) + Send + Sync,
+    {
+        match self.config.fabric.clone() {
+            FabricMode::Threaded => self.run_threaded(app),
+            FabricMode::Sim(sim) => self.run_sim(app, sim),
+        }
+    }
+
+    /// The threaded runner: per-node server threads, OS-scheduled delivery.
+    fn run_threaded<F>(self, app: F) -> ExecutionReport
     where
         F: Fn(&NodeCtx) + Send + Sync,
     {
@@ -371,7 +449,7 @@ impl Cluster {
                 );
                 NodeShared::new(
                     engine,
-                    endpoint,
+                    NodeLink::Threaded(endpoint),
                     config.compute,
                     config.protocol.handling_cost,
                     config.seed,
@@ -411,25 +489,141 @@ impl Cluster {
             }
         });
 
-        // Assemble the report.
-        let node_times: Vec<_> = shareds.iter().map(|s| s.clock.now()).collect();
-        let execution_time = node_times
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or_default()
-            .saturating_since(dsm_model::SimTime::ZERO);
-        let mut protocol = ProtocolStats::default();
-        for shared in &shareds {
-            protocol.merge(&shared.engine.stats());
-        }
-        ExecutionReport {
-            execution_time,
-            node_times,
-            network: stats.snapshot(),
-            protocol,
-            num_nodes,
-            policy_label: config.protocol.migration.label().to_string(),
-        }
+        assemble_report(&config, &shareds, &stats, None)
+    }
+
+    /// The sim runner: no server threads, no polling — the calling thread
+    /// schedules every delivery deterministically (see `crate::sim`).
+    fn run_sim<F>(self, app: F, sim: SimConfig) -> ExecutionReport
+    where
+        F: Fn(&NodeCtx) + Send + Sync,
+    {
+        let Cluster { config, registry } = self;
+        let num_nodes = config.num_nodes;
+        let registry = Arc::new(registry);
+        let stats = StatsCollector::new();
+        let fabric: SimFabric<ProtocolMsg> =
+            SimFabric::new(num_nodes, config.protocol.network, stats.clone(), sim);
+
+        let shareds: Vec<Arc<NodeShared>> = fabric
+            .endpoints()
+            .into_iter()
+            .map(|endpoint| {
+                let engine = ProtocolEngine::new(
+                    endpoint.node(),
+                    num_nodes,
+                    config.protocol.clone(),
+                    Arc::clone(&registry),
+                );
+                NodeShared::new(
+                    engine,
+                    NodeLink::Sim(endpoint),
+                    config.compute,
+                    config.protocol.handling_cost,
+                    config.seed,
+                    config.poll_interval,
+                    config.flush_batching,
+                )
+            })
+            .collect();
+
+        let panicked = AtomicBool::new(false);
+        let first_panic = std::sync::atomic::AtomicUsize::new(crate::sim::NO_PANIC);
+        thread::scope(|scope| {
+            let app = &app;
+            let fabric = &fabric;
+            let panicked = &panicked;
+            let first_panic = &first_panic;
+            let mut handles = Vec::with_capacity(num_nodes);
+            for (node, shared) in shareds.iter().enumerate() {
+                let shared = Arc::clone(shared);
+                handles.push(scope.spawn(move || {
+                    // Marks the agent finished on unwind too, so a panicking
+                    // application cannot wedge the scheduler.
+                    let _agent = AppAgent::new(fabric, panicked, first_panic, node);
+                    let ctx = NodeCtx::new(shared);
+                    app(&ctx);
+                }));
+            }
+            // The calling thread is the deterministic scheduler.
+            sim_server_loop(&shareds, fabric, panicked);
+            if panicked.load(Ordering::SeqCst) {
+                // Unblock application threads parked on replies that will
+                // never come (their peer died); they observe a disconnect
+                // and unwind with a secondary "cluster shut down" panic.
+                // Each parked waiter was counted out of the agent tally, so
+                // re-count it before it unwinds through `agent_finished`.
+                for shared in &shareds {
+                    for _ in 0..shared.abort_pending() {
+                        fabric.agent_unblocked();
+                    }
+                }
+            }
+            let mut results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            // Re-raise the panic of the node that failed *first* — the
+            // other Errs are teardown fallout, and resuming one of those
+            // would hide the real failure message.
+            let original = first_panic.load(Ordering::SeqCst);
+            if original != crate::sim::NO_PANIC {
+                if let Err(payload) = std::mem::replace(&mut results[original], Ok(())) {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+            for result in results {
+                if let Err(payload) = result {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+
+        // Message-count reconciliation between the engines' view (network
+        // statistics recorded at send time) and the fabric's delivery
+        // bookkeeping: on a clean run every sent message was delivered
+        // exactly once and nothing is still queued.
+        let (sent, delivered, queued) = fabric.counters();
+        assert_eq!(
+            sent, delivered,
+            "sim fabric lost messages: {sent} sent, {delivered} delivered"
+        );
+        assert_eq!(
+            queued, 0,
+            "sim fabric finished with {queued} queued messages"
+        );
+        let trace = fabric.take_trace();
+        assert_eq!(
+            trace.len() as u64,
+            stats.snapshot().total_messages(),
+            "delivery trace and network statistics disagree on message count"
+        );
+        assemble_report(&config, &shareds, &stats, Some(trace))
+    }
+}
+
+/// Merge per-node clocks and statistics into the final report.
+fn assemble_report(
+    config: &ClusterConfig,
+    shareds: &[Arc<NodeShared>],
+    stats: &StatsCollector,
+    delivery_trace: Option<dsm_net::DeliveryTrace>,
+) -> ExecutionReport {
+    let node_times: Vec<_> = shareds.iter().map(|s| s.clock.now()).collect();
+    let execution_time = node_times
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or_default()
+        .saturating_since(dsm_model::SimTime::ZERO);
+    let mut protocol = ProtocolStats::default();
+    for shared in shareds {
+        protocol.merge(&shared.engine.stats());
+    }
+    ExecutionReport {
+        execution_time,
+        node_times,
+        network: stats.snapshot(),
+        protocol,
+        num_nodes: config.num_nodes,
+        policy_label: config.protocol.migration.label().to_string(),
+        delivery_trace,
     }
 }

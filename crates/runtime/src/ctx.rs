@@ -369,7 +369,7 @@ impl NodeCtx {
                 }
                 LockAcquireOutcome::Queued => {}
             }
-            let reply = rx.recv().expect("cluster shut down during lock acquire");
+            let reply = self.shared.wait_reply(&rx);
             self.shared.clock.merge(reply.arrival);
         } else {
             let req = self.shared.new_req();
@@ -469,7 +469,7 @@ impl NodeCtx {
             {
                 dispatch_barrier_release(&self.shared, barrier, done, waiters);
             }
-            let reply = rx.recv().expect("cluster shut down during barrier");
+            let reply = self.shared.wait_reply(&rx);
             self.shared.clock.merge(reply.arrival);
         } else {
             let reply = self.shared.request(
@@ -499,6 +499,28 @@ impl NodeCtx {
     pub fn barrier(&self, barrier: BarrierId) {
         self.try_barrier(barrier)
             .unwrap_or_else(|e| panic!("barrier failed: {e}"));
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol introspection (tests and invariant checks)
+    // ------------------------------------------------------------------
+
+    /// Whether this node is currently the home of the object — protocol
+    /// introspection for tests and invariant checks (e.g. "exactly one node
+    /// is home at any barrier").
+    pub fn is_home<T: Element>(&self, handle: &ArrayHandle<T>) -> bool {
+        self.shared.engine.is_home(handle.id)
+    }
+
+    /// A snapshot of the object's migration bookkeeping if this node is its
+    /// home, `None` otherwise. Exposes the policy-owned scratch and the
+    /// previous-home marker, so tests can assert that policy state survives
+    /// a home handoff byte-for-byte.
+    pub fn migration_state<T: Element>(
+        &self,
+        handle: &ArrayHandle<T>,
+    ) -> Option<dsm_core::MigrationState> {
+        self.shared.engine.migration_state(handle.id)
     }
 
     // ------------------------------------------------------------------

@@ -111,6 +111,44 @@
 //! ([`DsmError::ViewsOutstanding`]). Read views are safe to hold across a
 //! fetch because serving a fault-in needs only a shared payload lock.
 //!
+//! ## Testing & determinism: picking a fabric, replaying a seed
+//!
+//! The cluster can run its protocol traffic over two fabrics
+//! ([`cluster::FabricMode`]):
+//!
+//! * **Threaded** (the default): one protocol server thread per node,
+//!   message interleaving decided by the OS scheduler. Fastest wall-clock
+//!   on many cores; schedules are *not* reproducible run to run.
+//! * **Sim** ([`ClusterBuilder::sim_fabric`]`(seed)`): the deterministic
+//!   simulation fabric. A seeded virtual-time scheduler owns delivery —
+//!   the `run` caller's thread pops one message at a time from a
+//!   virtual-time event queue, runs the destination's server logic inline,
+//!   and waits (event-driven, on a condition variable — the poll interval
+//!   is unused) until every application thread is parked before the next
+//!   pop. Seeded perturbations (per-link latency jitter, bounded
+//!   reordering, bursty delay spikes — see `dsm_net::SimConfig` /
+//!   `dsm_net::LinkPerturbation`) reshape delivery times while a per-link
+//!   clamp preserves the protocol's FIFO-per-link assumption.
+//!
+//! **Replaying a failure:** a sim run is a pure function of (cluster
+//! config, application, fabric seed). The report's
+//! [`ExecutionReport::delivery_trace`] records every delivery; the same
+//! seed reproduces it bit-identically, so a failing seed from a sweep *is*
+//! the reproduction recipe — re-run with that seed (optionally
+//! `DSM_TRACE=1`) and the identical schedule unfolds. The integration
+//! suite's seed corpus is centralized in the `dsm-integration-tests`
+//! helpers and can be overridden with `DSM_SEEDS=0x1,0x2,...` to sweep new
+//! schedules without touching code.
+//!
+//! **Adding a conformance-matrix cell:** the policy × workload grid lives
+//! in `dsm-bench`'s `matrix` module (used by `tests/tests/sim_matrix.rs`
+//! and the `sim_matrix` binary). A new workload is one more
+//! `MatrixWorkload` entry (name + small-parameter runner returning a result
+//! fingerprint); a new policy is one more row in `matrix::policies()` —
+//! every cell is then automatically swept under the seed corpus, asserting
+//! checksum conformance with the threaded fabric, replay determinism and
+//! the protocol invariants.
+//!
 //! **Pluggable migration policies:** [`ClusterBuilder::migration`] accepts
 //! the paper's `MigrationPolicy` descriptions, any built-in policy value
 //! (`HysteresisPolicy`, `EwmaWriteRatioPolicy`, ...), or a custom
@@ -153,13 +191,15 @@ pub mod ctx;
 pub mod handle;
 pub mod node;
 pub mod report;
+mod sim;
 pub mod vclock;
 pub mod view;
 
 pub use cluster::{
-    Cluster, ClusterBuilder, ClusterConfig, DEFAULT_POLL_INTERVAL, FAST_POLL_INTERVAL,
+    Cluster, ClusterBuilder, ClusterConfig, FabricMode, DEFAULT_POLL_INTERVAL, FAST_POLL_INTERVAL,
 };
 pub use ctx::NodeCtx;
+pub use dsm_net::{DeliveryRecord, DeliveryTrace, SimConfig};
 pub use dsm_objspace::{DsmError, DsmResult};
 pub use handle::{ArrayHandle, Matrix2dHandle, ScalarHandle};
 pub use report::ExecutionReport;

@@ -36,10 +36,11 @@ use dsm_core::{
     ProtocolMsg, ReqId,
 };
 use dsm_model::{ComputeModel, SimDuration, SimTime};
-use dsm_net::Endpoint;
+use dsm_net::{Endpoint, MsgCategory, SimEndpoint};
 use dsm_objspace::{NodeId, ObjectRegistry};
 use dsm_util::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use dsm_util::Mutex;
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -47,9 +48,103 @@ use std::time::Duration;
 
 /// Whether protocol tracing (`DSM_TRACE=1`) is enabled; resolved once.
 /// Unset, empty and `0` all mean disabled.
-fn trace_enabled() -> bool {
+pub(crate) fn trace_enabled() -> bool {
     static TRACE: OnceLock<bool> = OnceLock::new();
     *TRACE.get_or_init(|| std::env::var("DSM_TRACE").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
+/// A node's attachment to whichever fabric the cluster runs on.
+///
+/// The threaded fabric gives every node a channel endpoint drained by its
+/// own server thread; the sim fabric gives it a handle into the central
+/// virtual-time scheduler (and carries the agent park/wake notifications of
+/// the quiescence protocol — see `crate::sim`).
+pub(crate) enum NodeLink {
+    /// Channel endpoint of the threaded [`dsm_net::Fabric`].
+    Threaded(Endpoint<ProtocolMsg>),
+    /// Handle into the deterministic [`dsm_net::SimFabric`].
+    Sim(SimEndpoint<ProtocolMsg>),
+}
+
+impl NodeLink {
+    fn send(
+        &self,
+        dst: NodeId,
+        category: MsgCategory,
+        bytes: u64,
+        now: SimTime,
+        msg: ProtocolMsg,
+    ) -> SimTime {
+        match self {
+            NodeLink::Threaded(ep) => ep.send(dst, category, bytes, now, msg),
+            NodeLink::Sim(ep) => ep.send(dst, category, bytes, now, msg),
+        }
+    }
+}
+
+/// A reply hand-off that has been matched to its waiting request but not
+/// yet sent to the application thread.
+pub(crate) struct SimWake {
+    tx: Sender<Reply>,
+    reply: Reply,
+}
+
+thread_local! {
+    /// The sim scheduler's wake buffer. While `Some`, replies completed on
+    /// this thread are parked here instead of waking the application thread
+    /// immediately; the scheduler flushes them *after* the current handler
+    /// step, so a woken application never runs concurrently with server
+    /// logic (which would let two threads race on one link's send order and
+    /// break trace determinism).
+    static SIM_WAKES: RefCell<Option<Vec<SimWake>>> = const { RefCell::new(None) };
+}
+
+/// Park a wake in the thread's buffer; returns it back when buffering is
+/// not enabled on this thread (the caller then delivers inline).
+fn try_buffer_wake(wake: SimWake) -> Option<SimWake> {
+    SIM_WAKES.with(|buffer| match &mut *buffer.borrow_mut() {
+        Some(wakes) => {
+            wakes.push(wake);
+            None
+        }
+        None => Some(wake),
+    })
+}
+
+/// Enable wake buffering on the calling (scheduler) thread.
+pub(crate) fn enable_wake_buffering() {
+    SIM_WAKES.with(|buffer| *buffer.borrow_mut() = Some(Vec::new()));
+}
+
+/// Disable wake buffering on the calling thread.
+///
+/// # Panics
+/// Panics if un-flushed wakes would be dropped (scheduler bug).
+pub(crate) fn disable_wake_buffering() {
+    SIM_WAKES.with(|buffer| {
+        let left = buffer.borrow_mut().take();
+        assert!(
+            left.is_none_or(|wakes| wakes.is_empty()),
+            "sim scheduler dropped buffered wakes"
+        );
+    });
+}
+
+/// Drain the calling thread's buffered wakes.
+pub(crate) fn take_buffered_wakes() -> Vec<SimWake> {
+    SIM_WAKES.with(|buffer| match &mut *buffer.borrow_mut() {
+        Some(wakes) => std::mem::take(wakes),
+        None => Vec::new(),
+    })
+}
+
+impl SimWake {
+    /// Deliver the buffered reply, waking the application thread.
+    pub(crate) fn deliver(self) {
+        // The application thread may have already given up only if the
+        // whole run is being torn down; losing the reply is then fine.
+        let _ = self.tx.send(self.reply);
+    }
 }
 
 /// A reply delivered to a blocked application-thread request.
@@ -76,7 +171,7 @@ pub(crate) struct NodeShared {
     /// The internally lock-striped engine; both threads call it directly.
     pub engine: ProtocolEngine,
     pub registry: Arc<ObjectRegistry>,
-    pub endpoint: Endpoint<ProtocolMsg>,
+    pub link: NodeLink,
     pub clock: VirtualClock,
     pub compute: ComputeModel,
     pub handling_cost: SimDuration,
@@ -97,7 +192,7 @@ pub(crate) struct NodeShared {
 impl NodeShared {
     pub fn new(
         engine: ProtocolEngine,
-        endpoint: Endpoint<ProtocolMsg>,
+        link: NodeLink,
         compute: ComputeModel,
         handling_cost: SimDuration,
         seed: u64,
@@ -109,7 +204,7 @@ impl NodeShared {
             num_nodes: engine.num_nodes(),
             registry: Arc::clone(engine.registry()),
             engine,
-            endpoint,
+            link,
             clock: VirtualClock::new(),
             compute,
             handling_cost,
@@ -158,9 +253,25 @@ impl NodeShared {
         let slot = self.pending_stripe(req).lock().remove(&req);
         match slot {
             Some(tx) => {
-                // The application thread may have already given up only if the
-                // whole run is being torn down; losing the reply is then fine.
-                let _ = tx.send(Reply { msg, arrival });
+                let wake = SimWake {
+                    tx,
+                    reply: Reply { msg, arrival },
+                };
+                match &self.link {
+                    NodeLink::Sim(ep) => {
+                        // Scheduler-side completions are buffered so the
+                        // woken application resumes only after the handler
+                        // step finished (`crate::sim` flushes them, pairing
+                        // each with an `agent_unblocked`). App-stack local
+                        // deliveries wake inline; the +1 here cancels
+                        // against the -1 of the `wait_reply` that follows.
+                        if let Some(wake) = try_buffer_wake(wake) {
+                            ep.agent_unblocked();
+                            wake.deliver();
+                        }
+                    }
+                    NodeLink::Threaded(_) => wake.deliver(),
+                }
             }
             None => panic!(
                 "reply for unknown request {req:?} delivered to {} ({msg:?})",
@@ -175,7 +286,20 @@ impl NodeShared {
         let category = msg.category();
         let bytes = msg.payload_bytes();
         let now = self.clock.now();
-        self.endpoint.send(dst, category, bytes, now, msg);
+        self.link.send(dst, category, bytes, now, msg);
+    }
+
+    /// Park until the reply to an already-registered request arrives, and
+    /// return it. In sim mode this is the agent-park notification point of
+    /// the quiescence protocol: the fabric learns the application thread is
+    /// about to block *after* every message it was going to send has been
+    /// sent.
+    pub fn wait_reply(&self, rx: &Receiver<Reply>) -> Reply {
+        if let NodeLink::Sim(ep) = &self.link {
+            ep.agent_blocked();
+        }
+        rx.recv()
+            .expect("cluster shut down while a request was outstanding")
     }
 
     /// Issue a blocking request: send `msg` to `dst`, park until the reply
@@ -187,11 +311,26 @@ impl NodeShared {
         }
         let rx = self.register_pending(req);
         self.send(dst, msg);
-        let reply = rx
-            .recv()
-            .expect("cluster shut down while a request was outstanding");
+        let reply = self.wait_reply(&rx);
         self.clock.merge(reply.arrival);
         reply.msg
+    }
+
+    /// Drop every pending-reply sender, waking parked application threads
+    /// with a disconnect. Used by the sim runner to tear the cluster down
+    /// after an application panic (the threaded runner's servers keep
+    /// serving until every application thread joined; the sim scheduler has
+    /// no one left to serve for). Returns the number of waiters woken, so
+    /// the caller can re-balance the fabric's agent count — each woken
+    /// thread unwinds and reports `agent_finished` on its way out.
+    pub fn abort_pending(&self) -> usize {
+        let mut cleared = 0;
+        for stripe in self.pending.iter() {
+            let mut stripe = stripe.lock();
+            cleared += stripe.len();
+            stripe.clear();
+        }
+        cleared
     }
 
     /// Request the server loop to stop after the current message.
@@ -208,17 +347,22 @@ impl NodeShared {
 /// of the entries already resolved, keyed by the batch's request id, while
 /// the still-busy entries wait on the deferral queue. Purely receiver-side
 /// state — it never crosses the wire.
-type BatchPartials = HashMap<ReqId, Vec<DiffBatchResult>>;
+pub(crate) type BatchPartials = HashMap<ReqId, Vec<DiffBatchResult>>;
 
-/// The protocol server loop for one node. Runs until shutdown is requested
-/// and both the endpoint and the deferral queue have been drained.
+/// The protocol server loop for one node of a *threaded* cluster. Runs
+/// until shutdown is requested and both the endpoint and the deferral queue
+/// have been drained. (Sim-mode clusters have no per-node server threads;
+/// `crate::sim` drives the same `handle_request` from the event scheduler.)
 pub(crate) fn server_loop(shared: &Arc<NodeShared>) {
+    let NodeLink::Threaded(endpoint) = &shared.link else {
+        unreachable!("server_loop spawned for a sim-fabric node");
+    };
     // Messages whose payload store was leased to an application view when
     // they arrived; retried after every subsequent message and poll tick.
     let mut deferred: VecDeque<(NodeId, ProtocolMsg)> = VecDeque::new();
     let mut partials: BatchPartials = HashMap::new();
     loop {
-        match shared.endpoint.recv_timeout(shared.poll_interval) {
+        match endpoint.recv_timeout(shared.poll_interval) {
             Ok(envelope) => {
                 if trace_enabled() {
                     eprintln!(
@@ -243,8 +387,7 @@ pub(crate) fn server_loop(shared: &Arc<NodeShared>) {
             }
             Err(RecvTimeoutError::Timeout) => {
                 retry_deferred(shared, &mut deferred, &mut partials);
-                if shared.should_shutdown() && shared.endpoint.pending() == 0 && deferred.is_empty()
-                {
+                if shared.should_shutdown() && endpoint.pending() == 0 && deferred.is_empty() {
                     debug_assert!(
                         partials.is_empty(),
                         "batch partials outlived their deferred entries"
@@ -259,7 +402,7 @@ pub(crate) fn server_loop(shared: &Arc<NodeShared>) {
 
 /// Give every deferred message one more chance, preserving arrival order
 /// among the still-busy ones.
-fn retry_deferred(
+pub(crate) fn retry_deferred(
     shared: &Arc<NodeShared>,
     deferred: &mut VecDeque<(NodeId, ProtocolMsg)>,
     partials: &mut BatchPartials,
@@ -276,7 +419,7 @@ fn retry_deferred(
 /// back when the engine reported a busy payload store — for a `DiffBatch`,
 /// a residual batch holding only the still-busy entries — so the caller can
 /// defer and retry it.
-fn handle_request(
+pub(crate) fn handle_request(
     shared: &Arc<NodeShared>,
     src: NodeId,
     msg: ProtocolMsg,

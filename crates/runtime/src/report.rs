@@ -7,7 +7,7 @@
 
 use dsm_core::{PolicyTelemetry, ProtocolStats};
 use dsm_model::{SimDuration, SimTime};
-use dsm_net::{MsgCategory, NetworkStats};
+use dsm_net::{DeliveryTrace, MsgCategory, NetworkStats};
 
 /// Summary of one cluster run.
 #[derive(Debug, Clone)]
@@ -25,6 +25,11 @@ pub struct ExecutionReport {
     pub num_nodes: usize,
     /// Label of the migration policy that produced this run ("AT", "FT2", ...).
     pub policy_label: String,
+    /// The complete, replayable delivery history of the run when it ran on
+    /// the sim fabric (`ClusterBuilder::sim_fabric`); `None` on the
+    /// threaded fabric. The same cluster seed + fabric seed reproduce this
+    /// trace bit-identically.
+    pub delivery_trace: Option<DeliveryTrace>,
 }
 
 impl ExecutionReport {
@@ -127,6 +132,7 @@ mod tests {
             protocol: ProtocolStats::default(),
             num_nodes: 1,
             policy_label: "AT".to_string(),
+            delivery_trace: None,
         }
     }
 

@@ -1,0 +1,253 @@
+//! The sim-mode scheduler: event-driven protocol serving on the
+//! deterministic [`SimFabric`].
+//!
+//! In sim mode the cluster spawns **no per-node server threads** and sleeps
+//! on **no poll interval**. Application threads run as usual, but every
+//! message they send is parked in the fabric's virtual-time event queue,
+//! and one scheduler (the thread that called `Cluster::run`) executes the
+//! protocol servers of *all* nodes inline, one event at a time:
+//!
+//! 1. wait (on a condition variable) until every application agent is
+//!    parked — at that point the pending event set is complete and the
+//!    earliest event is a deterministic choice;
+//! 2. pop it, run the destination node's handler (exactly the
+//!    `handle_request`/`complete` logic the threaded server loop uses),
+//!    retry the deferral queues, and only then flush the buffered reply
+//!    wakes so woken applications never race the handler's own sends;
+//! 3. repeat until every agent finished and the queue drained.
+//!
+//! Because at most one of {the scheduler, the set of woken application
+//! threads} runs between two quiescence points — and concurrently woken
+//! applications only ever touch their own node's links — every link's send
+//! sequence, every clock merge and every perturbation draw is a pure
+//! function of the seed: the same seed replays a bit-identical delivery
+//! trace.
+//!
+//! A protocol stall (no event pending, no deferred message serviceable,
+//! applications still parked) is a deadlock in the protocol or the
+//! application; the scheduler panics with diagnostics instead of hanging
+//! the test run, naming the state a failing seed can replay.
+
+use crate::node::{self, BatchPartials, NodeShared};
+use dsm_core::ProtocolMsg;
+use dsm_net::{SimFabric, SimStep};
+use dsm_objspace::NodeId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Sentinel for "no application thread has panicked".
+pub(crate) const NO_PANIC: usize = usize::MAX;
+
+/// RAII agent registration for one application thread: marks the agent
+/// finished on scope exit — including unwinds, so a panicking application
+/// cannot leave the scheduler waiting for quiescence forever.
+pub(crate) struct AppAgent<'fabric> {
+    fabric: &'fabric SimFabric<ProtocolMsg>,
+    panicked: &'fabric AtomicBool,
+    /// First node whose application genuinely panicked ([`NO_PANIC`] until
+    /// then). The teardown wakes the *other* nodes into secondary
+    /// "cluster shut down" panics; the runner uses this to re-raise the
+    /// original payload instead of one of those.
+    first_panic: &'fabric AtomicUsize,
+    node: usize,
+}
+
+impl<'fabric> AppAgent<'fabric> {
+    pub fn new(
+        fabric: &'fabric SimFabric<ProtocolMsg>,
+        panicked: &'fabric AtomicBool,
+        first_panic: &'fabric AtomicUsize,
+        node: usize,
+    ) -> AppAgent<'fabric> {
+        AppAgent {
+            fabric,
+            panicked,
+            first_panic,
+            node,
+        }
+    }
+}
+
+impl Drop for AppAgent<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Claim first-panic *before* raising the flag: once `panicked`
+            // is visible the scheduler may start waking other threads into
+            // secondary panics, which must not win this slot.
+            let _ = self.first_panic.compare_exchange(
+                NO_PANIC,
+                self.node,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            self.panicked.store(true, Ordering::SeqCst);
+        }
+        // The endpoint-side and fabric-side counters are one counter; any
+        // handle may report the park.
+        self.fabric.agent_finished();
+    }
+}
+
+/// Per-node deferral state owned by the scheduler (what each threaded
+/// server loop keeps thread-locally).
+struct NodeQueues {
+    deferred: Vec<VecDeque<(NodeId, ProtocolMsg)>>,
+    partials: Vec<BatchPartials>,
+}
+
+impl NodeQueues {
+    fn new(nodes: usize) -> Self {
+        NodeQueues {
+            deferred: (0..nodes).map(|_| VecDeque::new()).collect(),
+            partials: (0..nodes).map(|_| BatchPartials::new()).collect(),
+        }
+    }
+
+    /// Deferred work still parked, counting batch residuals per entry so
+    /// partial batch progress is visible to the stall detector.
+    fn load(&self) -> usize {
+        self.deferred
+            .iter()
+            .flatten()
+            .map(|(_, msg)| match msg {
+                ProtocolMsg::DiffBatch { entries, .. } => entries.len(),
+                _ => 1,
+            })
+            .sum()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.deferred.iter().all(VecDeque::is_empty)
+    }
+}
+
+/// Run the cluster's protocol servers over the sim fabric until every
+/// application agent finished and all traffic drained. See the module docs
+/// for the execution model.
+pub(crate) fn sim_server_loop(
+    shareds: &[Arc<NodeShared>],
+    fabric: &SimFabric<ProtocolMsg>,
+    panicked: &AtomicBool,
+) {
+    let mut queues = NodeQueues::new(shareds.len());
+    node::enable_wake_buffering();
+    loop {
+        match fabric.next_step() {
+            SimStep::Deliver(envelope) => {
+                let shared = &shareds[envelope.dst.index()];
+                if node::trace_enabled() {
+                    eprintln!(
+                        "[{}] sim serve from {} {:?}",
+                        shared.node, envelope.src, envelope.payload
+                    );
+                }
+                // Protocol handling shares the node's (virtual) CPU.
+                shared
+                    .clock
+                    .merge_and_advance(envelope.arrival, shared.handling_cost);
+                let node_index = envelope.dst.index();
+                let msg = envelope.payload;
+                if msg.is_reply() {
+                    let req = msg.reply_req().expect("reply carries request id");
+                    shared.complete(req, msg, envelope.arrival);
+                } else if let Some(busy) = node::handle_request(
+                    shared,
+                    envelope.src,
+                    msg,
+                    &mut queues.partials[node_index],
+                ) {
+                    queues.deferred[node_index].push_back((envelope.src, busy));
+                }
+                retry_all(shareds, &mut queues);
+                flush_wakes(fabric);
+            }
+            SimStep::Drained => {
+                if queues.is_empty() {
+                    break;
+                }
+                if !make_progress(shareds, fabric, &mut queues) {
+                    teardown_or_panic(shareds, panicked, fabric, &queues, "drained");
+                    break;
+                }
+            }
+            SimStep::Stalled => {
+                if !make_progress(shareds, fabric, &mut queues) {
+                    teardown_or_panic(shareds, panicked, fabric, &queues, "stalled");
+                    break;
+                }
+            }
+        }
+    }
+    node::disable_wake_buffering();
+}
+
+/// One deterministic retry pass over every node's deferral queue (node
+/// order, arrival order within a node).
+fn retry_all(shareds: &[Arc<NodeShared>], queues: &mut NodeQueues) {
+    for (i, shared) in shareds.iter().enumerate() {
+        node::retry_deferred(shared, &mut queues.deferred[i], &mut queues.partials[i]);
+    }
+}
+
+/// Flush the scheduler's buffered reply wakes: re-count each woken agent
+/// *before* handing it its reply, so the quiescence count never
+/// under-reports. Returns the number of applications woken.
+fn flush_wakes(fabric: &SimFabric<ProtocolMsg>) -> usize {
+    let wakes = node::take_buffered_wakes();
+    let woken = wakes.len();
+    for wake in wakes {
+        fabric.agent_unblocked();
+        wake.deliver();
+    }
+    woken
+}
+
+/// Retry all deferred work once and report whether anything moved: a
+/// deferred message (or batch entry) resolved, a new message was sent, or
+/// an application was woken.
+fn make_progress(
+    shareds: &[Arc<NodeShared>],
+    fabric: &SimFabric<ProtocolMsg>,
+    queues: &mut NodeQueues,
+) -> bool {
+    let load_before = queues.load();
+    let sent_before = fabric.sent_count();
+    retry_all(shareds, queues);
+    let woken = flush_wakes(fabric);
+    queues.load() < load_before || fabric.sent_count() > sent_before || woken > 0
+}
+
+/// A quiescent cluster with no serviceable work left: normal teardown after
+/// an application panic (the panic propagates from `Cluster::run`), a
+/// protocol/application deadlock otherwise.
+fn teardown_or_panic(
+    shareds: &[Arc<NodeShared>],
+    panicked: &AtomicBool,
+    fabric: &SimFabric<ProtocolMsg>,
+    queues: &NodeQueues,
+    state: &str,
+) {
+    if panicked.load(Ordering::SeqCst) {
+        return;
+    }
+    let (sent, delivered, queued) = fabric.counters();
+    let deferred: Vec<usize> = queues.deferred.iter().map(VecDeque::len).collect();
+    // Wake the parked application threads before panicking: the scheduler's
+    // unwind runs `thread::scope`'s join-on-drop, which would otherwise wait
+    // forever on threads still parked in `wait_reply` — turning this
+    // diagnostic into a silent hang. Each cleared waiter was counted out of
+    // the agent tally, so re-count it before it unwinds through
+    // `agent_finished`.
+    for shared in shareds {
+        for _ in 0..shared.abort_pending() {
+            fabric.agent_unblocked();
+        }
+    }
+    panic!(
+        "sim fabric {state} with no progress possible: every application agent is parked \
+         and no serviceable message remains (sent {sent}, delivered {delivered}, \
+         queued {queued}, deferred per node {deferred:?}) — this is a deadlock in the \
+         protocol or the application; replay the failing seed with DSM_TRACE=1"
+    );
+}

@@ -23,5 +23,5 @@ pub mod rng;
 pub mod sync;
 
 pub use cell::{RwCell, RwReadGuard, RwWriteGuard};
-pub use rng::SmallRng;
+pub use rng::{parse_seed, SmallRng};
 pub use sync::{Mutex, MutexGuard};

@@ -65,9 +65,36 @@ impl SmallRng {
     }
 }
 
+/// Parse a seed from user input: hexadecimal with a `0x`/`0X` prefix,
+/// decimal otherwise; surrounding whitespace and `_` digit separators are
+/// accepted. One parser backs every seed-taking surface (`DSM_SEEDS`, the
+/// `sim_matrix --seeds` list, the figure binaries' `--seed`), so the
+/// hex-formatted seeds printed by failure reports can be pasted anywhere a
+/// seed is read.
+pub fn parse_seed(input: &str) -> Result<u64, std::num::ParseIntError> {
+    let cleaned = input.trim().replace('_', "");
+    match cleaned
+        .strip_prefix("0x")
+        .or_else(|| cleaned.strip_prefix("0X"))
+    {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => cleaned.parse(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn seeds_parse_in_hex_and_decimal() {
+        assert_eq!(parse_seed("0x51E5_ED01"), Ok(0x51E5_ED01));
+        assert_eq!(parse_seed(" 0X10 "), Ok(16));
+        assert_eq!(parse_seed("2004"), Ok(2004));
+        assert_eq!(parse_seed("1_000"), Ok(1000));
+        assert!(parse_seed("zebra").is_err());
+        assert!(parse_seed("").is_err());
+    }
 
     #[test]
     fn deterministic_per_seed() {

@@ -13,9 +13,10 @@
 //!   per-entry diffs' wire bytes summed, never one message per entry.
 
 use dsm_core::{ProtocolConfig, DIFF_BATCH_ENTRY_HEADER_BYTES};
-use dsm_integration_tests::test_cluster;
+use dsm_integration_tests::{seed_corpus, sim_test_cluster, test_cluster};
 use dsm_net::{MsgCategory, MESSAGE_HEADER_BYTES};
-use dsm_runtime::ExecutionReport;
+use dsm_objspace::{BarrierId, HomeAssignment, LockId, NodeId, ObjectRegistry};
+use dsm_runtime::{ArrayHandle, Cluster, ExecutionReport, SimConfig};
 
 use dsm_apps::sor::{self, SorParams};
 
@@ -120,4 +121,123 @@ fn single_object_intervals_never_batch() {
     assert_eq!(run.report.protocol.batched_flushes, 0);
     assert_eq!(run.report.network.category(MsgCategory::DiffBatch).count, 0);
     assert!(run.report.protocol.diffs_sent > 0);
+}
+
+/// A `DiffBatch` raced by a migration grant on a perturbed link: node 1
+/// batches two same-home diffs to node 0 while node 2's repeated writes
+/// migrate one entry's home (adaptive policy) mid-flight. Node 1's release
+/// is given a virtual-time head start to lose the race, so the old home
+/// answers that entry with a **per-entry redirect inside the
+/// `DiffBatchAck`** and the flusher re-plans it individually — and whatever
+/// a seed does to the schedule, no write may be lost and no flush ack
+/// dropped.
+///
+/// Ack-carried redirects are counted precisely: every wire
+/// `ObjectRedirect`/`DiffRedirect` message produces exactly one
+/// `note_redirect` at its receiver, so `redirections_suffered` exceeding
+/// the `Redirect`-category message count is evidence of redirects that
+/// travelled inside a batch ack.
+#[test]
+fn diff_batch_replans_redirected_entries_under_sim_reordering() {
+    let mut ack_carried_redirects = 0u64;
+    let seeds = seed_corpus();
+    for &seed in &seeds {
+        let mut registry = ObjectRegistry::new();
+        let stays: ArrayHandle<u64> = ArrayHandle::register(
+            &mut registry,
+            "batch.sim.stays",
+            0,
+            4,
+            NodeId::MASTER,
+            HomeAssignment::Master,
+        );
+        let moves: ArrayHandle<u64> = ArrayHandle::register(
+            &mut registry,
+            "batch.sim.moves",
+            0,
+            4,
+            NodeId::MASTER,
+            HomeAssignment::Master,
+        );
+        let flusher_lock = LockId::derive("batch.sim.flusher");
+        let thief_lock = LockId::derive("batch.sim.thief");
+        let done = BarrierId(0xBA7);
+        // Adaptive: node 2's first interval flushes a remote write (C = 1),
+        // its second write fault migrates `moves` home to node 2. Node 1's
+        // single interval never triggers a migration of its own.
+        let config = sim_test_cluster(4, ProtocolConfig::adaptive(), SimConfig::stormy(seed));
+        let report = Cluster::new(config, registry).run(move |ctx| {
+            match ctx.node_id().index() {
+                1 => {
+                    // One interval dirtying both objects: the release groups
+                    // them into one DiffBatch aimed at node 0 (node 1's
+                    // belief is stale once node 2 has stolen `moves`).
+                    ctx.acquire(flusher_lock);
+                    ctx.view_mut(&stays)[1] = 11;
+                    ctx.view_mut(&moves)[1] = 22;
+                    // Hold the interval open (in virtual time) long enough
+                    // that the thief's migration always wins the race to
+                    // node 0, whatever the perturbations do: the margin
+                    // dwarfs any jitter/hold/burst delay of the thief's
+                    // handful of round trips.
+                    ctx.charge(dsm_model::SimDuration::from_millis(100.0));
+                    ctx.release(flusher_lock);
+                }
+                2 => {
+                    // Start after the flusher's fault-ins are (virtually)
+                    // done, so its home beliefs are already stale when the
+                    // migration happens.
+                    ctx.charge(dsm_model::SimDuration::from_millis(20.0));
+                    for value in [33, 34] {
+                        ctx.synchronized(thief_lock, || {
+                            ctx.view_mut(&moves)[2] = value;
+                        });
+                    }
+                }
+                _ => {}
+            }
+            ctx.barrier(done);
+            // Every node observes both writers' slots — neither the applied
+            // nor the re-planned entry may be lost.
+            let stays_view = ctx.read(&stays);
+            let moves_view = ctx.read(&moves);
+            assert_eq!(stays_view[1], 11, "seed {seed:#x}: stays entry lost");
+            assert_eq!(moves_view[1], 22, "seed {seed:#x}: moves entry lost");
+            assert_eq!(moves_view[2], 34, "seed {seed:#x}: thief write lost");
+            ctx.barrier(done);
+        });
+
+        // The flusher's interval must have batched, every batch acked, and
+        // every flushed diff applied (finish_release would have panicked on
+        // a lost ack; this checks the wire view agrees).
+        assert!(
+            report.protocol.batched_flushes >= 1,
+            "seed {seed:#x}: the two-object interval must ship one DiffBatch"
+        );
+        assert_eq!(
+            report.network.category(MsgCategory::DiffBatch).count,
+            report.network.category(MsgCategory::DiffBatchAck).count,
+            "seed {seed:#x}: every batch is acked exactly once"
+        );
+        assert_eq!(
+            report.protocol.diffs_sent, report.protocol.diffs_applied,
+            "seed {seed:#x}: every flushed diff must be applied exactly once"
+        );
+        let wire_redirects = report.network.category(MsgCategory::Redirect).count;
+        assert!(
+            report.protocol.redirections_suffered >= wire_redirects,
+            "seed {seed:#x}: every wire redirect is noted exactly once"
+        );
+        let ack_carried = report.protocol.redirections_suffered - wire_redirects;
+        assert!(
+            ack_carried > 0,
+            "seed {seed:#x}: the batch must lose the race and see an ack-carried \
+             per-entry redirect (virtual timings force this for every seed)"
+        );
+        ack_carried_redirects += ack_carried;
+    }
+    assert!(
+        ack_carried_redirects >= seeds.len() as u64,
+        "every seed of {seeds:?} must exercise the ack-carried batch-entry redirect re-plan"
+    );
 }

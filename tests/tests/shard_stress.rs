@@ -18,7 +18,7 @@
 //! contents may not.
 
 use dsm_core::{MigrationPolicy, ProtocolConfig};
-use dsm_integration_tests::fast_test_cluster;
+use dsm_integration_tests::{corpus_seed, fast_test_cluster};
 use dsm_objspace::{BarrierId, HomeAssignment, LockId, NodeId, ObjectRegistry};
 use dsm_runtime::{ArrayHandle, Cluster};
 use dsm_util::SmallRng;
@@ -27,10 +27,6 @@ const NODES: usize = 4;
 const OBJECTS: usize = 16;
 const ROUNDS: usize = 30;
 const PICKS_PER_ROUND: usize = 3;
-
-/// The three fixed soak seeds. A failure names the seed; re-running the
-/// test replays the identical schedule.
-const SEEDS: [u64; 3] = [0x51E5_ED01, 0x51E5_ED02, 0x51E5_ED03];
 
 /// The deterministic per-node schedule stream for `seed`.
 fn node_rng(seed: u64, node: usize) -> SmallRng {
@@ -132,25 +128,38 @@ fn soak(seed: u64) {
     // Global conservation: every scheduled increment happened exactly once.
     let scheduled = (NODES * ROUNDS * PICKS_PER_ROUND) as u64;
     let landed: u64 = expected.iter().map(|c| c.iter().sum::<u64>()).sum();
-    assert_eq!(landed, scheduled, "schedule replay is self-consistent");
+    assert_eq!(
+        landed, scheduled,
+        "seed {seed:#x}: schedule replay is self-consistent"
+    );
     // The run exercised real cross-node traffic.
-    assert!(report.protocol.fault_ins > 0, "soak must fault objects in");
-    assert!(report.protocol.diffs_applied > 0, "soak must flush diffs");
+    assert!(
+        report.protocol.fault_ins > 0,
+        "seed {seed:#x}: soak must fault objects in"
+    );
+    assert!(
+        report.protocol.diffs_applied > 0,
+        "seed {seed:#x}: soak must flush diffs"
+    );
 }
+
+// The soak seeds come from the shared corpus helper (tests/src/lib.rs):
+// override with DSM_SEEDS=... to sweep new schedules; indices wrap, so the
+// three named tests cover any corpus size. A failure names the seed.
 
 #[test]
 fn stress_soak_seed_1_no_lost_updates() {
-    soak(SEEDS[0]);
+    soak(corpus_seed(0));
 }
 
 #[test]
 fn stress_soak_seed_2_no_lost_updates() {
-    soak(SEEDS[1]);
+    soak(corpus_seed(1));
 }
 
 #[test]
 fn stress_soak_seed_3_no_lost_updates() {
-    soak(SEEDS[2]);
+    soak(corpus_seed(2));
 }
 
 /// Maximum migration churn: under the JUMP policy every remote write fault
@@ -239,8 +248,8 @@ fn stress_migration_hammer_rotating_writers() {
 /// schedule's bounds.
 #[test]
 fn stress_repeat_seed_is_deterministic() {
-    soak(SEEDS[0]);
-    soak(SEEDS[0]);
+    soak(corpus_seed(0));
+    soak(corpus_seed(0));
 }
 
 /// Multi-object intervals under release-time flush batching: every node
@@ -255,7 +264,9 @@ fn stress_batched_mode_contents_match_unbatched() {
     const BATCH_OBJECTS: usize = 12;
     const BATCH_ROUNDS: usize = 20;
     const WRITES_PER_ROUND: usize = 5;
-    let seed = 0x5BA7_C4ED;
+    // Corpus-derived (DSM_SEEDS-overridable), offset so the schedule is not
+    // the soak schedule.
+    let seed = corpus_seed(0) ^ 0x5BA7_C4ED;
 
     let schedule_rng = |node: usize| {
         SmallRng::seed_from_u64(
@@ -310,8 +321,8 @@ fn stress_batched_mode_contents_match_unbatched() {
                     for (n, &count) in expected_in_run[i].iter().enumerate() {
                         assert_eq!(
                             view[n], count,
-                            "batching={flush_batching}: object {i} tally of node {n} \
-                             diverged on node {me}"
+                            "seed {seed:#x}, batching={flush_batching}: object {i} tally \
+                             of node {n} diverged on node {me}"
                         );
                     }
                 });

@@ -1,0 +1,195 @@
+//! The policy × workload conformance matrix on the deterministic sim
+//! fabric (the grid is defined once in `dsm_bench::matrix`; the reduced CI
+//! sweep and the weekly extended sweep run the same cells through the
+//! `sim_matrix` binary).
+//!
+//! For every workload × policy cell, under the shared seed corpus
+//! (`DSM_SEEDS` overridable):
+//!
+//! * the sim-fabric result fingerprint equals the threaded-fabric
+//!   reference — message schedules are performance, never semantics;
+//! * the same seed replays a **bit-identical delivery trace**;
+//! * two distinct seeds yield **different delivery orders** yet identical
+//!   results;
+//! * the protocol invariants hold: no lost flush acks, migration
+//!   conservation, trace/statistics message-count reconciliation, per-link
+//!   FIFO delivery;
+//! * and (separately) the single-home-per-epoch invariant holds at every
+//!   synchronization point of a migration-churn run.
+//!
+//! Every assertion message names the seed, so a failure is a replay recipe.
+
+use dsm_bench::matrix::{self, MatrixWorkload};
+use dsm_core::{MigrationPolicy, ProtocolConfig};
+use dsm_integration_tests::{seed_pair, sim_test_cluster};
+use dsm_objspace::{BarrierId, HomeAssignment, LockId, NodeId, ObjectRegistry};
+use dsm_runtime::{ArrayHandle, Cluster, FabricMode, SimConfig};
+
+/// Run every policy against `workload` under the corpus seeds and check
+/// the conformance claims cell by cell.
+fn conformance_for(workload: &MatrixWorkload) {
+    let (seed_a, seed_b) = seed_pair();
+    for (policy, protocol) in matrix::policies() {
+        let cell = format!("{} x {policy}", workload.name);
+        let reference = workload.run(matrix::matrix_cluster(
+            protocol.clone(),
+            FabricMode::Threaded,
+        ));
+
+        let sim = |seed: u64| {
+            workload.run(matrix::matrix_cluster(
+                protocol.clone(),
+                FabricMode::Sim(SimConfig::perturbed(seed)),
+            ))
+        };
+        let run_a = sim(seed_a);
+        let replay_a = sim(seed_a);
+        let run_b = sim(seed_b);
+
+        // Checksums: sim == threaded reference, for every seed.
+        for (seed, run) in [(seed_a, &run_a), (seed_a, &replay_a), (seed_b, &run_b)] {
+            assert_eq!(
+                run.fingerprint, reference.fingerprint,
+                "{cell}: seed {seed:#x} changed the application result"
+            );
+            let violations = matrix::check_invariants(&run.report);
+            assert!(
+                violations.is_empty(),
+                "{cell}: seed {seed:#x}: {violations:?}"
+            );
+        }
+
+        // Same seed ⇒ bit-identical delivery trace.
+        let trace_a = run_a.report.delivery_trace.as_ref().unwrap();
+        let trace_replay = replay_a.report.delivery_trace.as_ref().unwrap();
+        assert_eq!(
+            trace_a,
+            trace_replay,
+            "{cell}: seed {seed_a:#x} did not replay bit-identically \
+             (checksums {:#x} vs {:#x})",
+            trace_a.checksum(),
+            trace_replay.checksum()
+        );
+
+        // Distinct seeds ⇒ provably different delivery orders.
+        let trace_b = run_b.report.delivery_trace.as_ref().unwrap();
+        assert_ne!(
+            trace_a.order_signature(),
+            trace_b.order_signature(),
+            "{cell}: seeds {seed_a:#x} and {seed_b:#x} produced the same \
+             delivery order — perturbations had no effect"
+        );
+    }
+}
+
+#[test]
+fn matrix_sor_conforms_across_policies_and_seeds() {
+    conformance_for(&matrix::workloads()[0]);
+}
+
+#[test]
+fn matrix_asp_conforms_across_policies_and_seeds() {
+    conformance_for(&matrix::workloads()[1]);
+}
+
+#[test]
+fn matrix_tsp_conforms_across_policies_and_seeds() {
+    conformance_for(&matrix::workloads()[2]);
+}
+
+#[test]
+fn matrix_nbody_conforms_across_policies_and_seeds() {
+    conformance_for(&matrix::workloads()[3]);
+}
+
+#[test]
+fn matrix_synthetic_conforms_across_policies_and_seeds() {
+    conformance_for(&matrix::workloads()[4]);
+}
+
+#[test]
+fn matrix_workload_order_is_the_documented_one() {
+    // The per-workload tests above index into the list; a re-ordering must
+    // fail loudly here rather than silently swap the cells under test.
+    let names: Vec<&str> = matrix::workloads().iter().map(|w| w.name).collect();
+    assert_eq!(names, ["SOR", "ASP", "TSP", "Nbody", "synthetic"]);
+    let policies: Vec<String> = matrix::policies().into_iter().map(|(l, _)| l).collect();
+    assert_eq!(
+        policies,
+        ["NM", "FT2", "AT", "JUMP", "LAZY", "HYST1+2", "EWMA"]
+    );
+}
+
+/// Single home per epoch, checked in-run under maximum migration churn:
+/// rotating writers under JUMP migrate the watched objects continuously,
+/// and at every verification point exactly one node considers itself the
+/// home of each object.
+#[test]
+fn matrix_single_home_per_epoch_under_churn() {
+    const OBJECTS: usize = 3;
+    const ROUNDS: usize = 8;
+    let nodes = 4;
+    for seed in [seed_pair().0, seed_pair().1] {
+        let mut registry = ObjectRegistry::new();
+        let handles: Vec<ArrayHandle<u64>> = (0..OBJECTS)
+            .map(|i| {
+                ArrayHandle::register(
+                    &mut registry,
+                    "matrix.home",
+                    i as u64,
+                    nodes,
+                    NodeId::MASTER,
+                    HomeAssignment::RoundRobin,
+                )
+            })
+            .collect();
+        let home_bits: Vec<ArrayHandle<u64>> = (0..OBJECTS)
+            .map(|i| {
+                ArrayHandle::register(
+                    &mut registry,
+                    "matrix.homebits",
+                    i as u64,
+                    nodes,
+                    NodeId::MASTER,
+                    HomeAssignment::Master,
+                )
+            })
+            .collect();
+        let lock = LockId::derive("matrix.home.lock");
+        let check = BarrierId(0x51);
+        let protocol =
+            ProtocolConfig::no_migration().with_migration(MigrationPolicy::MigrateOnRequest);
+        let config = sim_test_cluster(nodes, protocol, SimConfig::perturbed(seed));
+        Cluster::new(config, registry).run(move |ctx| {
+            let me = ctx.node_id().index();
+            for round in 0..ROUNDS {
+                let obj = (round + me) % OBJECTS;
+                ctx.synchronized(lock, || {
+                    ctx.view_mut(&handles[obj])[me] += 1;
+                });
+                ctx.barrier(check);
+                // Publish this node's is-home observation for every object,
+                // then verify the cluster-wide sum is exactly one. No
+                // traffic touches the watched objects between the two
+                // barriers, so the homes cannot move mid-check.
+                for (i, handle) in handles.iter().enumerate() {
+                    let is_home = u64::from(ctx.is_home(handle));
+                    ctx.synchronized(lock, || {
+                        ctx.view_mut(&home_bits[i])[me] = is_home;
+                    });
+                }
+                ctx.barrier(check);
+                for (i, bits) in home_bits.iter().enumerate() {
+                    let view = ctx.view(bits);
+                    let homes: u64 = view.iter().sum();
+                    assert_eq!(
+                        homes, 1,
+                        "seed {seed:#x}, round {round}: object {i} has {homes} homes \
+                         (want exactly one)"
+                    );
+                }
+                ctx.barrier(check);
+            }
+        });
+    }
+}
