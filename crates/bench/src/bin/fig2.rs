@@ -2,15 +2,19 @@
 //! processors for ASP, SOR, Nbody and TSP, with and without home migration.
 //!
 //! Usage: `cargo run -p dsm-bench --release --bin fig2 [--full]
-//! [--fabric sim --seed N]` — the sim fabric makes the whole reproduction
-//! replayable seed-exactly.
+//! [--fabric sim --seed N | --fabric tcp]` — the sim fabric makes the whole
+//! reproduction replayable seed-exactly; the tcp fabric moves the same
+//! traffic over real sockets (the modeled-time figures are unchanged).
 
-use dsm_bench::{fabric_from_args, fig2, gate, Scale};
+use dsm_bench::{fabric_from_args, fabric_note, fig2, gate, Scale};
 
 fn main() {
     let scale = Scale::from_args();
     let fabric = fabric_from_args();
     eprintln!("collecting Figure 2 data at {scale:?} scale on the {fabric:?} fabric ...");
+    if let Some(note) = fabric_note(&fabric) {
+        eprintln!("{note}");
+    }
     let points = fig2::collect_on(scale, &fabric);
     let table = fig2::render(&points);
     println!("Figure 2 — execution time vs. number of processors (HM = adaptive migration, NoHM = disabled)\n");

@@ -3,15 +3,19 @@
 //! and SOR on eight nodes.
 //!
 //! Usage: `cargo run -p dsm-bench --release --bin fig3 [--full]
-//! [--fabric sim --seed N]` — the sim fabric makes the whole reproduction
-//! replayable seed-exactly.
+//! [--fabric sim --seed N | --fabric tcp]` — the sim fabric makes the whole
+//! reproduction replayable seed-exactly; the tcp fabric moves the same
+//! traffic over real sockets (the modeled-time figures are unchanged).
 
-use dsm_bench::{fabric_from_args, fig3, gate, Scale};
+use dsm_bench::{fabric_from_args, fabric_note, fig3, gate, Scale};
 
 fn main() {
     let scale = Scale::from_args();
     let fabric = fabric_from_args();
     eprintln!("collecting Figure 3 data at {scale:?} scale on the {fabric:?} fabric ...");
+    if let Some(note) = fabric_note(&fabric) {
+        eprintln!("{note}");
+    }
     let points = fig3::collect_on(scale, &fabric);
     let table = fig3::render(&points);
     println!("Figure 3 — improvement of AT over FT2 against problem size (8 nodes)\n");

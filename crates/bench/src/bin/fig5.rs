@@ -4,15 +4,19 @@
 //! single-writer pattern.
 //!
 //! Usage: `cargo run -p dsm-bench --release --bin fig5 [--full]
-//! [--fabric sim --seed N]` — the sim fabric makes the whole reproduction
-//! replayable seed-exactly.
+//! [--fabric sim --seed N | --fabric tcp]` — the sim fabric makes the whole
+//! reproduction replayable seed-exactly; the tcp fabric moves the same
+//! traffic over real sockets (the modeled-time figures are unchanged).
 
-use dsm_bench::{fabric_from_args, fig5, Scale};
+use dsm_bench::{fabric_from_args, fabric_note, fig5, Scale};
 
 fn main() {
     let scale = Scale::from_args();
     let fabric = fabric_from_args();
     eprintln!("collecting Figure 5 data at {scale:?} scale on the {fabric:?} fabric ...");
+    if let Some(note) = fabric_note(&fabric) {
+        eprintln!("{note}");
+    }
     let points = fig5::collect_on(scale, &fabric);
     println!(
         "Figure 5(a) — normalized execution time vs. repetition of the single-writer pattern\n"

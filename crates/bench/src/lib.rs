@@ -27,7 +27,7 @@ pub mod table;
 
 use dsm_core::ProtocolConfig;
 use dsm_model::ComputeModel;
-use dsm_runtime::{ClusterConfig, FabricMode, SimConfig};
+use dsm_runtime::{ClusterConfig, FabricMode, SimConfig, TcpConfig};
 
 /// Workload scale selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,7 +72,8 @@ pub fn cluster_on(nodes: usize, protocol: ProtocolConfig, fabric: &FabricMode) -
 /// Parse the fabric selection from process arguments: `--fabric sim`
 /// selects the deterministic sim fabric (seeded by `--seed N`, default
 /// 2004; hex `0x...` accepted, so the seeds printed by failure reports can
-/// be pasted verbatim); `--fabric threaded` (or no flag) keeps the
+/// be pasted verbatim); `--fabric tcp` runs the same experiment over real
+/// `127.0.0.1` sockets; `--fabric threaded` (or no flag) keeps the
 /// threaded fabric.
 ///
 /// # Panics
@@ -94,7 +95,24 @@ pub fn fabric_from_args() -> FabricMode {
             });
             FabricMode::Sim(SimConfig::perturbed(seed))
         }
-        Some(other) => panic!("unknown --fabric {other:?} (expected: threaded, sim)"),
+        Some("tcp") => FabricMode::Tcp(TcpConfig::default()),
+        Some(other) => panic!("unknown --fabric {other:?} (expected: threaded, sim, tcp)"),
+    }
+}
+
+/// A one-line caveat the figure binaries print for fabrics that change how
+/// the experiment should be read; `None` when nothing needs saying. The
+/// modeled-time figures are defined by the virtual clock, which is
+/// fabric-independent — the TCP note exists because readers reasonably
+/// suspect real sockets would perturb them, and they do not.
+pub fn fabric_note(fabric: &FabricMode) -> Option<&'static str> {
+    match fabric {
+        FabricMode::Threaded | FabricMode::Sim(_) => None,
+        FabricMode::Tcp(_) => Some(
+            "note: --fabric tcp moves real bytes over 127.0.0.1, but the figures below \
+             plot modeled virtual time, which is fabric-independent; sim/loopback \
+             produce the same numbers without socket overhead",
+        ),
     }
 }
 

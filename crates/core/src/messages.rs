@@ -66,7 +66,7 @@ pub struct DiffBatchResult {
 }
 
 /// A protocol message.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ProtocolMsg {
     /// Fault-in request for an object, sent to the believed home.
     ObjectRequest {

@@ -10,7 +10,7 @@ use dsm_objspace::NodeId;
 pub const MESSAGE_HEADER_BYTES: u64 = 32;
 
 /// A message travelling between two nodes of the simulated cluster.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Envelope<M> {
     /// Sending node.
     pub src: NodeId,

@@ -22,8 +22,34 @@
 //!   bursty delay spikes) and records a replayable [`DeliveryTrace`]. The
 //!   runtime's sim mode drives it with event-driven wakeups — no polling.
 //!
+//! * [`TcpFabric`] / [`TcpEndpoint`] — a real multi-process transport over
+//!   `std::net` TCP sockets on `127.0.0.1`, with join-time membership
+//!   exchange, heartbeat liveness ([`membership`]) and the wire format
+//!   below. Same sending surface, same modeled-time stamping.
+//!
 //! The fabrics are deliberately dumb: they move payloads, stamp virtual
 //! times and count bytes. All protocol semantics live in `dsm-core`.
+//!
+//! # Wire format
+//!
+//! The TCP fabric speaks a hand-rolled, dependency-free binary format
+//! defined in [`wire`]. Every frame is length-prefixed with an explicit
+//! little-endian layout and a magic/version header:
+//!
+//! ```text
+//! [ body_len u32 ][ magic u32 "DSMW" ][ version u16 ][ kind u8 ][ body ]
+//! ```
+//!
+//! Frame kinds: `Hello` (join handshake: node id + cluster size),
+//! `Payload` (one [`Envelope`]: src, dst, category code, modeled
+//! `wire_bytes`, `sent_at`/`arrival` as u64 nanoseconds, then the protocol
+//! message encoded by a [`wire::WireCodec`]), `Heartbeat` and `Leave`
+//! (bodyless fabric-internal control frames). The modeled fields travel on
+//! the wire so virtual-clock merging is bit-identical to the in-process
+//! fabrics. This crate defines the *framing* and the codec trait; the
+//! concrete codec for the protocol's message enum lives in `dsm-wire`,
+//! which sits above both this crate and `dsm-core`. Decoding is total:
+//! malformed frames produce typed [`wire::WireError`]s, never panics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,15 +58,21 @@ pub mod category;
 pub mod envelope;
 pub mod fabric;
 pub mod loopback;
+pub mod membership;
 pub mod sim;
 pub mod stats;
+pub mod tcp;
+pub mod wire;
 
 pub use category::MsgCategory;
 pub use envelope::{Envelope, MESSAGE_HEADER_BYTES};
 pub use fabric::{Endpoint, Fabric};
 pub use loopback::Loopback;
+pub use membership::{LivenessTracker, MembershipReport, MembershipView, PeerLiveness, PeerStatus};
 pub use sim::{
     BoundedReorder, DelayBursts, DeliveryRecord, DeliveryTrace, LatencyJitter, LinkPerturbation,
     SimConfig, SimEndpoint, SimFabric, SimStep,
 };
 pub use stats::{CategoryStats, NetworkStats, StatsCollector};
+pub use tcp::{TcpConfig, TcpEndpoint, TcpFabric, TcpNodeBinding, WireCounters};
+pub use wire::{WireCodec, WireError};

@@ -99,6 +99,28 @@ impl Diff {
         }
     }
 
+    /// Reassemble a diff from explicit runs, validating the invariants that
+    /// [`Diff::between`] / [`Diff::full`] establish by construction: runs are
+    /// non-empty, sorted by offset, non-overlapping, and stay within
+    /// `object_len`. Returns `None` on any violation — wire decoders use this
+    /// so a malformed frame can never build a diff whose application would
+    /// panic or corrupt an object.
+    pub fn from_runs(runs: Vec<DiffRun>, object_len: u32) -> Option<Diff> {
+        let mut next_free: u64 = 0;
+        for run in &runs {
+            if run.bytes.is_empty() {
+                return None;
+            }
+            let start = u64::from(run.offset);
+            let end = start + run.bytes.len() as u64;
+            if start < next_free || end > u64::from(object_len) {
+                return None;
+            }
+            next_free = end;
+        }
+        Some(Diff { runs, object_len })
+    }
+
     /// Whether the diff contains no modified bytes.
     pub fn is_empty(&self) -> bool {
         self.runs.is_empty()
@@ -193,6 +215,32 @@ mod tests {
 
     fn data(vals: &[f64]) -> ObjectData {
         ObjectData::from_elements(vals)
+    }
+
+    #[test]
+    fn from_runs_validates_bounds_and_order() {
+        let run = |offset: u32, bytes: &[u8]| DiffRun {
+            offset,
+            bytes: bytes.to_vec(),
+        };
+        // A well-formed reassembly round-trips through the accessors.
+        let d = Diff::from_runs(vec![run(0, &[1, 2]), run(4, &[3])], 8).expect("valid runs");
+        assert_eq!(d.run_count(), 2);
+        assert_eq!(d.object_len(), 8);
+        assert_eq!(d.payload_bytes(), 3);
+        // Empty diffs are valid (nothing modified).
+        assert!(Diff::from_runs(Vec::new(), 8).is_some());
+        // Out of bounds, overlapping, unsorted or empty runs are rejected.
+        assert!(Diff::from_runs(vec![run(7, &[1, 2])], 8).is_none());
+        assert!(Diff::from_runs(vec![run(0, &[1, 2]), run(1, &[3])], 8).is_none());
+        assert!(Diff::from_runs(vec![run(4, &[1]), run(0, &[2])], 8).is_none());
+        assert!(Diff::from_runs(vec![run(0, &[])], 8).is_none());
+        // Adjacent runs touch but do not overlap: allowed.
+        assert!(Diff::from_runs(vec![run(0, &[1]), run(1, &[2])], 8).is_some());
+        // The reassembled diff applies like the original.
+        let original = Diff::between(&[0u8; 8], &[9, 9, 0, 0, 0, 0, 7, 7]);
+        let rebuilt = Diff::from_runs(original.runs().to_vec(), 8).expect("rebuild");
+        assert_eq!(rebuilt, original);
     }
 
     #[test]

@@ -68,6 +68,14 @@ pub enum DsmError {
         /// The object's element count.
         len: usize,
     },
+    /// A transport/wire failure: a frame that could not be decoded (bad
+    /// magic, unsupported version, truncated or malformed body) or a socket
+    /// fabric error. Decoding is total — malformed input from a peer becomes
+    /// this error, never a panic.
+    Transport {
+        /// Human-readable description of the wire/transport failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DsmError {
@@ -104,6 +112,9 @@ impl fmt::Display for DsmError {
                     "element index {index} out of bounds for {obj} (len {len})"
                 )
             }
+            DsmError::Transport { detail } => {
+                write!(f, "transport error: {detail}")
+            }
         }
     }
 }
@@ -138,6 +149,11 @@ mod tests {
         }
         .to_string()
         .contains("out of bounds"));
+        assert!(DsmError::Transport {
+            detail: "bad magic".to_string()
+        }
+        .to_string()
+        .contains("bad magic"));
     }
 
     #[test]

@@ -12,13 +12,18 @@ use crate::handle::{ArrayHandle, Matrix2dHandle, ScalarHandle};
 use crate::node::{server_loop, NodeLink, NodeShared};
 use crate::report::ExecutionReport;
 use crate::sim::{sim_server_loop, AppAgent};
+use crate::tcp::tcp_server_loop;
 use dsm_core::{
     IntoMigrationPolicy, NotificationMechanism, ProtocolConfig, ProtocolEngine, ProtocolMsg,
     ProtocolStats,
 };
 use dsm_model::{ComputeModel, NetworkParams};
-use dsm_net::{Fabric, SimConfig, SimFabric, StatsCollector};
+use dsm_net::{
+    Fabric, MembershipReport, SimConfig, SimFabric, StatsCollector, TcpConfig, TcpEndpoint,
+    TcpFabric,
+};
 use dsm_objspace::{Element, HomeAssignment, NodeId, ObjectId, ObjectRegistry};
+use dsm_wire::ProtocolCodec;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -37,6 +42,13 @@ pub enum FabricMode {
     /// replayable [`dsm_net::DeliveryTrace`] into the execution report.
     /// Event-driven — the poll interval is unused in this mode.
     Sim(SimConfig),
+    /// The real TCP fabric: every node binds a `127.0.0.1` listener and the
+    /// full mesh of ordered socket connections carries the protocol in the
+    /// `dsm-wire` binary format, with join-time membership exchange and
+    /// heartbeat liveness (surfaced in [`ExecutionReport::membership`]).
+    /// Message interleaving is OS-scheduled, as in threaded mode; results
+    /// are fingerprint-identical to the other fabrics.
+    Tcp(TcpConfig),
 }
 
 /// Default protocol-server poll interval: how long a server thread waits
@@ -136,6 +148,13 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_sim_fabric(self, seed: u64) -> Self {
         self.with_fabric(FabricMode::Sim(SimConfig::perturbed(seed)))
+    }
+
+    /// Run on the real TCP fabric with default timeouts — the config-value
+    /// form of [`ClusterBuilder::tcp_fabric`].
+    #[must_use]
+    pub fn with_tcp_fabric(self) -> Self {
+        self.with_fabric(FabricMode::Tcp(TcpConfig::default()))
     }
 }
 
@@ -309,6 +328,20 @@ impl ClusterBuilder {
         self.fabric(FabricMode::Sim(SimConfig::perturbed(seed)))
     }
 
+    /// Run on the **real TCP fabric** with default timeouts: every node
+    /// binds a listener on an ephemeral `127.0.0.1` port, the nodes
+    /// exchange a join handshake and connect a full mesh of ordered socket
+    /// connections, and all protocol traffic crosses real sockets in the
+    /// `dsm-wire` binary format. Modeled virtual time still travels inside
+    /// every message, so execution-time and traffic figures are identical
+    /// to the in-process fabrics; the execution report additionally carries
+    /// each node's heartbeat-driven [`membership view`](MembershipReport).
+    /// Use [`ClusterBuilder::fabric`] with an explicit [`TcpConfig`] to
+    /// tune heartbeat cadence and liveness thresholds.
+    pub fn tcp_fabric(self) -> Self {
+        self.fabric(FabricMode::Tcp(TcpConfig::default()))
+    }
+
     /// Replace the fabric mode (threaded, or sim with an explicit
     /// perturbation configuration).
     pub fn fabric(mut self, fabric: FabricMode) -> Self {
@@ -422,6 +455,7 @@ impl Cluster {
         match self.config.fabric.clone() {
             FabricMode::Threaded => self.run_threaded(app),
             FabricMode::Sim(sim) => self.run_sim(app, sim),
+            FabricMode::Tcp(tcp) => self.run_tcp(app, tcp),
         }
     }
 
@@ -489,7 +523,206 @@ impl Cluster {
             }
         });
 
-        assemble_report(&config, &shareds, &stats, None)
+        assemble_report(&config, &shareds, &stats, None, None)
+    }
+
+    /// The TCP runner: every node binds a `127.0.0.1` listener, the mesh is
+    /// connected through the join handshake, and per-node server threads
+    /// drain real sockets. Teardown is the leave handshake (see
+    /// `crate::tcp`), after which the wire counters are reconciled against
+    /// the modeled network statistics.
+    fn run_tcp<F>(self, app: F, tcp: TcpConfig) -> ExecutionReport
+    where
+        F: Fn(&NodeCtx) + Send + Sync,
+    {
+        let Cluster { config, registry } = self;
+        let num_nodes = config.num_nodes;
+        let registry = Arc::new(registry);
+        let stats = StatsCollector::new();
+        let fabric: TcpFabric<ProtocolMsg> = TcpFabric::bind_local::<ProtocolCodec>(
+            num_nodes,
+            config.protocol.network,
+            stats.clone(),
+            tcp,
+        )
+        .expect("failed to bind the TCP fabric on 127.0.0.1");
+
+        let shareds: Vec<Arc<NodeShared>> = fabric
+            .into_endpoints()
+            .into_iter()
+            .map(|endpoint| {
+                let engine = ProtocolEngine::new(
+                    endpoint.node(),
+                    num_nodes,
+                    config.protocol.clone(),
+                    Arc::clone(&registry),
+                );
+                NodeShared::new(
+                    engine,
+                    NodeLink::Tcp(endpoint),
+                    config.compute,
+                    config.protocol.handling_cost,
+                    config.seed,
+                    config.poll_interval,
+                    config.flush_batching,
+                )
+            })
+            .collect();
+
+        thread::scope(|scope| {
+            for shared in &shareds {
+                let shared = Arc::clone(shared);
+                scope.spawn(move || tcp_server_loop(&shared));
+            }
+            let app = &app;
+            let mut handles = Vec::with_capacity(num_nodes);
+            for shared in &shareds {
+                let shared = Arc::clone(shared);
+                handles.push(scope.spawn(move || {
+                    let ctx = NodeCtx::new(shared);
+                    app(&ctx);
+                }));
+            }
+            // As in threaded mode: join applications first, then release the
+            // servers into the leave handshake even if an application thread
+            // panicked.
+            let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            for shared in &shareds {
+                shared.request_shutdown();
+            }
+            for result in results {
+                if let Err(payload) = result {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+
+        // Capture each node's liveness view before teardown stops the
+        // heartbeat threads, then close the sockets.
+        let endpoints: Vec<&TcpEndpoint<ProtocolMsg>> = shareds
+            .iter()
+            .map(|shared| match &shared.link {
+                NodeLink::Tcp(ep) => ep,
+                _ => unreachable!("TCP runner built a non-TCP link"),
+            })
+            .collect();
+        let membership = MembershipReport {
+            views: endpoints.iter().map(|ep| ep.membership()).collect(),
+        };
+        for ep in &endpoints {
+            ep.finish();
+        }
+
+        // Wire-level reconciliation: after the leave handshake every payload
+        // frame that was sent was delivered (per-link FIFO puts all payloads
+        // before the leave), and the socket-side accounting of modeled bytes
+        // matches the network statistics recorded at send time.
+        let mut frames_sent = 0u64;
+        let mut frames_delivered = 0u64;
+        let mut modeled_sent = 0u64;
+        for ep in &endpoints {
+            let counters = ep.wire_counters();
+            frames_sent += counters.payload_frames_sent;
+            frames_delivered += counters.payload_frames_delivered;
+            modeled_sent += counters.modeled_bytes_sent;
+        }
+        let network = stats.snapshot();
+        assert_eq!(
+            frames_sent, frames_delivered,
+            "TCP fabric lost payload frames: {frames_sent} sent, {frames_delivered} delivered"
+        );
+        assert_eq!(
+            frames_sent,
+            network.total_messages(),
+            "wire frame count and network statistics disagree"
+        );
+        assert_eq!(
+            modeled_sent,
+            network.total_bytes(),
+            "wire-level modeled bytes and network statistics disagree"
+        );
+
+        assemble_report(&config, &shareds, &stats, None, Some(membership))
+    }
+
+    /// Run one node of a **multi-process** TCP cluster and return this
+    /// node's (single-node) execution report.
+    ///
+    /// The in-process runners own all N endpoints; a worker owns exactly
+    /// one, created by `dsm_net::TcpNodeBinding::bind` in its own process
+    /// and connected after the processes exchanged listener addresses
+    /// (see the `tcp_cluster` binary in `dsm-bench` for the launcher side).
+    /// `stats` must be the collector the binding was created with. The
+    /// returned report covers this node only — node 0's report is the
+    /// conventional place to read workload results from, and cluster-wide
+    /// statistics are the sum of the workers' reports.
+    ///
+    /// # Panics
+    /// Panics if the endpoint's cluster size disagrees with the
+    /// configuration, or if the application thread panics.
+    pub fn run_tcp_worker<F>(
+        self,
+        endpoint: TcpEndpoint<ProtocolMsg>,
+        stats: StatsCollector,
+        app: F,
+    ) -> ExecutionReport
+    where
+        F: Fn(&NodeCtx) + Send + Sync,
+    {
+        let Cluster { config, registry } = self;
+        let num_nodes = config.num_nodes;
+        assert_eq!(
+            endpoint.num_nodes(),
+            num_nodes,
+            "endpoint cluster size disagrees with the cluster configuration"
+        );
+        let registry = Arc::new(registry);
+        let engine = ProtocolEngine::new(
+            endpoint.node(),
+            num_nodes,
+            config.protocol.clone(),
+            Arc::clone(&registry),
+        );
+        let shared = NodeShared::new(
+            engine,
+            NodeLink::Tcp(endpoint),
+            config.compute,
+            config.protocol.handling_cost,
+            config.seed,
+            config.poll_interval,
+            config.flush_batching,
+        );
+
+        thread::scope(|scope| {
+            let server = {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || tcp_server_loop(&shared))
+            };
+            let result = {
+                let shared = Arc::clone(&shared);
+                scope
+                    .spawn(move || {
+                        let ctx = NodeCtx::new(shared);
+                        app(&ctx);
+                    })
+                    .join()
+            };
+            shared.request_shutdown();
+            if let Err(payload) = result {
+                std::panic::resume_unwind(payload);
+            }
+            let _ = server.join();
+        });
+
+        let NodeLink::Tcp(ep) = &shared.link else {
+            unreachable!("TCP worker built a non-TCP link");
+        };
+        let membership = MembershipReport {
+            views: vec![ep.membership()],
+        };
+        ep.finish();
+        let shareds = [shared];
+        assemble_report(&config, &shareds, &stats, None, Some(membership))
     }
 
     /// The sim runner: no server threads, no polling — the calling thread
@@ -595,7 +828,7 @@ impl Cluster {
             stats.snapshot().total_messages(),
             "delivery trace and network statistics disagree on message count"
         );
-        assemble_report(&config, &shareds, &stats, Some(trace))
+        assemble_report(&config, &shareds, &stats, Some(trace), None)
     }
 }
 
@@ -605,6 +838,7 @@ fn assemble_report(
     shareds: &[Arc<NodeShared>],
     stats: &StatsCollector,
     delivery_trace: Option<dsm_net::DeliveryTrace>,
+    membership: Option<MembershipReport>,
 ) -> ExecutionReport {
     let node_times: Vec<_> = shareds.iter().map(|s| s.clock.now()).collect();
     let execution_time = node_times
@@ -625,5 +859,6 @@ fn assemble_report(
         num_nodes: config.num_nodes,
         policy_label: config.protocol.migration.label().to_string(),
         delivery_trace,
+        membership,
     }
 }

@@ -111,24 +111,40 @@
 //! ([`DsmError::ViewsOutstanding`]). Read views are safe to hold across a
 //! fetch because serving a fault-in needs only a shared payload lock.
 //!
-//! ## Testing & determinism: picking a fabric, replaying a seed
+//! ## Transports
 //!
-//! The cluster can run its protocol traffic over two fabrics
-//! ([`cluster::FabricMode`]):
+//! The cluster runs its protocol traffic over one of three fabrics
+//! ([`cluster::FabricMode`]); all three present the same sending surface,
+//! stamp the same modeled virtual times, and produce fingerprint-identical
+//! workload results — they differ in who schedules delivery and what the
+//! messages physically travel over:
 //!
-//! * **Threaded** (the default): one protocol server thread per node,
-//!   message interleaving decided by the OS scheduler. Fastest wall-clock
-//!   on many cores; schedules are *not* reproducible run to run.
+//! * **Loopback / threaded** (the default): in-process channels, one
+//!   protocol server thread per node, message interleaving decided by the
+//!   OS scheduler. Per-link FIFO holds because each link *is* one channel.
+//!   Fastest wall-clock on many cores; schedules are not reproducible run
+//!   to run.
 //! * **Sim** ([`ClusterBuilder::sim_fabric`]`(seed)`): the deterministic
-//!   simulation fabric. A seeded virtual-time scheduler owns delivery —
-//!   the `run` caller's thread pops one message at a time from a
-//!   virtual-time event queue, runs the destination's server logic inline,
-//!   and waits (event-driven, on a condition variable — the poll interval
-//!   is unused) until every application thread is parked before the next
-//!   pop. Seeded perturbations (per-link latency jitter, bounded
-//!   reordering, bursty delay spikes — see `dsm_net::SimConfig` /
-//!   `dsm_net::LinkPerturbation`) reshape delivery times while a per-link
-//!   clamp preserves the protocol's FIFO-per-link assumption.
+//!   virtual-time scheduler. Per-link FIFO is enforced by a delivery-time
+//!   clamp even under seeded reordering perturbations. Bit-identical
+//!   replays from a seed.
+//! * **TCP** ([`ClusterBuilder::tcp_fabric`]): real `std::net` sockets on
+//!   `127.0.0.1`. Every node binds a listener; the mesh is connected at
+//!   join time with a hello handshake that carries each node's identity
+//!   and expected cluster size. Per-link FIFO holds because all frames
+//!   from node *a* to node *b* travel on one dedicated ordered connection
+//!   drained by one writer thread. Messages are encoded with the
+//!   `dsm-wire` binary codec (see `dsm-net`'s wire-format docs); modeled
+//!   send/arrival times travel inside each frame, so virtual-clock
+//!   merging — and therefore every modeled-time figure — is unchanged.
+//!   A per-node heartbeat thread feeds a membership/liveness tracker
+//!   (alive → suspect → dead on silence, recovery on resumed traffic);
+//!   the final per-node views are surfaced in
+//!   [`ExecutionReport::membership`] but not yet acted on. Teardown is an
+//!   orderly leave handshake: a `Leave` frame is the last thing each link
+//!   carries, so no node closes a socket a peer still reads.
+//!
+//! ## Testing & determinism: picking a fabric, replaying a seed
 //!
 //! **Replaying a failure:** a sim run is a pure function of (cluster
 //! config, application, fabric seed). The report's
@@ -192,6 +208,7 @@ pub mod handle;
 pub mod node;
 pub mod report;
 mod sim;
+mod tcp;
 pub mod vclock;
 pub mod view;
 
@@ -199,7 +216,10 @@ pub use cluster::{
     Cluster, ClusterBuilder, ClusterConfig, FabricMode, DEFAULT_POLL_INTERVAL, FAST_POLL_INTERVAL,
 };
 pub use ctx::NodeCtx;
-pub use dsm_net::{DeliveryRecord, DeliveryTrace, SimConfig};
+pub use dsm_net::{
+    DeliveryRecord, DeliveryTrace, MembershipReport, MembershipView, PeerLiveness, SimConfig,
+    TcpConfig,
+};
 pub use dsm_objspace::{DsmError, DsmResult};
 pub use handle::{ArrayHandle, Matrix2dHandle, ScalarHandle};
 pub use report::ExecutionReport;

@@ -36,7 +36,7 @@ use dsm_core::{
     ProtocolMsg, ReqId,
 };
 use dsm_model::{ComputeModel, SimDuration, SimTime};
-use dsm_net::{Endpoint, MsgCategory, SimEndpoint};
+use dsm_net::{Endpoint, MsgCategory, SimEndpoint, TcpEndpoint};
 use dsm_objspace::{NodeId, ObjectRegistry};
 use dsm_util::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use dsm_util::Mutex;
@@ -64,6 +64,9 @@ pub(crate) enum NodeLink {
     Threaded(Endpoint<ProtocolMsg>),
     /// Handle into the deterministic [`dsm_net::SimFabric`].
     Sim(SimEndpoint<ProtocolMsg>),
+    /// Socket endpoint of the real [`dsm_net::TcpFabric`] (messages travel
+    /// over `127.0.0.1` TCP connections in the `dsm-wire` binary format).
+    Tcp(TcpEndpoint<ProtocolMsg>),
 }
 
 impl NodeLink {
@@ -78,6 +81,7 @@ impl NodeLink {
         match self {
             NodeLink::Threaded(ep) => ep.send(dst, category, bytes, now, msg),
             NodeLink::Sim(ep) => ep.send(dst, category, bytes, now, msg),
+            NodeLink::Tcp(ep) => ep.send(dst, category, bytes, now, msg),
         }
     }
 }
@@ -270,7 +274,7 @@ impl NodeShared {
                             wake.deliver();
                         }
                     }
-                    NodeLink::Threaded(_) => wake.deliver(),
+                    NodeLink::Threaded(_) | NodeLink::Tcp(_) => wake.deliver(),
                 }
             }
             None => panic!(
@@ -338,7 +342,7 @@ impl NodeShared {
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
-    fn should_shutdown(&self) -> bool {
+    pub(crate) fn should_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 }

@@ -7,7 +7,7 @@
 
 use dsm_core::{PolicyTelemetry, ProtocolStats};
 use dsm_model::{SimDuration, SimTime};
-use dsm_net::{DeliveryTrace, MsgCategory, NetworkStats};
+use dsm_net::{DeliveryTrace, MembershipReport, MsgCategory, NetworkStats};
 
 /// Summary of one cluster run.
 #[derive(Debug, Clone)]
@@ -30,6 +30,13 @@ pub struct ExecutionReport {
     /// threaded fabric. The same cluster seed + fabric seed reproduce this
     /// trace bit-identically.
     pub delivery_trace: Option<DeliveryTrace>,
+    /// Per-node heartbeat liveness views when the run used the TCP fabric
+    /// (`ClusterBuilder::tcp_fabric`); `None` on the in-process fabrics.
+    /// Captured at the end of the run, before teardown stops the heartbeat
+    /// threads — on a healthy cluster every view reports every peer alive.
+    /// The liveness classification is observational for now: a suspect or
+    /// dead peer is surfaced here, not acted upon.
+    pub membership: Option<MembershipReport>,
 }
 
 impl ExecutionReport {
@@ -133,6 +140,7 @@ mod tests {
             num_nodes: 1,
             policy_label: "AT".to_string(),
             delivery_trace: None,
+            membership: None,
         }
     }
 

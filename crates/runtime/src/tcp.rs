@@ -1,0 +1,82 @@
+//! The protocol server loop for TCP-fabric nodes.
+//!
+//! Identical message handling to the threaded loop in [`crate::node`] —
+//! the same `handle_request` dispatch, the same non-blocking deferral of
+//! busy payloads — plus the **leave handshake** that replaces the threaded
+//! fabric's implicit teardown: channels can simply be dropped, sockets
+//! cannot, because a peer reading a closed connection mid-protocol would
+//! see an error instead of an orderly end of stream.
+//!
+//! The handshake is single-phase and leans on per-link FIFO. Once shutdown
+//! has been requested (all application threads joined) and this node's
+//! inbound queue and deferral queue are empty, the server announces a
+//! `Leave` frame on every outgoing link — FIFO guarantees it is the last
+//! frame each peer reads from us. The server keeps serving (one-way
+//! `LockRelease` / `HomeNotify` stragglers may still arrive) until every
+//! peer's leave has been read, at which point no further frame can arrive
+//! and the loop returns. A single phase suffices because shutdown is only
+//! requested after every application thread has joined: nothing is blocked
+//! on a reply, so the in-flight residue is fire-and-forget messages whose
+//! handling sends nothing back.
+
+use crate::node::trace_enabled;
+use crate::node::{handle_request, retry_deferred, BatchPartials, NodeLink, NodeShared};
+use dsm_core::ProtocolMsg;
+use dsm_objspace::NodeId;
+use dsm_util::channel::RecvTimeoutError;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// The protocol server loop for one node of a TCP cluster. Runs until the
+/// leave handshake completes: shutdown requested, local queues drained,
+/// leave announced, and every peer's leave received.
+pub(crate) fn tcp_server_loop(shared: &Arc<NodeShared>) {
+    let NodeLink::Tcp(endpoint) = &shared.link else {
+        unreachable!("tcp_server_loop spawned for a non-TCP node");
+    };
+    let mut deferred: VecDeque<(NodeId, ProtocolMsg)> = VecDeque::new();
+    let mut partials: BatchPartials = HashMap::new();
+    let mut leave_announced = false;
+    loop {
+        match endpoint.recv_timeout(shared.poll_interval) {
+            Ok(envelope) => {
+                if trace_enabled() {
+                    eprintln!(
+                        "[{}] serve from {} {:?}",
+                        shared.node, envelope.src, envelope.payload
+                    );
+                }
+                shared
+                    .clock
+                    .merge_and_advance(envelope.arrival, shared.handling_cost);
+                let arrival = envelope.arrival;
+                let src = envelope.src;
+                let msg = envelope.payload;
+                if msg.is_reply() {
+                    let req = msg.reply_req().expect("reply carries request id");
+                    shared.complete(req, msg, arrival);
+                } else if let Some(busy) = handle_request(shared, src, msg, &mut partials) {
+                    deferred.push_back((src, busy));
+                }
+                retry_deferred(shared, &mut deferred, &mut partials);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                retry_deferred(shared, &mut deferred, &mut partials);
+                if shared.should_shutdown() && endpoint.pending() == 0 && deferred.is_empty() {
+                    if !leave_announced {
+                        endpoint.announce_leave();
+                        leave_announced = true;
+                    }
+                    if endpoint.all_peers_left() && endpoint.pending() == 0 {
+                        debug_assert!(
+                            partials.is_empty(),
+                            "batch partials outlived their deferred entries"
+                        );
+                        return;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

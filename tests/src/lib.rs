@@ -9,7 +9,7 @@
 
 use dsm_core::ProtocolConfig;
 use dsm_model::ComputeModel;
-use dsm_runtime::{ClusterConfig, FabricMode, SimConfig};
+use dsm_runtime::{ClusterConfig, FabricMode, SimConfig, TcpConfig};
 
 /// Build a fast (zero-compute-cost) cluster configuration for tests.
 pub fn test_cluster(nodes: usize, protocol: ProtocolConfig) -> ClusterConfig {
@@ -41,6 +41,20 @@ pub fn sim_test_cluster(nodes: usize, protocol: ProtocolConfig, sim: SimConfig) 
         .protocol(protocol)
         .compute(ComputeModel::free())
         .fabric(FabricMode::Sim(sim))
+        .config()
+}
+
+/// As [`test_cluster`], but on the real TCP fabric (`127.0.0.1` sockets,
+/// `dsm-wire` framing) with the given timeout configuration. Conformance
+/// suites pair this with [`fast_test_cluster`] and assert fingerprint
+/// equality.
+pub fn tcp_test_cluster(nodes: usize, protocol: ProtocolConfig, tcp: TcpConfig) -> ClusterConfig {
+    dsm_runtime::Cluster::builder()
+        .nodes(nodes)
+        .protocol(protocol)
+        .compute(ComputeModel::free())
+        .fast_poll()
+        .fabric(FabricMode::Tcp(tcp))
         .config()
 }
 

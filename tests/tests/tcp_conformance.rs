@@ -1,0 +1,200 @@
+//! TCP fabric conformance: the real-socket transport must be semantically
+//! invisible. Every cell run over `127.0.0.1` sockets in the `dsm-wire`
+//! binary format must produce the same result fingerprint as the threaded
+//! loopback reference, and the membership layer must report a fully alive
+//! cluster at the end of a healthy run.
+//!
+//! Seeds come from the shared corpus (`DSM_SEEDS` overridable), so a
+//! failure names the exact seed: "seed 0x51E5ED01 diverged on SOR/tcp".
+
+use dsm_bench::matrix::{self, check_invariants};
+use dsm_core::ProtocolConfig;
+use dsm_integration_tests::{corpus_seed, seed_corpus};
+use dsm_model::NetworkParams;
+use dsm_net::{MembershipReport, PeerLiveness, StatsCollector, TcpConfig, TcpFabric};
+use dsm_runtime::FabricMode;
+use dsm_wire::ProtocolCodec;
+use std::time::{Duration, Instant};
+
+/// Run one matrix workload on the TCP fabric and on the threaded loopback
+/// reference under a named corpus seed, asserting fingerprint equality,
+/// protocol invariants and an all-alive membership view.
+fn assert_tcp_conforms(workload_name: &str, protocol: ProtocolConfig, seed: u64) {
+    let workload = matrix::workloads()
+        .into_iter()
+        .find(|w| w.name == workload_name)
+        .unwrap_or_else(|| panic!("unknown matrix workload {workload_name}"));
+
+    let reference = workload
+        .run(matrix::matrix_cluster(protocol.clone(), FabricMode::Threaded).with_seed(seed));
+    let tcp = workload.run(
+        matrix::matrix_cluster(protocol.clone(), FabricMode::Tcp(TcpConfig::default()))
+            .with_seed(seed),
+    );
+
+    assert_eq!(
+        tcp.fingerprint, reference.fingerprint,
+        "seed {seed:#x} diverged on {workload_name}/tcp: \
+         tcp fingerprint {:#018x} != loopback {:#018x}",
+        tcp.fingerprint, reference.fingerprint
+    );
+    let violations = check_invariants(&tcp.report);
+    assert!(
+        violations.is_empty(),
+        "seed {seed:#x} violated protocol invariants on {workload_name}/tcp: {violations:?}"
+    );
+
+    let membership = tcp
+        .report
+        .membership
+        .as_ref()
+        .expect("TCP runs surface a membership report");
+    assert_eq!(membership.views.len(), matrix::MATRIX_NODES);
+    assert!(
+        membership.all_alive(),
+        "seed {seed:#x}: a healthy {workload_name} run ended with a non-alive peer: \
+         {membership:?}"
+    );
+    for view in &membership.views {
+        assert_eq!(view.peers.len(), matrix::MATRIX_NODES - 1);
+        for peer in &view.peers {
+            assert!(
+                peer.frames > 0,
+                "node {} heard nothing from {} all run",
+                view.local,
+                peer.node
+            );
+        }
+    }
+    assert!(reference.report.membership.is_none());
+}
+
+#[test]
+fn sor_fingerprint_matches_loopback_over_tcp() {
+    assert_tcp_conforms("SOR", ProtocolConfig::adaptive(), corpus_seed(0));
+}
+
+#[test]
+fn synthetic_fingerprint_matches_loopback_over_tcp() {
+    assert_tcp_conforms("synthetic", ProtocolConfig::adaptive(), corpus_seed(1));
+}
+
+#[test]
+fn tsp_fingerprint_matches_loopback_over_tcp() {
+    assert_tcp_conforms("TSP", ProtocolConfig::adaptive(), corpus_seed(2));
+}
+
+/// Every built-in migration policy conforms on the synthetic workload —
+/// migration, redirection and batching traffic all cross real sockets.
+#[test]
+fn every_policy_conforms_on_the_synthetic_workload_over_tcp() {
+    for (i, (label, protocol)) in matrix::policies().into_iter().enumerate() {
+        let seed = corpus_seed(i);
+        let workload = matrix::workloads()
+            .into_iter()
+            .find(|w| w.name == "synthetic")
+            .expect("synthetic workload exists");
+        let reference = workload
+            .run(matrix::matrix_cluster(protocol.clone(), FabricMode::Threaded).with_seed(seed));
+        let tcp = workload.run(
+            matrix::matrix_cluster(protocol, FabricMode::Tcp(TcpConfig::default())).with_seed(seed),
+        );
+        assert_eq!(
+            tcp.fingerprint, reference.fingerprint,
+            "policy {label} (seed {seed:#x}) diverged between tcp and loopback"
+        );
+    }
+}
+
+/// The corpus sweep on SOR: every corpus seed crosses the sockets and
+/// conforms, so an overridden `DSM_SEEDS` list sweeps TCP too.
+#[test]
+fn sor_conforms_across_the_whole_seed_corpus_over_tcp() {
+    for seed in seed_corpus() {
+        assert_tcp_conforms("SOR", ProtocolConfig::fixed_threshold(2), seed);
+    }
+}
+
+/// Poll until `check` passes or the deadline expires.
+fn wait_for(what: &str, deadline: Duration, mut check: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !check() {
+        assert!(
+            start.elapsed() < deadline,
+            "timed out after {deadline:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Heartbeat liveness transitions through the real protocol codec: a peer
+/// that stops heartbeating degrades alive → suspect → dead in the others'
+/// views, and recovers (with the recovery counted) once its heartbeats
+/// resume. Short `fast_liveness` timeouts keep the test fast; transitions
+/// are awaited by polling, never asserted after fixed sleeps.
+#[test]
+fn liveness_degrades_and_recovers_in_the_membership_report() {
+    let stats = StatsCollector::new();
+    let fabric = TcpFabric::bind_local::<ProtocolCodec>(
+        3,
+        NetworkParams::fast_ethernet(),
+        stats.clone(),
+        TcpConfig::fast_liveness(),
+    )
+    .expect("bind 3-node fabric on 127.0.0.1");
+    let endpoints = fabric.into_endpoints();
+    let quiet = endpoints[2].node();
+
+    let liveness_of = |observer: usize| {
+        endpoints[observer]
+            .membership()
+            .liveness(quiet)
+            .expect("peer is tracked")
+    };
+
+    wait_for("initial all-alive", Duration::from_secs(5), || {
+        MembershipReport {
+            views: endpoints.iter().map(|e| e.membership()).collect(),
+        }
+        .all_alive()
+    });
+
+    endpoints[2].pause_heartbeats(true);
+    wait_for("suspect after silence", Duration::from_secs(5), || {
+        liveness_of(0) != PeerLiveness::Alive
+    });
+    wait_for("dead after longer silence", Duration::from_secs(5), || {
+        liveness_of(0) == PeerLiveness::Dead && liveness_of(1) == PeerLiveness::Dead
+    });
+    assert!(!MembershipReport {
+        views: endpoints.iter().map(|e| e.membership()).collect(),
+    }
+    .all_alive());
+
+    endpoints[2].pause_heartbeats(false);
+    wait_for(
+        "recovery on resumed heartbeats",
+        Duration::from_secs(5),
+        || liveness_of(0) == PeerLiveness::Alive && liveness_of(1) == PeerLiveness::Alive,
+    );
+    let view = endpoints[0].membership();
+    let status = view
+        .peers
+        .iter()
+        .find(|p| p.node == quiet)
+        .expect("quiet peer tracked");
+    assert!(
+        status.recoveries >= 1,
+        "the dead→alive transition must be counted as a recovery: {status:?}"
+    );
+
+    for ep in &endpoints {
+        ep.announce_leave();
+    }
+    wait_for("leave handshake", Duration::from_secs(5), || {
+        endpoints.iter().all(|e| e.all_peers_left())
+    });
+    for ep in &endpoints {
+        ep.finish();
+    }
+}
