@@ -6,11 +6,14 @@
 //! invariants).
 //!
 //! Usage: `cargo run -p dsm-bench --release --bin sim_matrix [--sweep N]
-//! [--seeds a,b,c] [--output FILE]`
+//! [--seeds a,b,c] [--lossy] [--output FILE]`
 //!
 //! * `--sweep N` — derive `N` seeds from the base corpus (the weekly
 //!   extended sweep uses this; default 2, the reduced CI sweep).
 //! * `--seeds a,b,c` — sweep exactly these seeds (replay a failure).
+//! * `--lossy` — inject faults into every sim run (1% seeded per-link
+//!   drops plus a partition/heal cycle, `SimConfig::lossy`); cells must
+//!   conform anyway via timeouts, idempotent retries and home re-election.
 //! * `--output FILE` — write the failing-seed list (one
 //!   `workload,policy,seed,reason` line each; empty file = all green), for
 //!   CI artifact upload.
@@ -50,13 +53,26 @@ fn main() {
         }
     };
     assert!(!seeds.is_empty(), "need at least one seed");
+    let lossy = args.iter().any(|a| a == "--lossy");
 
     eprintln!(
-        "sweeping the policy x workload conformance matrix over {} seed(s) ...",
-        seeds.len()
+        "sweeping the policy x workload conformance matrix over {} seed(s){} ...",
+        seeds.len(),
+        if lossy { " under injected faults" } else { "" }
     );
-    let rows = matrix::conformance(&seeds);
-    println!("Conformance matrix — sim fabric vs. threaded reference, seeds {seeds:?}\n");
+    let rows = if lossy {
+        matrix::conformance_lossy(&seeds)
+    } else {
+        matrix::conformance(&seeds)
+    };
+    println!(
+        "Conformance matrix — sim fabric{} vs. threaded reference, seeds {seeds:?}\n",
+        if lossy {
+            " (lossy: 1% drops + partition/heal)"
+        } else {
+            ""
+        }
+    );
     println!("{}", matrix::render(&rows).render());
 
     let mut failing_lines = Vec::new();

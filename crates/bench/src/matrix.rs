@@ -209,11 +209,14 @@ pub fn check_invariants(report: &ExecutionReport) -> Vec<String> {
         ));
     }
     if let Some(trace) = &report.delivery_trace {
-        if trace.len() as u64 != report.total_messages() {
+        // Drop-aware reconciliation: every send was either delivered (one
+        // trace record) or dropped by an injected fault (one drop record).
+        if trace.len() as u64 + trace.drops.len() as u64 != report.total_messages() {
             violations.push(format!(
-                "message-count reconciliation: trace has {} deliveries, \
+                "message-count reconciliation: trace has {} deliveries + {} drops, \
                  network statistics counted {} sends",
                 trace.len(),
+                trace.drops.len(),
                 report.total_messages()
             ));
         }
@@ -248,6 +251,20 @@ pub struct CellResult {
 /// protocol invariants. Failures are collected, not panicked, so a sweep
 /// reports *every* failing seed.
 pub fn conformance(seeds: &[u64]) -> Vec<CellResult> {
+    conformance_with(seeds, SimConfig::perturbed)
+}
+
+/// The lossy conformance sweep: the same policy × workload grid, but every
+/// sim run injects faults ([`SimConfig::lossy`]: 1% seeded per-link drops
+/// plus a partition/heal cycle). Cells must still produce the threaded
+/// reference fingerprint — the timeout/retry/re-election machinery makes
+/// message loss a performance event, never a semantic one — and the run
+/// must replay bit-identically, drop records included.
+pub fn conformance_lossy(seeds: &[u64]) -> Vec<CellResult> {
+    conformance_with(seeds, SimConfig::lossy)
+}
+
+fn conformance_with(seeds: &[u64], sim_config: fn(u64) -> SimConfig) -> Vec<CellResult> {
     let mut rows = Vec::new();
     for workload in workloads() {
         for (label, protocol) in policies() {
@@ -256,7 +273,7 @@ pub fn conformance(seeds: &[u64]) -> Vec<CellResult> {
             let mut reference_order: Option<Vec<(u16, u16, u64)>> = None;
             let mut order_diverged = seeds.len() < 2;
             for (i, &seed) in seeds.iter().enumerate() {
-                let fabric = FabricMode::Sim(SimConfig::perturbed(seed));
+                let fabric = FabricMode::Sim(sim_config(seed));
                 let run = workload.run(matrix_cluster(protocol.clone(), fabric.clone()));
                 if run.fingerprint != reference.fingerprint {
                     failures.push((

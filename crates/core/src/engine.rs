@@ -87,9 +87,13 @@
 //!   links — which the sim fabric's seeded perturbations explore
 //!   aggressively — is always safe: hints and notifications are adopted
 //!   only when strictly newer.
-//! * **No loss, no duplication.** Every message is delivered exactly once;
-//!   there are no timeouts or retransmissions at this layer. The sim
-//!   fabric asserts send/delivery conservation at teardown.
+//! * **At-most-once delivery.** A message is delivered at most once per
+//!   send. Lossless fabrics (threaded channels, calm/perturbed sim
+//!   configurations, TCP) deliver exactly once and need nothing else; the
+//!   lossy sim configurations may *drop* messages, which the runtime
+//!   papers over with timeouts, retransmissions and a server-side
+//!   request-id dedup table — see *Fault model & recovery* below. The sim
+//!   fabric asserts send = delivery + drop conservation at teardown.
 //! * **No global order.** Nothing assumes cluster-wide delivery order or
 //!   a shared clock; any interleaving consistent with the two points above
 //!   must produce the same application results (the conformance matrix's
@@ -100,6 +104,52 @@
 //!   object id and [`group_flush_plans`] orders batches by target node —
 //!   so a fixed schedule (e.g. a sim-fabric seed) replays bit-identically
 //!   regardless of hash-map iteration order.
+//!
+//! ## Fault model & recovery
+//!
+//! Under a *lossy* fabric the engine's job splits in two: the runtime owns
+//! detection and retransmission (per-request timeouts that fire only when
+//! the cluster is otherwise quiescent, so lossless schedules are
+//! untouched), while the engine owns the state rules that make those
+//! retransmissions *safe*:
+//!
+//! * **What can be lost.** Any message. Requests and one-way notifications
+//!   are retransmitted by the sender's retry table; replies and acks are
+//!   re-sent from the server's per-`ReqId` reply cache when the retried
+//!   request arrives again. `LockRelease` — historically fire-and-forget —
+//!   carries a real request id on lossy runs so a lost release cannot
+//!   deadlock the lock manager.
+//! * **Why duplicates are safe.** Every retriable request with side
+//!   effects ([`crate::messages::ProtocolMsg::dedup_req`]) is deduplicated
+//!   at the server's network ingress: the first delivery executes and its
+//!   reply is cached; later deliveries of the same `ReqId` either re-send
+//!   the cached reply or (while the original is still deferred) are
+//!   silently absorbed. The handlers themselves therefore never observe a
+//!   duplicate, and the non-dedup'd fault-recovery messages
+//!   (`HomeElect`/`HomeFence` and their answers) are idempotent by
+//!   construction — elections are sticky, fencing compares epochs.
+//! * **Home re-election.** When a node cannot reach an object's believed
+//!   home past the runtime's failover threshold, it asks the object's
+//!   *arbiter* — its well-known manager node, or the next node when the
+//!   manager itself is the suspect — to elect a new home
+//!   ([`ProtocolEngine::handle_home_elect`]). The arbiter elects a node
+//!   that still holds a copy (preferring the live candidate), records the
+//!   decision so concurrent candidates converge on one winner, and the
+//!   winner promotes its local copy ([`ProtocolEngine::install_elected_home`]).
+//!   A crashed home's unflushed interval is lost: recovery restores the
+//!   best surviving copy, which is exactly the guarantee a home-based LRC
+//!   protocol can give without replication.
+//! * **The epoch-fencing argument.** An elected home's epoch is the
+//!   highest epoch any elector has observed plus [`ELECTION_EPOCH_STRIDE`]
+//!   (2^16). A dark home can keep granting ordinary migrations while
+//!   unreachable, but each grant bumps its epoch by exactly one — it would
+//!   need 2^16 unobserved grants to catch up to the fence, which bounded
+//!   workloads never approach. Every belief, redirect and notification
+//!   comparison is strictly-greater-than on epochs, so anything the
+//!   deposed home says after the election loses, and the deposed home
+//!   itself is demoted the moment a fenced epoch reaches it
+//!   ([`ProtocolEngine::handle_home_notify`] — the `HomeFence` path, which
+//!   the winner retries until acknowledged).
 
 use crate::config::ProtocolConfig;
 use crate::global::NodeGlobals;
@@ -112,6 +162,7 @@ use dsm_objspace::{
     BarrierId, Diff, LockId, NodeId, ObjectData, ObjectId, ObjectRegistry, ObjectStore, Version,
 };
 use dsm_util::{Mutex, MutexGuard, RwReadGuard, RwWriteGuard};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Default number of lock stripes per engine. Sixteen shards keep the
@@ -119,6 +170,13 @@ use std::sync::Arc;
 /// (hundreds of objects, a handful of cores) while costing next to nothing
 /// for single-object tests.
 pub const DEFAULT_ENGINE_SHARDS: usize = 16;
+
+/// The home-epoch stride of a re-election fence: an elected home's epoch
+/// is the highest observed epoch plus this stride, so it strictly exceeds
+/// any epoch the deposed home could have issued through ordinary
+/// migrations while unreachable (each of those bumps the epoch by one).
+/// See the *Fault model & recovery* section of the module docs.
+pub const ELECTION_EPOCH_STRIDE: u32 = 1 << 16;
 
 /// Migration state shipped from the old home to the new home inside the
 /// object reply that performs the migration.
@@ -252,6 +310,11 @@ pub struct ProtocolEngine {
     registry: Arc<ObjectRegistry>,
     shards: Box<[Mutex<EngineShard>]>,
     globals: Mutex<NodeGlobals>,
+    /// Arbiter-side election book: the elected `(home, epoch)` per object.
+    /// Sticky so concurrent candidates converge on one winner; re-election
+    /// is allowed only when the previously elected home is itself the new
+    /// suspect. A leaf lock like the shards, never nested with them.
+    elections: Mutex<HashMap<ObjectId, (NodeId, u32)>>,
 }
 
 impl ProtocolEngine {
@@ -302,6 +365,7 @@ impl ProtocolEngine {
             registry,
             shards,
             globals: Mutex::new(NodeGlobals::new(num_nodes)),
+            elections: Mutex::new(HashMap::new()),
         }
     }
 
@@ -589,6 +653,94 @@ impl ProtocolEngine {
     /// of `obj` is?
     pub fn handle_home_lookup(&self, obj: ObjectId) -> NodeId {
         self.home_hint(obj)
+    }
+
+    /// Whether this node holds *any* local copy of `obj` (home or cached) —
+    /// what makes it a promotable election candidate.
+    pub fn has_copy(&self, obj: ObjectId) -> bool {
+        self.shard(obj).has_copy(obj)
+    }
+
+    /// Arbiter side of a home re-election: `candidate` reports that
+    /// `suspect` (its believed home of `obj`, at `candidate_epoch`) is
+    /// unreachable. Returns the elected `(home, epoch)`, or
+    /// `(suspect, 0)` as the refusal encoding when no reachable node holds
+    /// a copy to promote.
+    ///
+    /// The decision is *sticky*: once an election for `obj` picked a
+    /// winner, every later request returns the same answer, unless the
+    /// previously elected home is itself the new suspect (cascaded
+    /// failure), in which case a fresh election runs at a higher epoch.
+    /// Stickiness is what makes the unreliable, undeduplicated
+    /// `HomeElect` exchange idempotent.
+    pub fn handle_home_elect(
+        &self,
+        obj: ObjectId,
+        suspect: NodeId,
+        candidate: NodeId,
+        candidate_epoch: u32,
+        candidate_has_copy: bool,
+    ) -> (NodeId, u32) {
+        // Leaf-lock discipline: observe the shard, release, then decide
+        // under the election lock — never both at once.
+        let (is_home, own_epoch, own_copy) = {
+            let shard = self.shard(obj);
+            (
+                shard.is_home(obj),
+                shard.home_epoch(obj),
+                shard.has_copy(obj),
+            )
+        };
+        if is_home {
+            // The candidate's belief is simply stale: this node already is
+            // a live home — point the candidate here, no election needed.
+            return (self.node, own_epoch);
+        }
+        let elected = {
+            let mut elections = self.elections.lock();
+            let prior = elections.get(&obj).copied();
+            if let Some((winner, epoch)) = prior {
+                if winner != suspect {
+                    return (winner, epoch);
+                }
+            }
+            let winner = if candidate_has_copy && candidate != suspect {
+                Some(candidate)
+            } else if own_copy && self.node != suspect {
+                Some(self.node)
+            } else {
+                None
+            };
+            winner.map(|winner| {
+                let base = candidate_epoch
+                    .max(own_epoch)
+                    .max(prior.map_or(0, |(_, e)| e));
+                let epoch = base.saturating_add(ELECTION_EPOCH_STRIDE);
+                elections.insert(obj, (winner, epoch));
+                (winner, epoch)
+            })
+        };
+        let Some((winner, epoch)) = elected else {
+            return (suspect, 0);
+        };
+        self.shard(obj).stats.elections += 1;
+        // Adopt (or, if this node won, promote to) the elected home so the
+        // arbiter's own redirects point at the winner immediately.
+        self.install_elected_home(obj, winner, epoch);
+        (winner, epoch)
+    }
+
+    /// Install the outcome of a home re-election on this node: promote the
+    /// local copy when this node is the winner, otherwise adopt the fenced
+    /// belief. Returns false only when this node won but holds no copy to
+    /// promote (an arbiter bug — elections only pick copy holders).
+    pub fn install_elected_home(&self, obj: ObjectId, home: NodeId, epoch: u32) -> bool {
+        if home == self.node {
+            self.shard(obj).promote_to_home(obj, epoch)
+        } else {
+            self.handle_home_notify(obj, home, epoch);
+            true
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1144,9 +1296,18 @@ mod tests {
         // A newer one advances it.
         e[2].handle_home_notify(obj, NodeId(0), 2);
         assert_eq!(e[2].home_hint(obj), NodeId(0));
-        // A notify to the actual home does not confuse it.
-        e[0].handle_home_notify(obj, NodeId(1), 3);
+        // A notify at the home's own (or an older) epoch does not confuse
+        // the actual home.
+        e[0].handle_home_notify(obj, NodeId(1), 0);
         assert_eq!(e[0].home_hint(obj), NodeId(0));
+        assert!(e[0].is_home(obj));
+        // But a strictly newer epoch naming another node means this home
+        // was deposed while unreachable (a re-election ran without it): it
+        // demotes its stale copy — the fencing path of crash recovery.
+        e[0].handle_home_notify(obj, NodeId(1), 3);
+        assert!(!e[0].is_home(obj));
+        assert_eq!(e[0].home_hint(obj), NodeId(1));
+        assert_eq!(e[0].stats().homes_fenced, 1);
     }
 
     #[test]

@@ -112,7 +112,7 @@ pub mod sync;
 pub use config::{NotificationMechanism, ProtocolConfig};
 pub use engine::{
     group_flush_plans, AccessPlan, DiffOutcome, FlushBatch, FlushPlan, MigrationGrant,
-    ObjectRequestOutcome, ProtocolEngine, DEFAULT_ENGINE_SHARDS,
+    ObjectRequestOutcome, ProtocolEngine, DEFAULT_ENGINE_SHARDS, ELECTION_EPOCH_STRIDE,
 };
 pub use messages::{
     DiffBatchEntry, DiffBatchResult, DiffEntryStatus, ProtocolMsg, ReqId,

@@ -187,6 +187,20 @@ pub enum ProtocolMsg {
         lock: LockId,
         /// The releasing node.
         holder: NodeId,
+        /// Request id for the [`ProtocolMsg::LockReleaseAck`]. `ReqId(0)`
+        /// means "unacknowledged" — the classic fire-and-forget release
+        /// used on lossless fabrics; lossy runs allocate a real id so the
+        /// release can be retried and deduplicated safely.
+        req: ReqId,
+    },
+    /// Acknowledgement of an acked [`ProtocolMsg::LockRelease`]. Not a
+    /// blocking reply: the releaser does not wait for it, it only clears
+    /// the release's retry entry.
+    LockReleaseAck {
+        /// Echo of the release's request id.
+        req: ReqId,
+        /// The lock.
+        lock: LockId,
     },
     /// Barrier arrival, sent to the barrier's manager node.
     BarrierArrive {
@@ -234,6 +248,64 @@ pub enum ProtocolMsg {
         /// The registered home.
         home: NodeId,
     },
+    /// Home re-election request: `candidate` could not reach `suspect`
+    /// (the believed home of `obj`) past the runtime's failover threshold
+    /// and asks the object's arbiter to elect a reachable home. Carries
+    /// the candidate's believed home epoch and whether it holds a local
+    /// copy to promote.
+    HomeElect {
+        /// Request id (reuses the stuck request's id for bookkeeping; the
+        /// reply is matched through the retry table, not the pending
+        /// table).
+        req: ReqId,
+        /// The orphaned object.
+        obj: ObjectId,
+        /// The unreachable believed home.
+        suspect: NodeId,
+        /// The requesting node.
+        candidate: NodeId,
+        /// The candidate's believed home epoch for `obj`.
+        epoch: u32,
+        /// Whether the candidate holds a promotable local copy.
+        has_copy: bool,
+    },
+    /// Arbiter's answer to a [`ProtocolMsg::HomeElect`]. `home == suspect`
+    /// with `epoch == 0` encodes a refusal (no surviving copy to promote);
+    /// otherwise `home` is the elected home at the fencing `epoch`.
+    HomeElectReply {
+        /// Echo of the election request id.
+        req: ReqId,
+        /// The object.
+        obj: ObjectId,
+        /// The elected home (or the suspect itself on refusal).
+        home: NodeId,
+        /// The fencing home epoch (0 on refusal).
+        epoch: u32,
+    },
+    /// Fence sent to a deposed home after an election: demote yourself,
+    /// the cluster elected `new_home` at `epoch`. Retried until the
+    /// [`ProtocolMsg::HomeFenceAck`] arrives, so a suspect that was merely
+    /// slow learns of its demotion as soon as it resumes.
+    HomeFence {
+        /// Request id for the ack (a fresh id, tracked in the retry
+        /// table only).
+        req: ReqId,
+        /// The object.
+        obj: ObjectId,
+        /// The elected home.
+        new_home: NodeId,
+        /// The fencing home epoch.
+        epoch: u32,
+    },
+    /// Acknowledgement of a [`ProtocolMsg::HomeFence`]. Like
+    /// [`ProtocolMsg::LockReleaseAck`], clears a retry entry without
+    /// unblocking anything.
+    HomeFenceAck {
+        /// Echo of the fence's request id.
+        req: ReqId,
+        /// The object.
+        obj: ObjectId,
+    },
     /// Orderly shutdown of a node's protocol server.
     Shutdown,
 }
@@ -266,7 +338,15 @@ impl ProtocolMsg {
             ProtocolMsg::HomeLookup { .. } | ProtocolMsg::HomeLookupReply { .. } => {
                 MsgCategory::HomeLookup
             }
-            ProtocolMsg::Shutdown => MsgCategory::Control,
+            // Fault-recovery control traffic: rare by construction (only
+            // under loss), so it shares the catch-all control category
+            // rather than widening the paper's per-category breakdown.
+            ProtocolMsg::LockReleaseAck { .. }
+            | ProtocolMsg::HomeElect { .. }
+            | ProtocolMsg::HomeElectReply { .. }
+            | ProtocolMsg::HomeFence { .. }
+            | ProtocolMsg::HomeFenceAck { .. }
+            | ProtocolMsg::Shutdown => MsgCategory::Control,
         }
     }
 
@@ -319,6 +399,35 @@ impl ProtocolMsg {
             | ProtocolMsg::LockGrant { req, .. }
             | ProtocolMsg::BarrierRelease { req, .. }
             | ProtocolMsg::HomeLookupReply { req, .. } => Some(*req),
+            _ => None,
+        }
+    }
+
+    /// The request id a non-blocking acknowledgement answers, if this is
+    /// one. Acks are *not* replies ([`ProtocolMsg::is_reply`] is false):
+    /// nobody blocks on them, they only clear retry entries — but like
+    /// replies they are cached by request id so a duplicate of the acked
+    /// message can be answered without re-executing it.
+    pub fn ack_req(&self) -> Option<ReqId> {
+        match self {
+            ProtocolMsg::LockReleaseAck { req, .. } => Some(*req),
+            _ => None,
+        }
+    }
+
+    /// The request id under which a *server* deduplicates this message, if
+    /// it is an at-most-once request. Covers every retriable request with
+    /// side effects; election and fence traffic is excluded (idempotent by
+    /// construction, and election reuses the stuck request's id).
+    pub fn dedup_req(&self) -> Option<ReqId> {
+        match self {
+            ProtocolMsg::ObjectRequest { req, .. }
+            | ProtocolMsg::DiffFlush { req, .. }
+            | ProtocolMsg::DiffBatch { req, .. }
+            | ProtocolMsg::LockAcquire { req, .. }
+            | ProtocolMsg::BarrierArrive { req, .. }
+            | ProtocolMsg::HomeLookup { req, .. } => Some(*req),
+            ProtocolMsg::LockRelease { req, .. } if req.0 != 0 => Some(*req),
             _ => None,
         }
     }

@@ -358,6 +358,12 @@ impl EngineShard {
             desc.size_bytes,
             "fault-in payload size mismatch for {obj}"
         );
+        if self.is_home(obj) {
+            // A late or duplicated reply (possible under lossy fabrics, e.g.
+            // after this node promoted itself in a home re-election) must
+            // never clobber the live home copy.
+            return;
+        }
         let data = new_store(ObjectData::from_bytes(data));
         match migration {
             Some(grant) => {
@@ -660,11 +666,41 @@ impl EngineShard {
         }
     }
 
-    /// Handle a new-home notification (broadcast or home-manager
+    /// Handle a new-home notification (broadcast, home-manager or fence
     /// mechanisms): adopt the announced home if it is newer than the local
     /// belief.
+    ///
+    /// If this node *is* the home but the notification carries a strictly
+    /// newer epoch, the cluster re-elected the home while this node was
+    /// unreachable: the stale home copy is demoted to an invalid cached
+    /// copy (fencing). Unflushed home writes of the demoted interval are
+    /// lost — the crash semantics the fault model documents.
     pub(crate) fn handle_home_notify(&mut self, obj: ObjectId, new_home: NodeId, epoch: u32) {
-        if self.is_home(obj) || new_home == self.node {
+        if new_home == self.node {
+            return;
+        }
+        if self.is_home(obj) {
+            if epoch > self.home_epoch(obj) {
+                let old = self.homes.remove(&obj).expect("checked is_home above");
+                self.home_written.remove(&obj);
+                self.caches.insert(
+                    obj,
+                    CacheEntry {
+                        data: old.data,
+                        version: old.version,
+                        state: AccessState::Invalid,
+                        twin: None,
+                    },
+                );
+                self.known_home.insert(
+                    obj,
+                    HomeBelief {
+                        node: new_home,
+                        epoch,
+                    },
+                );
+                self.stats.homes_fenced += 1;
+            }
             return;
         }
         if epoch > self.home_epoch(obj) || !self.known_home.contains_key(&obj) {
@@ -676,6 +712,48 @@ impl EngineShard {
                 },
             );
         }
+    }
+
+    /// Promote this node's local copy of `obj` to the home copy at the
+    /// (strictly newer, election-strided) `epoch` — the winner's side of a
+    /// home re-election. Returns false when there is no local copy to
+    /// promote. The promoted copy starts a fresh migration history; its
+    /// payload may be stale by up to the orphaned interval, which is the
+    /// documented recovery semantics when a home crashes with unflushed
+    /// state.
+    pub(crate) fn promote_to_home(&mut self, obj: ObjectId, epoch: u32) -> bool {
+        if self.is_home(obj) {
+            return true;
+        }
+        let Some(cache) = self.caches.remove(&obj) else {
+            return false;
+        };
+        self.dirty.remove(&obj);
+        let mut migration = MigrationState::new();
+        migration.migrations = epoch;
+        self.homes.insert(
+            obj,
+            HomeEntry {
+                data: cache.data,
+                version: cache.version,
+                state: AccessState::Invalid,
+                migration,
+            },
+        );
+        self.known_home.insert(
+            obj,
+            HomeBelief {
+                node: self.node,
+                epoch,
+            },
+        );
+        true
+    }
+
+    /// Whether this node holds *any* local copy of `obj` (home or cached,
+    /// valid or not) — the election criterion for a promotable candidate.
+    pub(crate) fn has_copy(&self, obj: ObjectId) -> bool {
+        self.is_home(obj) || self.caches.contains_key(&obj)
     }
 
     // ------------------------------------------------------------------

@@ -136,6 +136,13 @@ pub struct ProtocolStats {
     /// Home-migration decision telemetry (considered vs. taken decisions,
     /// migrate-backs, threshold trajectory).
     pub policy: PolicyTelemetry,
+    /// Home re-elections arbitrated by this node (a candidate could not
+    /// reach a home and this node, as the object's arbiter, elected a
+    /// reachable replacement). Zero on lossless fabrics.
+    pub elections: u64,
+    /// Stale home copies this node demoted after learning of a
+    /// strictly-newer home epoch — the fencing path of crash recovery.
+    pub homes_fenced: u64,
 }
 
 impl ProtocolStats {
@@ -163,6 +170,8 @@ impl ProtocolStats {
         self.batched_flushes += other.batched_flushes;
         self.batch_entries += other.batch_entries;
         self.policy.merge(&other.policy);
+        self.elections += other.elections;
+        self.homes_fenced += other.homes_fenced;
     }
 
     /// Total home migrations in a merged record (each migration is counted

@@ -19,8 +19,10 @@
 //! * [`SimFabric`] / [`SimEndpoint`] — the deterministic simulation fabric:
 //!   a seeded virtual-time scheduler that owns delivery itself, applies
 //!   pluggable [`LinkPerturbation`]s (latency jitter, bounded reordering,
-//!   bursty delay spikes) and records a replayable [`DeliveryTrace`]. The
-//!   runtime's sim mode drives it with event-driven wakeups — no polling.
+//!   bursty delay spikes), optionally injects seeded *loss* (random drops,
+//!   a [`PartitionSpec`] partition/heal cycle, a [`PauseSpec`] node crash
+//!   window) and records a replayable [`DeliveryTrace`]. The runtime's sim
+//!   mode drives it with event-driven wakeups — no polling.
 //!
 //! * [`TcpFabric`] / [`TcpEndpoint`] — a real multi-process transport over
 //!   `std::net` TCP sockets on `127.0.0.1`, with join-time membership
@@ -70,8 +72,9 @@ pub use fabric::{Endpoint, Fabric};
 pub use loopback::Loopback;
 pub use membership::{LivenessTracker, MembershipReport, MembershipView, PeerLiveness, PeerStatus};
 pub use sim::{
-    BoundedReorder, DelayBursts, DeliveryRecord, DeliveryTrace, LatencyJitter, LinkPerturbation,
-    SimConfig, SimEndpoint, SimFabric, SimStep,
+    BoundedReorder, DelayBursts, DeliveryRecord, DeliveryTrace, DropReason, DropRecord,
+    LatencyJitter, LinkPerturbation, PartitionSpec, PauseSpec, SimConfig, SimEndpoint, SimFabric,
+    SimStep,
 };
 pub use stats::{CategoryStats, NetworkStats, StatsCollector};
 pub use tcp::{TcpConfig, TcpEndpoint, TcpFabric, TcpNodeBinding, WireCounters};

@@ -12,12 +12,18 @@
 //! services (RobustMQ's placement center is the model named in the
 //! roadmap): a pure, clock-injected tracker classifies each peer as
 //! [`PeerLiveness::Alive`], `Suspect` (quiet past `suspect_after`) or
-//! `Dead` (quiet past `dead_after`), and a peer that resumes talking
-//! recovers to `Alive` (counted in [`PeerStatus::recoveries`]). The
-//! liveness view is *surfaced* — in the fabric's `MembershipView` and
-//! ultimately the runtime's `ExecutionReport` — but not yet *acted on*:
-//! the migration protocol itself has no failover story, so a dead peer is
-//! reported, never evicted.
+//! `Dead` (quiet past `dead_after`). A *suspect* peer that resumes
+//! talking recovers to `Alive` (counted in [`PeerStatus::recoveries`]),
+//! but **death is sticky**: once a peer's silence crosses `dead_after`,
+//! resumed frames on the old connection do not revive it. A declared-dead
+//! peer may have been deposed in its absence (the sim fabric's home
+//! re-election is exactly that), so a process that merely went quiet and
+//! came back must not resurrect silently with its stale state. The only
+//! way back in is an explicit **incarnation-fenced rejoin**
+//! ([`LivenessTracker::record_rejoin`], driven by the hello handshake's
+//! incarnation number): a hello carrying a *strictly greater* incarnation
+//! proves a deliberate restart and clears the latch; a replayed or stale
+//! hello at the old incarnation is refused and the peer stays dead.
 //!
 //! All timestamps are plain `u64` milliseconds injected by the caller,
 //! which keeps every transition unit-testable without real sleeping.
@@ -109,6 +115,11 @@ struct PeerState {
     heartbeats: u64,
     frames: u64,
     recoveries: u32,
+    /// Sticky death latch: set when the peer's silence was observed to
+    /// cross `dead_after`, cleared only by an incarnation-fenced rejoin.
+    dead: bool,
+    /// Highest incarnation this peer has joined with.
+    incarnation: u32,
 }
 
 /// Pure liveness tracker: feed it received-frame events with injected
@@ -141,6 +152,8 @@ impl LivenessTracker {
                 heartbeats: 0,
                 frames: 0,
                 recoveries: 0,
+                dead: false,
+                incarnation: 0,
             })
             .collect();
         peers.sort_by_key(|p| p.node.0);
@@ -166,11 +179,20 @@ impl LivenessTracker {
     /// as a liveness signal; `heartbeat` additionally bumps the heartbeat
     /// counter. Unknown senders are ignored (the socket layer has already
     /// rejected them at the hello handshake).
+    ///
+    /// Death is sticky: a frame arriving after the peer's silence already
+    /// crossed `dead_after` latches the peer dead instead of reviving it —
+    /// frames still count, but the peer stays [`PeerLiveness::Dead`] until
+    /// an incarnation-fenced [`record_rejoin`](Self::record_rejoin).
     pub fn record_frame(&mut self, from: NodeId, heartbeat: bool, now_ms: u64) {
         let (suspect_after, dead_after) = (self.suspect_after_ms, self.dead_after_ms);
         if let Some(peer) = self.peers.iter_mut().find(|p| p.node == from) {
             let silent = now_ms.saturating_sub(peer.last_heard_ms);
-            if silent >= suspect_after.min(dead_after) {
+            if silent >= dead_after {
+                // The peer was silently dead when this frame arrived: latch
+                // it. Whatever it is sending reflects pre-death state.
+                peer.dead = true;
+            } else if !peer.dead && silent >= suspect_after {
                 peer.recoveries += 1;
             }
             peer.last_heard_ms = peer.last_heard_ms.max(now_ms);
@@ -179,6 +201,40 @@ impl LivenessTracker {
                 peer.heartbeats += 1;
             }
         }
+    }
+
+    /// Record a join/rejoin handshake from `from` carrying its
+    /// `incarnation` number at `now_ms`. Returns whether the peer is
+    /// admitted (i.e. not left latched dead).
+    ///
+    /// While a peer is latched dead, only a hello with a *strictly
+    /// greater* incarnation than any previously seen clears the latch — a
+    /// deliberate restart bumps its incarnation, whereas a stale process
+    /// reconnecting (or a replayed hello) presents the old one and is
+    /// refused. A fenced rejoin counts as a recovery and as a liveness
+    /// signal; unknown senders are ignored and refused.
+    pub fn record_rejoin(&mut self, from: NodeId, incarnation: u32, now_ms: u64) -> bool {
+        let dead_after = self.dead_after_ms;
+        let Some(peer) = self.peers.iter_mut().find(|p| p.node == from) else {
+            return false;
+        };
+        let silent = now_ms.saturating_sub(peer.last_heard_ms);
+        if silent >= dead_after {
+            peer.dead = true;
+        }
+        if peer.dead {
+            if incarnation <= peer.incarnation {
+                // Stale incarnation: a ghost of the dead process. Refuse
+                // revival; do not even count the frame as liveness.
+                return false;
+            }
+            peer.dead = false;
+            peer.recoveries += 1;
+        }
+        peer.incarnation = peer.incarnation.max(incarnation);
+        peer.last_heard_ms = peer.last_heard_ms.max(now_ms);
+        peer.frames += 1;
+        true
     }
 
     /// The membership view as of `now_ms`.
@@ -192,7 +248,11 @@ impl LivenessTracker {
                     let silent_ms = now_ms.saturating_sub(p.last_heard_ms);
                     PeerStatus {
                         node: p.node,
-                        liveness: self.classify(silent_ms),
+                        liveness: if p.dead {
+                            PeerLiveness::Dead
+                        } else {
+                            self.classify(silent_ms)
+                        },
                         heartbeats: p.heartbeats,
                         frames: p.frames,
                         silent_ms,
@@ -258,21 +318,90 @@ mod tests {
     }
 
     #[test]
-    fn resumed_heartbeats_recover_a_suspect_or_dead_peer() {
+    fn resumed_heartbeats_recover_a_suspect_peer() {
         let mut t = tracker();
-        // Quiet long enough to be dead, then a heartbeat arrives.
-        assert_eq!(t.view(1_400).liveness(NodeId(1)), Some(PeerLiveness::Dead));
-        t.record_frame(NodeId(1), true, 1_400);
-        let view = t.view(1_410);
+        // Quiet into suspect territory, then a heartbeat arrives.
+        assert_eq!(
+            t.view(1_150).liveness(NodeId(1)),
+            Some(PeerLiveness::Suspect)
+        );
+        t.record_frame(NodeId(1), true, 1_150);
+        let view = t.view(1_160);
         assert_eq!(view.liveness(NodeId(1)), Some(PeerLiveness::Alive));
         let n1 = view.peers.iter().find(|p| p.node == NodeId(1)).unwrap();
         assert_eq!(n1.recoveries, 1);
 
         // A second lapse into suspect territory, then recovery again.
-        t.record_frame(NodeId(1), true, 1_550);
-        let n1 = t.view(1_560).peers[0].clone();
+        t.record_frame(NodeId(1), true, 1_300);
+        let n1 = t.view(1_310).peers[0].clone();
         assert_eq!(n1.recoveries, 2);
         assert_eq!(n1.liveness, PeerLiveness::Alive);
+    }
+
+    #[test]
+    fn dead_peers_do_not_resurrect_on_resumed_frames() {
+        let mut t = tracker();
+        // Quiet long enough to be dead, then the old connection speaks up.
+        assert_eq!(t.view(1_400).liveness(NodeId(1)), Some(PeerLiveness::Dead));
+        t.record_frame(NodeId(1), true, 1_400);
+        // The frame latches death instead of reviving the peer: whatever
+        // that process believes predates its eviction.
+        let view = t.view(1_410);
+        assert_eq!(view.liveness(NodeId(1)), Some(PeerLiveness::Dead));
+        let n1 = view.peers.iter().find(|p| p.node == NodeId(1)).unwrap();
+        assert_eq!(n1.recoveries, 0);
+        assert_eq!(n1.frames, 1);
+
+        // Even a steady stream of fresh heartbeats stays latched out.
+        for step in 1..=5u64 {
+            t.record_frame(NodeId(1), true, 1_400 + step * 50);
+        }
+        assert_eq!(t.view(1_660).liveness(NodeId(1)), Some(PeerLiveness::Dead));
+    }
+
+    #[test]
+    fn incarnation_fenced_rejoin_revives_a_dead_peer() {
+        let mut t = tracker();
+        // Suspect, then dead, latched by a resumed frame.
+        assert_eq!(
+            t.view(1_200).liveness(NodeId(1)),
+            Some(PeerLiveness::Suspect)
+        );
+        t.record_frame(NodeId(1), false, 1_400);
+        assert_eq!(t.view(1_400).liveness(NodeId(1)), Some(PeerLiveness::Dead));
+
+        // A rejoin at the old incarnation is a ghost: refused, still dead.
+        assert!(!t.record_rejoin(NodeId(1), 0, 1_450));
+        assert_eq!(t.view(1_450).liveness(NodeId(1)), Some(PeerLiveness::Dead));
+
+        // A rejoin with a strictly greater incarnation is a real restart.
+        assert!(t.record_rejoin(NodeId(1), 1, 1_500));
+        let view = t.view(1_510);
+        assert_eq!(view.liveness(NodeId(1)), Some(PeerLiveness::Alive));
+        let n1 = view.peers.iter().find(|p| p.node == NodeId(1)).unwrap();
+        assert_eq!(n1.recoveries, 1);
+
+        // Replaying the same rejoin after another death is refused again.
+        assert_eq!(t.view(1_900).liveness(NodeId(1)), Some(PeerLiveness::Dead));
+        assert!(!t.record_rejoin(NodeId(1), 1, 1_900));
+        assert_eq!(t.view(1_900).liveness(NodeId(1)), Some(PeerLiveness::Dead));
+        assert!(t.record_rejoin(NodeId(1), 2, 1_950));
+        assert_eq!(t.view(1_960).liveness(NodeId(1)), Some(PeerLiveness::Alive));
+    }
+
+    #[test]
+    fn rejoin_from_a_live_peer_is_an_ordinary_liveness_signal() {
+        let mut t = tracker();
+        // A reconnect while still alive (e.g. a dropped TCP connection
+        // re-established quickly) needs no fence.
+        assert!(t.record_rejoin(NodeId(2), 0, 1_050));
+        let view = t.view(1_060);
+        assert_eq!(view.liveness(NodeId(2)), Some(PeerLiveness::Alive));
+        let n2 = view.peers.iter().find(|p| p.node == NodeId(2)).unwrap();
+        assert_eq!(n2.recoveries, 0);
+        assert_eq!(n2.frames, 1);
+        // Unknown senders are refused outright.
+        assert!(!t.record_rejoin(NodeId(9), 7, 1_070));
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! * **Event-driven:** the scheduler blocks on a condition variable until
 //!   the cluster is quiescent; there are no poll-interval sleeps anywhere
 //!   in sim mode.
+//! * **Lossy (opt-in):** a [`SimConfig`] may additionally describe message
+//!   *loss* — seeded per-link random drops ([`SimConfig::drop_rate`]), one
+//!   [`PartitionSpec`] partition/heal cycle and one [`PauseSpec`] node
+//!   crash window, all decided at send time as pure functions of the seed
+//!   and virtual time. Drops consume their per-link sequence number and
+//!   are recorded as [`DropRecord`]s on the [`DeliveryTrace`], so lossy
+//!   runs replay bit-identically and diagnostics can attribute every gap.
 //!
 //! The quiescence protocol is a simple activity count: every application
 //! thread is one *agent*, counted active until it parks on a reply
@@ -35,7 +42,7 @@ use crate::stats::StatsCollector;
 use dsm_model::{NetworkParams, SimDuration, SimTime};
 use dsm_objspace::NodeId;
 use dsm_util::SmallRng;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::{Arc, Condvar, Mutex};
 
 // ----------------------------------------------------------------------
@@ -169,10 +176,61 @@ impl LinkPerturbation for DelayBursts {
     }
 }
 
+/// One network partition / heal cycle on virtual time: while `sent_at` is
+/// inside `[from, until)`, any message whose endpoints sit on opposite
+/// sides of `mask` is dropped at send time. Bit `i` of `mask` selects the
+/// side node `i` belongs to; the partition heals by itself once virtual
+/// time moves past `until` (retransmissions carry later send times).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Virtual time the partition starts (inclusive).
+    pub from: SimTime,
+    /// Virtual time the partition heals (exclusive).
+    pub until: SimTime,
+    /// Side assignment: bit `i` set ⇒ node `i` is on side B.
+    pub mask: u64,
+}
+
+impl PartitionSpec {
+    fn cuts(&self, src: NodeId, dst: NodeId, sent_at: SimTime) -> bool {
+        if sent_at < self.from || sent_at >= self.until {
+            return false;
+        }
+        let side = |n: NodeId| (self.mask >> (n.0 as u64 % 64)) & 1;
+        side(src) != side(dst)
+    }
+}
+
+/// A node pause (crash window) on virtual time: while `sent_at` is inside
+/// `[from, until)`, every message to *or* from `node` is dropped — the
+/// node neither receives nor is heard from, exactly like a crashed or
+/// wedged host. Self-sends are exempt (a node always reaches itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseSpec {
+    /// The paused node.
+    pub node: u16,
+    /// Virtual time the pause starts (inclusive).
+    pub from: SimTime,
+    /// Virtual time the node resumes (exclusive).
+    pub until: SimTime,
+}
+
+impl PauseSpec {
+    fn cuts(&self, src: NodeId, dst: NodeId, sent_at: SimTime) -> bool {
+        (src.0 == self.node || dst.0 == self.node) && sent_at >= self.from && sent_at < self.until
+    }
+}
+
 /// Seeded perturbation configuration for a [`SimFabric`] run — the value
 /// version of the pluggable [`LinkPerturbation`] stack, so it can live in a
 /// cloneable cluster configuration. `build` instantiates the stack; custom
 /// perturbations go through [`SimFabric::with_perturbations`].
+///
+/// Besides the delay perturbations, a config may describe *loss*: seeded
+/// per-link random drops, one partition/heal cycle and one node pause, all
+/// decided at send time as pure functions of the seed and virtual time.
+/// Any loss makes the config [`SimConfig::is_lossy`], which the runtime
+/// uses to arm its timeout/retry machinery.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// The fabric seed: per-link RNG streams derive from it.
@@ -189,6 +247,12 @@ pub struct SimConfig {
     pub burst_length: u32,
     /// [`DelayBursts::factor`].
     pub burst_factor: f64,
+    /// Per-message random drop probability (0 disables; seeded per link).
+    pub drop_rate: f64,
+    /// One partition/heal cycle (None disables).
+    pub partition: Option<PartitionSpec>,
+    /// One node-pause (crash) window (None disables).
+    pub pause: Option<PauseSpec>,
 }
 
 impl SimConfig {
@@ -204,6 +268,9 @@ impl SimConfig {
             burst_probability: 0.0,
             burst_length: 0,
             burst_factor: 0.0,
+            drop_rate: 0.0,
+            partition: None,
+            pause: None,
         }
     }
 
@@ -220,6 +287,9 @@ impl SimConfig {
             burst_probability: 0.02,
             burst_length: 4,
             burst_factor: 6.0,
+            drop_rate: 0.0,
+            partition: None,
+            pause: None,
         }
     }
 
@@ -234,7 +304,52 @@ impl SimConfig {
             burst_probability: 0.1,
             burst_length: 8,
             burst_factor: 12.0,
+            drop_rate: 0.0,
+            partition: None,
+            pause: None,
         }
+    }
+
+    /// The default *lossy* sweep configuration: [`SimConfig::perturbed`]
+    /// delay behaviour plus 1% seeded per-link drops and one early
+    /// partition/heal cycle splitting the low half of the cluster from the
+    /// high half. The window is narrow relative to the runtime's failover
+    /// threshold, so a partition forces retries but never a (spurious)
+    /// home re-election.
+    pub fn lossy(seed: u64) -> Self {
+        SimConfig {
+            drop_rate: 0.01,
+            partition: Some(PartitionSpec {
+                from: SimTime::from_micros(150.0),
+                until: SimTime::from_micros(350.0),
+                mask: 0b0011,
+            }),
+            ..SimConfig::perturbed(seed)
+        }
+    }
+
+    /// Random drop probability `p` on every link (builder style).
+    pub fn with_drop_rate(mut self, p: f64) -> Self {
+        self.drop_rate = p;
+        self
+    }
+
+    /// One partition/heal cycle (builder style).
+    pub fn with_partition(mut self, partition: PartitionSpec) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// One node-pause window (builder style).
+    pub fn with_pause(mut self, pause: PauseSpec) -> Self {
+        self.pause = Some(pause);
+        self
+    }
+
+    /// Whether this configuration can lose messages — the signal the
+    /// runtime uses to arm timeouts, retries and home re-election.
+    pub fn is_lossy(&self) -> bool {
+        self.drop_rate > 0.0 || self.partition.is_some() || self.pause.is_some()
     }
 
     /// Instantiate the perturbation stack this configuration describes.
@@ -288,6 +403,52 @@ pub struct DeliveryRecord {
     pub link_seq: u64,
 }
 
+/// Why the fabric dropped a message at send time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Seeded per-link random loss ([`SimConfig::drop_rate`]).
+    Random,
+    /// The endpoints sat on opposite sides of an active [`PartitionSpec`].
+    Partition,
+    /// One endpoint was inside its [`PauseSpec`] crash window.
+    Pause,
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DropReason::Random => write!(f, "random"),
+            DropReason::Partition => write!(f, "partition"),
+            DropReason::Pause => write!(f, "pause"),
+        }
+    }
+}
+
+/// One message the fabric dropped, recorded in drop order. Dropped sends
+/// still consume their per-link sequence number, so a drop shows up as a
+/// `link_seq` gap in the delivery stream — these records are what lets the
+/// quiescence diagnostics and the FIFO checker tell an injected drop from
+/// a genuine protocol stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DropRecord {
+    /// Zero-based drop index.
+    pub seq: u64,
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Message category.
+    pub category: MsgCategory,
+    /// Wire size (payload + header) in bytes.
+    pub wire_bytes: u64,
+    /// Virtual send time.
+    pub sent_at: SimTime,
+    /// Per-link send sequence number the drop consumed.
+    pub link_seq: u64,
+    /// Why the message was dropped.
+    pub reason: DropReason,
+}
+
 /// The complete delivery history of one sim-fabric run, in delivery order.
 ///
 /// Two runs of the same seed must produce `==` traces; two different seeds
@@ -296,6 +457,8 @@ pub struct DeliveryRecord {
 pub struct DeliveryTrace {
     /// The delivered messages, in delivery order.
     pub records: Vec<DeliveryRecord>,
+    /// The dropped messages, in drop (send) order. Empty on lossless runs.
+    pub drops: Vec<DropRecord>,
 }
 
 impl DeliveryTrace {
@@ -328,6 +491,17 @@ impl DeliveryTrace {
             mix(r.link_seq);
         }
         mix(self.records.len() as u64);
+        for d in &self.drops {
+            mix(d.seq);
+            mix(u64::from(d.src.0));
+            mix(u64::from(d.dst.0));
+            mix(d.category as u64);
+            mix(d.wire_bytes);
+            mix(d.sent_at.as_nanos());
+            mix(d.link_seq);
+            mix(d.reason as u64);
+        }
+        mix(self.drops.len() as u64);
         hash
     }
 
@@ -342,27 +516,32 @@ impl DeliveryTrace {
     }
 
     /// Verify the per-link FIFO guarantee: on every link, deliveries occur
-    /// in send order (`link_seq` ascending by exactly one) at non-decreasing
-    /// delivery times. Returns the offending record index on violation.
+    /// in send order (`link_seq` ascending) at non-decreasing delivery
+    /// times. `link_seq` gaps are allowed only where every skipped
+    /// sequence number is accounted for by a [`DropRecord`] on the same
+    /// link. Returns the offending record index on violation.
     pub fn per_link_fifo_violation(&self) -> Option<usize> {
+        let mut dropped: HashMap<(u16, u16), HashSet<u64>> = HashMap::new();
+        for d in &self.drops {
+            dropped
+                .entry((d.src.0, d.dst.0))
+                .or_default()
+                .insert(d.link_seq);
+        }
+        let empty = HashSet::new();
+        // Next expected link_seq and latest delivery time per link.
         let mut last: HashMap<(u16, u16), (u64, SimTime)> = HashMap::new();
         for (i, r) in self.records.iter().enumerate() {
-            let entry = last.entry((r.src.0, r.dst.0));
-            match entry {
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    if r.link_seq != 0 {
-                        return Some(i);
-                    }
-                    v.insert((r.link_seq, r.deliver_at));
-                }
-                std::collections::hash_map::Entry::Occupied(mut o) => {
-                    let (seq, at) = *o.get();
-                    if r.link_seq != seq + 1 || r.deliver_at < at {
-                        return Some(i);
-                    }
-                    o.insert((r.link_seq, r.deliver_at));
-                }
+            let link = (r.src.0, r.dst.0);
+            let gaps = dropped.get(&link).unwrap_or(&empty);
+            let (mut expected, at) = last.get(&link).copied().unwrap_or((0, SimTime::ZERO));
+            while expected < r.link_seq && gaps.contains(&expected) {
+                expected += 1;
             }
+            if r.link_seq != expected || r.deliver_at < at {
+                return Some(i);
+            }
+            last.insert(link, (r.link_seq + 1, r.deliver_at));
         }
         None
     }
@@ -431,17 +610,63 @@ pub enum SimStep<M> {
     Drained,
 }
 
+/// The loss model a fabric applies at send time (all lossless by default).
+#[derive(Debug, Clone, Copy, Default)]
+struct LossSpec {
+    drop_rate: f64,
+    partition: Option<PartitionSpec>,
+    pause: Option<PauseSpec>,
+}
+
+impl LossSpec {
+    /// Decide whether a send is lost. Self-sends are never dropped: a node
+    /// that can still run can always reach its own server, and the
+    /// post-election self-serve path depends on it. Precedence is
+    /// pause > partition > random; the random variate is drawn whenever
+    /// `drop_rate > 0` regardless of the outcome, so the per-link stream
+    /// position does not depend on window boundaries.
+    fn drops(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        sent_at: SimTime,
+        rng: &mut SmallRng,
+    ) -> Option<DropReason> {
+        let random = self.drop_rate > 0.0 && rng.next_f64() < self.drop_rate;
+        if src == dst {
+            return None;
+        }
+        if let Some(p) = &self.pause {
+            if p.cuts(src, dst, sent_at) {
+                return Some(DropReason::Pause);
+            }
+        }
+        if let Some(p) = &self.partition {
+            if p.cuts(src, dst, sent_at) {
+                return Some(DropReason::Partition);
+            }
+        }
+        if random {
+            return Some(DropReason::Random);
+        }
+        None
+    }
+}
+
 struct SimState<M> {
     queue: BinaryHeap<SimEvent<M>>,
     links: HashMap<(u16, u16), LinkState>,
     perturbations: Vec<Box<dyn LinkPerturbation>>,
+    loss: LossSpec,
     /// Application agents currently runnable (not parked, not finished).
     active: usize,
     /// Application agents that have finished for good.
     finished: usize,
     sent: u64,
     delivered: u64,
+    dropped: u64,
     trace: Vec<DeliveryRecord>,
+    drops: Vec<DropRecord>,
     seed: u64,
 }
 
@@ -495,7 +720,19 @@ impl<M: Send> SimFabric<M> {
         stats: StatsCollector,
         config: SimConfig,
     ) -> Self {
-        Self::with_perturbations(num_nodes, params, stats, config.seed, config.build())
+        let fabric =
+            Self::with_perturbations(num_nodes, params, stats, config.seed, config.build());
+        fabric
+            .core
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .loss = LossSpec {
+            drop_rate: config.drop_rate,
+            partition: config.partition,
+            pause: config.pause,
+        };
+        fabric
     }
 
     /// As [`SimFabric::new`], but with an explicit (possibly custom)
@@ -517,11 +754,14 @@ impl<M: Send> SimFabric<M> {
                     queue: BinaryHeap::new(),
                     links: HashMap::new(),
                     perturbations,
+                    loss: LossSpec::default(),
                     active: num_nodes,
                     finished: 0,
                     sent: 0,
                     delivered: 0,
+                    dropped: 0,
                     trace: Vec::new(),
+                    drops: Vec::new(),
                     seed,
                 }),
                 quiescent: Condvar::new(),
@@ -614,10 +854,28 @@ impl<M: Send> SimFabric<M> {
             .sent
     }
 
-    /// `(sent, delivered, still queued)` message counts.
-    pub fn counters(&self) -> (u64, u64, usize) {
+    /// `(sent, delivered, dropped, still queued)` message counts. Every
+    /// send ends up in exactly one of the last three buckets, so at
+    /// teardown `sent == delivered + dropped` and `queued == 0`.
+    pub fn counters(&self) -> (u64, u64, u64, usize) {
         let state = self.core.state.lock().unwrap_or_else(|e| e.into_inner());
-        (state.sent, state.delivered, state.queue.len())
+        (
+            state.sent,
+            state.delivered,
+            state.dropped,
+            state.queue.len(),
+        )
+    }
+
+    /// The messages dropped so far, in drop order (a snapshot; the run's
+    /// full drop history also rides on [`SimFabric::take_trace`]).
+    pub fn drops(&self) -> Vec<DropRecord> {
+        self.core
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drops
+            .clone()
     }
 
     /// Take the delivery trace recorded so far (leaves an empty trace).
@@ -625,6 +883,7 @@ impl<M: Send> SimFabric<M> {
         let mut state = self.core.state.lock().unwrap_or_else(|e| e.into_inner());
         DeliveryTrace {
             records: std::mem::take(&mut state.trace),
+            drops: std::mem::take(&mut state.drops),
         }
     }
 }
@@ -681,6 +940,27 @@ impl<M: Send> SimEndpoint<M> {
                 last_deliver: SimTime::ZERO,
             }
         });
+        // Loss is decided before the delay draws: a dropped message
+        // consumes its link_seq (so the gap is visible and attributable)
+        // but no delay variates and no FIFO-clamp update.
+        if let Some(reason) = state.loss.drops(src, dst, sent_at, &mut link.rng) {
+            let link_seq = link.next_seq;
+            link.next_seq += 1;
+            state.sent += 1;
+            let seq = state.dropped;
+            state.dropped += 1;
+            state.drops.push(DropRecord {
+                seq,
+                src,
+                dst,
+                category,
+                wire_bytes,
+                sent_at,
+                link_seq,
+                reason,
+            });
+            return sent_at;
+        }
         let extra: SimDuration = state
             .perturbations
             .iter_mut()
@@ -775,9 +1055,9 @@ mod tests {
                 SimStep::Stalled => panic!("exchange cannot stall"),
             }
         }
-        let (sent, delivered, queued) = fab.counters();
+        let (sent, delivered, dropped, queued) = fab.counters();
         assert_eq!(sent, 3);
-        assert_eq!(delivered, 3);
+        assert_eq!(delivered + dropped, 3);
         assert_eq!(queued, 0);
         fab.take_trace()
     }
@@ -897,5 +1177,133 @@ mod tests {
             SimConfig::calm(0),
         );
         fab.endpoints()[0].send(NodeId(7), MsgCategory::Control, 0, SimTime::ZERO, 0);
+    }
+
+    /// Send `n` messages 0 → 1 under `config` and return the trace.
+    fn run_lossy(config: SimConfig, n: u32) -> DeliveryTrace {
+        let fab = fabric(config);
+        let eps = fab.endpoints();
+        for i in 0..n {
+            eps[0].send(NodeId(1), MsgCategory::Diff, 128, SimTime::ZERO, i);
+        }
+        for ep in &eps {
+            ep.agent_finished();
+        }
+        loop {
+            match fab.next_step() {
+                SimStep::Deliver(_) => {}
+                SimStep::Drained => break,
+                SimStep::Stalled => panic!("cannot stall"),
+            }
+        }
+        let (sent, delivered, dropped, queued) = fab.counters();
+        assert_eq!(sent, u64::from(n));
+        assert_eq!(delivered + dropped, u64::from(n));
+        assert_eq!(queued, 0);
+        fab.take_trace()
+    }
+
+    #[test]
+    fn random_drops_are_seeded_and_replayable() {
+        let config = SimConfig::calm(11).with_drop_rate(0.1);
+        let a = run_lossy(config, 200);
+        let b = run_lossy(config, 200);
+        assert!(!a.drops.is_empty(), "10% of 200 sends should drop some");
+        assert!(a.drops.len() < 200, "and deliver the rest");
+        assert_eq!(a, b, "same seed must replay drops bit-identically");
+        assert_eq!(a.checksum(), b.checksum());
+        assert!(a.drops.iter().all(|d| d.reason == DropReason::Random));
+        // A different seed picks different victims.
+        let c = run_lossy(SimConfig::calm(12).with_drop_rate(0.1), 200);
+        assert_ne!(
+            a.drops.iter().map(|d| d.link_seq).collect::<Vec<_>>(),
+            c.drops.iter().map(|d| d.link_seq).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn fifo_check_tolerates_drop_gaps_but_not_reorders() {
+        let t = run_lossy(SimConfig::calm(11).with_drop_rate(0.1), 200);
+        assert_eq!(t.per_link_fifo_violation(), None);
+        // Strip the drop records: the gaps become unexplained violations.
+        let stripped = DeliveryTrace {
+            records: t.records.clone(),
+            drops: Vec::new(),
+        };
+        assert!(stripped.per_link_fifo_violation().is_some());
+    }
+
+    #[test]
+    fn partition_window_cuts_cross_side_links_then_heals() {
+        let spec = PartitionSpec {
+            from: SimTime::ZERO,
+            until: SimTime::from_micros(100.0),
+            mask: 0b010, // node 1 alone on side B
+        };
+        let fab = fabric(SimConfig::calm(0).with_partition(spec));
+        let eps = fab.endpoints();
+        let inside = SimTime::from_micros(50.0);
+        let after = SimTime::from_micros(100.0);
+        eps[0].send(NodeId(1), MsgCategory::Control, 0, inside, 1); // cut
+        eps[0].send(NodeId(2), MsgCategory::Control, 0, inside, 2); // same side
+        eps[1].send(NodeId(0), MsgCategory::Control, 0, inside, 3); // cut
+        eps[0].send(NodeId(1), MsgCategory::Control, 0, after, 4); // healed
+        for ep in &eps {
+            ep.agent_finished();
+        }
+        let mut delivered = Vec::new();
+        loop {
+            match fab.next_step() {
+                SimStep::Deliver(env) => delivered.push(env.payload),
+                SimStep::Drained => break,
+                SimStep::Stalled => panic!("cannot stall"),
+            }
+        }
+        delivered.sort_unstable();
+        assert_eq!(delivered, vec![2, 4]);
+        let t = fab.take_trace();
+        assert_eq!(t.drops.len(), 2);
+        assert!(t.drops.iter().all(|d| d.reason == DropReason::Partition));
+        assert_eq!(t.per_link_fifo_violation(), None);
+    }
+
+    #[test]
+    fn paused_node_is_cut_both_ways_but_self_sends_survive() {
+        let spec = PauseSpec {
+            node: 1,
+            from: SimTime::ZERO,
+            until: SimTime::from_micros(100.0),
+        };
+        let fab = fabric(SimConfig::calm(0).with_pause(spec));
+        let eps = fab.endpoints();
+        let inside = SimTime::from_micros(10.0);
+        eps[0].send(NodeId(1), MsgCategory::Control, 0, inside, 1); // to paused
+        eps[1].send(NodeId(2), MsgCategory::Control, 0, inside, 2); // from paused
+        eps[1].send(NodeId(1), MsgCategory::Control, 0, inside, 3); // self: exempt
+        eps[0].send(NodeId(2), MsgCategory::Control, 0, inside, 4); // uninvolved
+        for ep in &eps {
+            ep.agent_finished();
+        }
+        let mut delivered = Vec::new();
+        loop {
+            match fab.next_step() {
+                SimStep::Deliver(env) => delivered.push(env.payload),
+                SimStep::Drained => break,
+                SimStep::Stalled => panic!("cannot stall"),
+            }
+        }
+        delivered.sort_unstable();
+        assert_eq!(delivered, vec![3, 4]);
+        let t = fab.take_trace();
+        assert!(t.drops.iter().all(|d| d.reason == DropReason::Pause));
+    }
+
+    #[test]
+    fn lossless_presets_are_not_lossy_and_lossy_is() {
+        assert!(!SimConfig::calm(1).is_lossy());
+        assert!(!SimConfig::perturbed(1).is_lossy());
+        assert!(!SimConfig::stormy(1).is_lossy());
+        assert!(SimConfig::lossy(1).is_lossy());
+        assert!(SimConfig::calm(1).with_drop_rate(0.5).is_lossy());
     }
 }

@@ -78,6 +78,11 @@ pub struct TcpConfig {
     pub connect_timeout: Duration,
     /// Socket read timeout; also bounds how long teardown waits per thread.
     pub io_timeout: Duration,
+    /// This process's incarnation number, carried in the hello handshake.
+    /// A restarted node must present a strictly greater incarnation than
+    /// its previous life to pass the liveness tracker's rejoin fence; a
+    /// first launch uses the default `0`.
+    pub incarnation: u32,
 }
 
 impl Default for TcpConfig {
@@ -88,6 +93,7 @@ impl Default for TcpConfig {
             dead_after: Duration::from_secs(2),
             connect_timeout: Duration::from_secs(10),
             io_timeout: Duration::from_millis(25),
+            incarnation: 0,
         }
     }
 }
@@ -102,6 +108,7 @@ impl TcpConfig {
             dead_after: Duration::from_millis(150),
             connect_timeout: Duration::from_secs(5),
             io_timeout: Duration::from_millis(5),
+            incarnation: 0,
         }
     }
 }
@@ -299,6 +306,7 @@ impl<M: Send + 'static> TcpNodeBinding<M> {
             let hello = encode_hello(Hello {
                 node: self.node,
                 num_nodes: self.num_nodes as u16,
+                incarnation: self.config.incarnation,
             });
             let (tx, rx) = unbounded::<Vec<u8>>();
             tx.send(hello).expect("writer receiver is live");
@@ -744,10 +752,19 @@ fn prepare_incoming<M: Send + 'static>(
     if hello.node.index() >= num_nodes || hello.node == shared.node {
         return Err(bad(format!("hello from invalid node {}", hello.node)));
     }
-    shared
+    // The hello is the rejoin point: a peer already latched dead must
+    // present a strictly greater incarnation or the connection is refused
+    // — a silently-resumed process never resurrects into the membership.
+    if !shared
         .tracker
         .lock()
-        .record_frame(hello.node, false, shared.now_ms());
+        .record_rejoin(hello.node, hello.incarnation, shared.now_ms())
+    {
+        return Err(bad(format!(
+            "rejected hello from dead peer {} (stale incarnation {})",
+            hello.node, hello.incarnation
+        )));
+    }
     Ok((stream, hello.node))
 }
 
@@ -1061,7 +1078,7 @@ mod tests {
     }
 
     #[test]
-    fn heartbeats_drive_liveness_and_pause_degrades_to_dead_then_recovers() {
+    fn pause_degrades_suspect_then_dead_and_death_is_sticky() {
         let (eps, _stats) = local_fabric(2, TcpConfig::fast_liveness());
         // Heartbeats flow: both sides see each other alive.
         wait_for(
@@ -1083,11 +1100,48 @@ mod tests {
             eps[0].membership().liveness(NodeId(1)),
             Some(PeerLiveness::Alive)
         );
-        // Resumed heartbeats recover the peer and count a recovery.
+        // Resumed heartbeats on the old connection do NOT resurrect the
+        // peer: the first frame after the silence latches it dead, and it
+        // stays dead without an incarnation-fenced rejoin.
+        eps[0].pause_heartbeats(false);
+        wait_for(
+            || {
+                let view = eps[1].membership();
+                let peer = view.peers.iter().find(|p| p.node == NodeId(0)).unwrap();
+                peer.silent_ms < 5 && peer.heartbeats > 0
+            },
+            "resumed heartbeats observed",
+        );
+        thread::sleep(Duration::from_millis(20));
+        let view = eps[1].membership();
+        let peer = view.peers.iter().find(|p| p.node == NodeId(0)).unwrap();
+        assert_eq!(
+            peer.liveness,
+            PeerLiveness::Dead,
+            "a silently-resumed peer must stay latched dead"
+        );
+        assert_eq!(peer.recoveries, 0);
+        teardown(&eps);
+    }
+
+    #[test]
+    fn suspect_recovery_still_works_under_sticky_death() {
+        let (eps, _stats) = local_fabric(2, TcpConfig::fast_liveness());
+        wait_for(
+            || eps[0].membership().all_alive() && eps[1].membership().all_alive(),
+            "initial all-alive view",
+        );
+        // Pause just long enough to go suspect, then resume well before
+        // the dead threshold: the peer recovers and counts a recovery.
+        eps[0].pause_heartbeats(true);
+        wait_for(
+            || eps[1].membership().liveness(NodeId(0)) == Some(PeerLiveness::Suspect),
+            "suspect transition",
+        );
         eps[0].pause_heartbeats(false);
         wait_for(
             || eps[1].membership().liveness(NodeId(0)) == Some(PeerLiveness::Alive),
-            "recovery",
+            "recovery from suspect",
         );
         let view = eps[1].membership();
         let peer = view.peers.iter().find(|p| p.node == NodeId(0)).unwrap();

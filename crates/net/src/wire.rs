@@ -444,6 +444,10 @@ pub struct Hello {
     /// The cluster size the sender was configured with; both sides must
     /// agree or the join is refused.
     pub num_nodes: u16,
+    /// The sender's incarnation number. A restarted process presents a
+    /// strictly greater incarnation than its previous life; the liveness
+    /// tracker uses it to fence rejoins of peers already declared dead.
+    pub incarnation: u32,
 }
 
 /// Encode a full hello frame (length prefix included).
@@ -451,6 +455,7 @@ pub fn encode_hello(hello: Hello) -> Vec<u8> {
     let mut w = WireWriter::new();
     w.u16(hello.node.0);
     w.u16(hello.num_nodes);
+    w.u32(hello.incarnation);
     encode_frame(FrameKind::Hello, &w.into_vec())
 }
 
@@ -459,8 +464,13 @@ pub fn decode_hello(body: &[u8]) -> Result<Hello, WireError> {
     let mut r = WireReader::new(body);
     let node = NodeId(r.u16()?);
     let num_nodes = r.u16()?;
+    let incarnation = r.u32()?;
     r.finish()?;
-    Ok(Hello { node, num_nodes })
+    Ok(Hello {
+        node,
+        num_nodes,
+        incarnation,
+    })
 }
 
 /// Encode a bodyless control frame (heartbeat, leave).
@@ -587,6 +597,7 @@ mod tests {
         let hello = Hello {
             node: NodeId(3),
             num_nodes: 8,
+            incarnation: 5,
         };
         let frame = encode_hello(hello);
         let (kind, body) = decode_frame(&frame[4..]).unwrap();

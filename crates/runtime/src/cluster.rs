@@ -8,6 +8,7 @@
 //! produces, which workload entry points accept directly.
 
 use crate::ctx::NodeCtx;
+use crate::fault::{FaultConfig, FaultState};
 use crate::handle::{ArrayHandle, Matrix2dHandle, ScalarHandle};
 use crate::node::{server_loop, NodeLink, NodeShared};
 use crate::report::ExecutionReport;
@@ -489,6 +490,7 @@ impl Cluster {
                     config.seed,
                     config.poll_interval,
                     config.flush_batching,
+                    None,
                 )
             })
             .collect();
@@ -565,6 +567,7 @@ impl Cluster {
                     config.seed,
                     config.poll_interval,
                     config.flush_batching,
+                    None,
                 )
             })
             .collect();
@@ -691,6 +694,7 @@ impl Cluster {
             config.seed,
             config.poll_interval,
             config.flush_batching,
+            None,
         );
 
         thread::scope(|scope| {
@@ -748,6 +752,12 @@ impl Cluster {
                     config.protocol.clone(),
                     Arc::clone(&registry),
                 );
+                // Lossy fabrics need the recovery machinery (timeouts,
+                // retransmission, dedup, re-election); lossless ones must
+                // not have it, so genuine deadlocks still panic loudly.
+                let fault = sim
+                    .is_lossy()
+                    .then(|| FaultState::new(FaultConfig::sim_default()));
                 NodeShared::new(
                     engine,
                     NodeLink::Sim(endpoint),
@@ -756,6 +766,7 @@ impl Cluster {
                     config.seed,
                     config.poll_interval,
                     config.flush_batching,
+                    fault,
                 )
             })
             .collect();
@@ -811,12 +822,15 @@ impl Cluster {
 
         // Message-count reconciliation between the engines' view (network
         // statistics recorded at send time) and the fabric's delivery
-        // bookkeeping: on a clean run every sent message was delivered
-        // exactly once and nothing is still queued.
-        let (sent, delivered, queued) = fabric.counters();
+        // bookkeeping: every sent message was either delivered exactly once
+        // or recorded as an injected drop (lossy configs), and nothing is
+        // still queued. Retransmissions are ordinary sends, so they
+        // reconcile like any other message.
+        let (sent, delivered, dropped, queued) = fabric.counters();
         assert_eq!(
-            sent, delivered,
-            "sim fabric lost messages: {sent} sent, {delivered} delivered"
+            sent,
+            delivered + dropped,
+            "sim fabric lost messages: {sent} sent, {delivered} delivered, {dropped} dropped"
         );
         assert_eq!(
             queued, 0,
@@ -824,9 +838,10 @@ impl Cluster {
         );
         let trace = fabric.take_trace();
         assert_eq!(
-            trace.len() as u64,
+            trace.len() as u64 + trace.drops.len() as u64,
             stats.snapshot().total_messages(),
-            "delivery trace and network statistics disagree on message count"
+            "delivery trace (deliveries + drops) and network statistics disagree on \
+             message count"
         );
         assemble_report(&config, &shareds, &stats, Some(trace), None)
     }

@@ -415,10 +415,30 @@ impl NodeCtx {
             if let Some((next, req)) = outcome.grant_next {
                 dispatch_lock_grant(&self.shared, lock, next, req);
             }
+        } else if self.shared.fault.is_some() {
+            // Under a lossy fabric the release must survive a drop (a lost
+            // release wedges every later acquirer of the lock), so it is
+            // tracked and retransmitted until the manager acknowledges it.
+            let req = self.shared.new_req();
+            self.shared.send_tracked(
+                SYNC_MANAGER,
+                req,
+                ProtocolMsg::LockRelease {
+                    lock,
+                    holder: node,
+                    req,
+                },
+            );
         } else {
+            // Lossless fabrics keep the paper-shaped fire-and-forget
+            // release; `ReqId(0)` means "no ack expected".
             self.shared.send(
                 SYNC_MANAGER,
-                ProtocolMsg::LockRelease { lock, holder: node },
+                ProtocolMsg::LockRelease {
+                    lock,
+                    holder: node,
+                    req: dsm_core::ReqId(0),
+                },
             );
         }
         Ok(())

@@ -138,9 +138,12 @@
 //!   send/arrival times travel inside each frame, so virtual-clock
 //!   merging — and therefore every modeled-time figure — is unchanged.
 //!   A per-node heartbeat thread feeds a membership/liveness tracker
-//!   (alive → suspect → dead on silence, recovery on resumed traffic);
-//!   the final per-node views are surfaced in
-//!   [`ExecutionReport::membership`] but not yet acted on. Teardown is an
+//!   (alive → suspect → dead on silence; a *suspect* peer recovers on
+//!   resumed traffic, but **death is sticky** — a dead peer's resumed
+//!   frames are refused, and only a rejoin handshake carrying a strictly
+//!   greater incarnation number ([`TcpConfig::incarnation`]) readmits
+//!   it); the final per-node views are surfaced in
+//!   [`ExecutionReport::membership`]. Teardown is an
 //!   orderly leave handshake: a `Leave` frame is the last thing each link
 //!   carries, so no node closes a socket a peer still reads.
 //!
@@ -155,6 +158,29 @@
 //! suite's seed corpus is centralized in the `dsm-integration-tests`
 //! helpers and can be overridden with `DSM_SEEDS=0x1,0x2,...` to sweep new
 //! schedules without touching code.
+//!
+//! **Lossy presets — testing the fault path:** [`SimConfig::lossy`]`(seed)`
+//! layers fault injection on top of the perturbed preset: 1% seeded
+//! per-link message drops plus one partition/heal cycle on virtual time;
+//! [`SimConfig::with_drop_rate`] / `with_partition` / `with_pause` compose
+//! the individual fault kinds (a [`PauseSpec`] is a node crash: every
+//! message to or from the node inside the window is lost). Whenever a
+//! configuration can lose messages ([`SimConfig::is_lossy`]), the runtime
+//! automatically arms its recovery machinery: every tracked request gets a
+//! virtual-time retry timeout with **idempotent, server-side-deduplicated
+//! retransmissions** (replies are cached per request id and re-sent, so a
+//! retry can never double-apply), and a request aimed at a home that stays
+//! dark past the failover threshold triggers a **deterministic home
+//! re-election** at the object's arbiter — the winner is fenced by a new
+//! home epoch, the deposed home is demoted on its first contact with the
+//! new epoch, and the requester transparently re-aims at the winner.
+//! Everything stays bit-identically replayable: drops are part of the
+//! seeded schedule, and the delivery trace records them
+//! ([`DeliveryTrace::drops`], one [`DropRecord`] with its [`DropReason`]
+//! per lost message) so the teardown reconciliation still accounts for
+//! every send. A run that exhausts its retries panics with a diagnostic
+//! that lists the injected drops — distinguishing "the fault injection ate
+//! the protocol's patience" from a genuine lossless deadlock.
 //!
 //! **Adding a conformance-matrix cell:** the policy × workload grid lives
 //! in `dsm-bench`'s `matrix` module (used by `tests/tests/sim_matrix.rs`
@@ -204,6 +230,7 @@
 
 pub mod cluster;
 pub mod ctx;
+mod fault;
 pub mod handle;
 pub mod node;
 pub mod report;
@@ -217,8 +244,8 @@ pub use cluster::{
 };
 pub use ctx::NodeCtx;
 pub use dsm_net::{
-    DeliveryRecord, DeliveryTrace, MembershipReport, MembershipView, PeerLiveness, SimConfig,
-    TcpConfig,
+    DeliveryRecord, DeliveryTrace, DropReason, DropRecord, MembershipReport, MembershipView,
+    PartitionSpec, PauseSpec, PeerLiveness, SimConfig, TcpConfig,
 };
 pub use dsm_objspace::{DsmError, DsmResult};
 pub use handle::{ArrayHandle, Matrix2dHandle, ScalarHandle};

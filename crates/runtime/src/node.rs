@@ -29,6 +29,7 @@
 //! deadlock two nodes through mutual deferral, so the context refuses
 //! remote fault-ins in that state (`DsmError::FetchWithLiveWrites`).
 
+use crate::fault::{self, FaultState};
 use crate::vclock::VirtualClock;
 use dsm_core::sync::{BarrierOutcome, LockAcquireOutcome};
 use dsm_core::{
@@ -186,6 +187,9 @@ pub(crate) struct NodeShared {
     /// Whether the release path groups same-home diff flushes into
     /// `DiffBatch` messages (see `ClusterBuilder::flush_batching`).
     pub flush_batching: bool,
+    /// Timeout/retry, dedup and home re-election state — `Some` only on
+    /// lossy sim fabrics, where messages can be dropped (see `crate::fault`).
+    pub fault: Option<FaultState>,
     /// Pending-reply senders, striped by request id so completing a reply
     /// for one request never contends with registering another.
     pending: Box<[PendingStripe]>,
@@ -194,6 +198,7 @@ pub(crate) struct NodeShared {
 }
 
 impl NodeShared {
+    #[allow(clippy::too_many_arguments)] // one-call-site constructor mirroring the builder's knobs
     pub fn new(
         engine: ProtocolEngine,
         link: NodeLink,
@@ -202,6 +207,7 @@ impl NodeShared {
         seed: u64,
         poll_interval: Duration,
         flush_batching: bool,
+        fault: Option<FaultState>,
     ) -> Arc<Self> {
         Arc::new(NodeShared {
             node: engine.node(),
@@ -215,6 +221,7 @@ impl NodeShared {
             seed,
             poll_interval,
             flush_batching,
+            fault,
             pending: (0..PENDING_STRIPES)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
@@ -254,6 +261,9 @@ impl NodeShared {
 
     /// Complete a pending request with a reply that arrived at `arrival`.
     pub fn complete(&self, req: ReqId, msg: ProtocolMsg, arrival: SimTime) {
+        if let Some(fault) = &self.fault {
+            fault.clear(req);
+        }
         let slot = self.pending_stripe(req).lock().remove(&req);
         match slot {
             Some(tx) => {
@@ -277,20 +287,40 @@ impl NodeShared {
                     NodeLink::Threaded(_) | NodeLink::Tcp(_) => wake.deliver(),
                 }
             }
-            None => panic!(
-                "reply for unknown request {req:?} delivered to {} ({msg:?})",
-                self.node
-            ),
+            None => {
+                // Under a lossy fabric a request can be answered twice: its
+                // reply was re-sent from the server's dedup cache because a
+                // retransmission raced the original reply. The duplicate is
+                // dropped on the floor.
+                assert!(
+                    self.fault.is_some(),
+                    "reply for unknown request {req:?} delivered to {} ({msg:?})",
+                    self.node
+                );
+            }
         }
     }
 
     /// Send a one-way protocol message; virtual send time is the node's
-    /// current clock.
+    /// current clock. Under a lossy fabric, replies and acknowledgements
+    /// are remembered by the request id they answer so duplicates of the
+    /// answered request can be served from cache.
     pub fn send(&self, dst: NodeId, msg: ProtocolMsg) {
+        fault::note_sent(self, dst, &msg);
         let category = msg.category();
         let bytes = msg.payload_bytes();
         let now = self.clock.now();
         self.link.send(dst, category, bytes, now, msg);
+    }
+
+    /// Send a one-way message that must survive loss: tracked for
+    /// retransmission until the matching acknowledgement clears it. Falls
+    /// back to a plain send on lossless fabrics.
+    pub fn send_tracked(&self, dst: NodeId, req: ReqId, msg: ProtocolMsg) {
+        if let Some(fault) = &self.fault {
+            fault.track(req, dst, msg.clone());
+        }
+        self.send(dst, msg);
     }
 
     /// Park until the reply to an already-registered request arrives, and
@@ -314,6 +344,9 @@ impl NodeShared {
             eprintln!("[{}] request -> {} {:?}", self.node, dst, msg);
         }
         let rx = self.register_pending(req);
+        if let Some(fault) = &self.fault {
+            fault.track(req, dst, msg.clone());
+        }
         self.send(dst, msg);
         let reply = self.wait_reply(&rx);
         self.clock.merge(reply.arrival);
@@ -328,6 +361,9 @@ impl NodeShared {
     /// the caller can re-balance the fabric's agent count — each woken
     /// thread unwinds and reports `agent_finished` on its way out.
     pub fn abort_pending(&self) -> usize {
+        if let Some(fault) = &self.fault {
+            fault.abort();
+        }
         let mut cleared = 0;
         for stripe in self.pending.iter() {
             let mut stripe = stripe.lock();
@@ -384,6 +420,9 @@ pub(crate) fn server_loop(shared: &Arc<NodeShared>) {
                 if msg.is_reply() {
                     let req = msg.reply_req().expect("reply carries request id");
                     shared.complete(req, msg, arrival);
+                } else if !fault::admit_request(shared, &msg) {
+                    // Duplicate of an already-seen request: absorbed, or
+                    // answered from the reply cache by `admit_request`.
                 } else if let Some(busy) = handle_request(shared, src, msg, &mut partials) {
                     deferred.push_back((src, busy));
                 }
@@ -547,11 +586,25 @@ pub(crate) fn handle_request(
             }
             // Queued: the grant is sent when the current holder releases.
         }
-        ProtocolMsg::LockRelease { lock, holder } => {
+        ProtocolMsg::LockRelease { lock, holder, req } => {
             let outcome = shared.engine.lock_release(*lock, *holder);
-            if let Some((next, req)) = outcome.grant_next {
-                dispatch_lock_grant(shared, *lock, next, req);
+            if let Some((next, grant_req)) = outcome.grant_next {
+                dispatch_lock_grant(shared, *lock, next, grant_req);
             }
+            // `ReqId(0)` marks the legacy fire-and-forget release of
+            // lossless fabrics; a tracked release wants its ack.
+            if req.0 != 0 {
+                shared.send(
+                    *holder,
+                    ProtocolMsg::LockReleaseAck {
+                        req: *req,
+                        lock: *lock,
+                    },
+                );
+            }
+        }
+        ProtocolMsg::LockReleaseAck { req, .. } => {
+            fault::handle_ack(shared, *req);
         }
         ProtocolMsg::BarrierArrive {
             req,
@@ -586,6 +639,53 @@ pub(crate) fn handle_request(
                     home,
                 },
             );
+        }
+        ProtocolMsg::HomeElect {
+            req,
+            obj,
+            suspect,
+            candidate,
+            epoch,
+            has_copy,
+        } => {
+            let (home, epoch) = shared
+                .engine
+                .handle_home_elect(*obj, *suspect, *candidate, *epoch, *has_copy);
+            shared.send(
+                src,
+                ProtocolMsg::HomeElectReply {
+                    req: *req,
+                    obj: *obj,
+                    home,
+                    epoch,
+                },
+            );
+        }
+        ProtocolMsg::HomeElectReply {
+            req,
+            obj,
+            home,
+            epoch,
+        } => {
+            fault::handle_elect_reply(shared, *req, *obj, *home, *epoch);
+        }
+        ProtocolMsg::HomeFence {
+            req,
+            obj,
+            new_home,
+            epoch,
+        } => {
+            shared.engine.handle_home_notify(*obj, *new_home, *epoch);
+            shared.send(
+                src,
+                ProtocolMsg::HomeFenceAck {
+                    req: *req,
+                    obj: *obj,
+                },
+            );
+        }
+        ProtocolMsg::HomeFenceAck { req, .. } => {
+            fault::handle_ack(shared, *req);
         }
         ProtocolMsg::Shutdown => {
             shared.request_shutdown();

@@ -28,9 +28,10 @@
 //! application; the scheduler panics with diagnostics instead of hanging
 //! the test run, naming the state a failing seed can replay.
 
+use crate::fault;
 use crate::node::{self, BatchPartials, NodeShared};
 use dsm_core::ProtocolMsg;
-use dsm_net::{SimFabric, SimStep};
+use dsm_net::{DropReason, SimFabric, SimStep};
 use dsm_objspace::NodeId;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -151,6 +152,9 @@ pub(crate) fn sim_server_loop(
                 if msg.is_reply() {
                     let req = msg.reply_req().expect("reply carries request id");
                     shared.complete(req, msg, envelope.arrival);
+                } else if !fault::admit_request(shared, &msg) {
+                    // Duplicate of an already-seen request: absorbed, or
+                    // answered from the reply cache by `admit_request`.
                 } else if let Some(busy) = node::handle_request(
                     shared,
                     envelope.src,
@@ -172,7 +176,13 @@ pub(crate) fn sim_server_loop(
                 }
             }
             SimStep::Stalled => {
-                if !make_progress(shareds, fabric, &mut queues) {
+                // Deferred work first; if nothing local moves, this is the
+                // timeout point of the lossy-fabric recovery machinery:
+                // every node retransmits its outstanding requests (see
+                // `crate::fault`). Only when that too is out of attempts
+                // (or the fabric is lossless and has no retry state) is the
+                // stall terminal.
+                if !make_progress(shareds, fabric, &mut queues) && !fault::fire_retries(shareds) {
                     teardown_or_panic(shareds, panicked, fabric, &queues, "stalled");
                     break;
                 }
@@ -231,8 +241,32 @@ fn teardown_or_panic(
     if panicked.load(Ordering::SeqCst) {
         return;
     }
-    let (sent, delivered, queued) = fabric.counters();
+    let (sent, delivered, dropped, queued) = fabric.counters();
     let deferred: Vec<usize> = queues.deferred.iter().map(VecDeque::len).collect();
+    // Distinguish "the fault injection ate something the protocol could not
+    // recover from" from a genuine protocol/application deadlock: list what
+    // was dropped (and where) so the failing seed is attributable.
+    let drops = fabric.drops();
+    let loss = if drops.is_empty() {
+        "no injected drops — this is a genuine deadlock in the protocol or the application"
+            .to_string()
+    } else {
+        let by_reason = |reason: DropReason| drops.iter().filter(|d| d.reason == reason).count();
+        let sample: Vec<String> = drops
+            .iter()
+            .rev()
+            .take(8)
+            .map(|d| format!("{}->{}#{}:{}", d.src, d.dst, d.link_seq, d.reason))
+            .collect();
+        format!(
+            "{dropped} injected drops (random {}, partition {}, pause {}); last: [{}] — \
+             the recovery machinery ran out of attempts before the run could complete",
+            by_reason(DropReason::Random),
+            by_reason(DropReason::Partition),
+            by_reason(DropReason::Pause),
+            sample.join(", "),
+        )
+    };
     // Wake the parked application threads before panicking: the scheduler's
     // unwind runs `thread::scope`'s join-on-drop, which would otherwise wait
     // forever on threads still parked in `wait_reply` — turning this
@@ -247,7 +281,7 @@ fn teardown_or_panic(
     panic!(
         "sim fabric {state} with no progress possible: every application agent is parked \
          and no serviceable message remains (sent {sent}, delivered {delivered}, \
-         queued {queued}, deferred per node {deferred:?}) — this is a deadlock in the \
-         protocol or the application; replay the failing seed with DSM_TRACE=1"
+         queued {queued}, deferred per node {deferred:?}); {loss}; replay the failing \
+         seed with DSM_TRACE=1"
     );
 }

@@ -74,6 +74,11 @@ const TAG_HOME_NOTIFY: u8 = 13;
 const TAG_HOME_LOOKUP: u8 = 14;
 const TAG_HOME_LOOKUP_REPLY: u8 = 15;
 const TAG_SHUTDOWN: u8 = 16;
+const TAG_LOCK_RELEASE_ACK: u8 = 17;
+const TAG_HOME_ELECT: u8 = 18;
+const TAG_HOME_ELECT_REPLY: u8 = 19;
+const TAG_HOME_FENCE: u8 = 20;
+const TAG_HOME_FENCE_ACK: u8 = 21;
 
 fn put_node(w: &mut WireWriter, n: NodeId) {
     w.u16(n.0);
@@ -329,10 +334,16 @@ impl WireCodec<ProtocolMsg> for ProtocolCodec {
                 w.u64(req.0);
                 w.u32(lock.0);
             }
-            ProtocolMsg::LockRelease { lock, holder } => {
+            ProtocolMsg::LockRelease { lock, holder, req } => {
                 w.u8(TAG_LOCK_RELEASE);
                 w.u32(lock.0);
                 put_node(w, *holder);
+                w.u64(req.0);
+            }
+            ProtocolMsg::LockReleaseAck { req, lock } => {
+                w.u8(TAG_LOCK_RELEASE_ACK);
+                w.u64(req.0);
+                w.u32(lock.0);
             }
             ProtocolMsg::BarrierArrive {
                 req,
@@ -376,6 +387,51 @@ impl WireCodec<ProtocolMsg> for ProtocolCodec {
                 w.u64(req.0);
                 w.u64(obj.0);
                 put_node(w, *home);
+            }
+            ProtocolMsg::HomeElect {
+                req,
+                obj,
+                suspect,
+                candidate,
+                epoch,
+                has_copy,
+            } => {
+                w.u8(TAG_HOME_ELECT);
+                w.u64(req.0);
+                w.u64(obj.0);
+                put_node(w, *suspect);
+                put_node(w, *candidate);
+                w.u32(*epoch);
+                w.bool(*has_copy);
+            }
+            ProtocolMsg::HomeElectReply {
+                req,
+                obj,
+                home,
+                epoch,
+            } => {
+                w.u8(TAG_HOME_ELECT_REPLY);
+                w.u64(req.0);
+                w.u64(obj.0);
+                put_node(w, *home);
+                w.u32(*epoch);
+            }
+            ProtocolMsg::HomeFence {
+                req,
+                obj,
+                new_home,
+                epoch,
+            } => {
+                w.u8(TAG_HOME_FENCE);
+                w.u64(req.0);
+                w.u64(obj.0);
+                put_node(w, *new_home);
+                w.u32(*epoch);
+            }
+            ProtocolMsg::HomeFenceAck { req, obj } => {
+                w.u8(TAG_HOME_FENCE_ACK);
+                w.u64(req.0);
+                w.u64(obj.0);
             }
             ProtocolMsg::Shutdown => {
                 w.u8(TAG_SHUTDOWN);
@@ -473,6 +529,11 @@ impl WireCodec<ProtocolMsg> for ProtocolCodec {
             TAG_LOCK_RELEASE => Ok(ProtocolMsg::LockRelease {
                 lock: LockId(r.u32()?),
                 holder: get_node(r)?,
+                req: ReqId(r.u64()?),
+            }),
+            TAG_LOCK_RELEASE_ACK => Ok(ProtocolMsg::LockReleaseAck {
+                req: ReqId(r.u64()?),
+                lock: LockId(r.u32()?),
             }),
             TAG_BARRIER_ARRIVE => Ok(ProtocolMsg::BarrierArrive {
                 req: ReqId(r.u64()?),
@@ -498,6 +559,30 @@ impl WireCodec<ProtocolMsg> for ProtocolCodec {
                 req: ReqId(r.u64()?),
                 obj: ObjectId(r.u64()?),
                 home: get_node(r)?,
+            }),
+            TAG_HOME_ELECT => Ok(ProtocolMsg::HomeElect {
+                req: ReqId(r.u64()?),
+                obj: ObjectId(r.u64()?),
+                suspect: get_node(r)?,
+                candidate: get_node(r)?,
+                epoch: r.u32()?,
+                has_copy: r.bool()?,
+            }),
+            TAG_HOME_ELECT_REPLY => Ok(ProtocolMsg::HomeElectReply {
+                req: ReqId(r.u64()?),
+                obj: ObjectId(r.u64()?),
+                home: get_node(r)?,
+                epoch: r.u32()?,
+            }),
+            TAG_HOME_FENCE => Ok(ProtocolMsg::HomeFence {
+                req: ReqId(r.u64()?),
+                obj: ObjectId(r.u64()?),
+                new_home: get_node(r)?,
+                epoch: r.u32()?,
+            }),
+            TAG_HOME_FENCE_ACK => Ok(ProtocolMsg::HomeFenceAck {
+                req: ReqId(r.u64()?),
+                obj: ObjectId(r.u64()?),
             }),
             TAG_SHUTDOWN => Ok(ProtocolMsg::Shutdown),
             code => Err(WireError::UnknownTag {
@@ -647,6 +732,18 @@ mod tests {
             ProtocolMsg::LockRelease {
                 lock: LockId(42),
                 holder: NodeId(2),
+                req: ReqId(16),
+            },
+            // The legacy fire-and-forget release: ReqId(0) means "no ack
+            // expected" and must round-trip unchanged.
+            ProtocolMsg::LockRelease {
+                lock: LockId(43),
+                holder: NodeId(3),
+                req: ReqId(0),
+            },
+            ProtocolMsg::LockReleaseAck {
+                req: ReqId(16),
+                lock: LockId(42),
             },
             ProtocolMsg::BarrierArrive {
                 req: ReqId(12),
@@ -673,6 +770,30 @@ mod tests {
                 obj: ObjectId(111),
                 home: NodeId(1),
             },
+            ProtocolMsg::HomeElect {
+                req: ReqId(17),
+                obj: ObjectId(112),
+                suspect: NodeId(1),
+                candidate: NodeId(2),
+                epoch: 3,
+                has_copy: true,
+            },
+            ProtocolMsg::HomeElectReply {
+                req: ReqId(17),
+                obj: ObjectId(112),
+                home: NodeId(2),
+                epoch: 65_539,
+            },
+            ProtocolMsg::HomeFence {
+                req: ReqId(18),
+                obj: ObjectId(112),
+                new_home: NodeId(2),
+                epoch: 65_539,
+            },
+            ProtocolMsg::HomeFenceAck {
+                req: ReqId(18),
+                obj: ObjectId(112),
+            },
             ProtocolMsg::Shutdown,
         ]
     }
@@ -694,8 +815,8 @@ mod tests {
         let variants = every_variant();
         assert_eq!(
             variants.len(),
-            18,
-            "one instance per variant plus the grant case"
+            24,
+            "one instance per variant plus the grant and legacy-release cases"
         );
         for (i, msg) in variants.into_iter().enumerate() {
             let env = envelope_for(msg, i as u64);

@@ -14,6 +14,12 @@
 //! * the protocol invariants hold: no lost flush acks, migration
 //!   conservation, trace/statistics message-count reconciliation, per-link
 //!   FIFO delivery;
+//! * the same claims hold under **injected faults** ([`SimConfig::lossy`]:
+//!   1% seeded per-link drops plus a partition/heal cycle) — timeouts,
+//!   idempotent retries and home re-election turn message loss into a
+//!   performance event, never a semantic one;
+//! * a home node **going dark mid-run** triggers a deterministic home
+//!   re-election and the workload still completes with the right answer;
 //! * and (separately) the single-home-per-epoch invariant holds at every
 //!   synchronization point of a migration-churn run.
 //!
@@ -22,8 +28,10 @@
 use dsm_bench::matrix::{self, MatrixWorkload};
 use dsm_core::{MigrationPolicy, ProtocolConfig};
 use dsm_integration_tests::{seed_pair, sim_test_cluster};
+use dsm_model::{ComputeModel, NetworkParams, SimDuration, SimTime};
+use dsm_net::PauseSpec;
 use dsm_objspace::{BarrierId, HomeAssignment, LockId, NodeId, ObjectRegistry};
-use dsm_runtime::{ArrayHandle, Cluster, FabricMode, SimConfig};
+use dsm_runtime::{ArrayHandle, Cluster, ExecutionReport, FabricMode, SimConfig};
 
 /// Run every policy against `workload` under the corpus seeds and check
 /// the conformance claims cell by cell.
@@ -118,6 +126,201 @@ fn matrix_workload_order_is_the_documented_one() {
         policies,
         ["NM", "FT2", "AT", "JUMP", "LAZY", "HYST1+2", "EWMA"]
     );
+}
+
+/// Run every policy against `workload` under the corpus seeds with
+/// injected faults (`SimConfig::lossy`: 1% seeded per-link drops plus a
+/// partition/heal cycle) and check that every conformance claim survives:
+/// identical fingerprints, clean invariants (drop-aware reconciliation)
+/// and bit-identical replay, drop records included.
+fn lossy_conformance_for(workload: &MatrixWorkload) {
+    let (seed_a, seed_b) = seed_pair();
+    let mut injected_drops = 0usize;
+    for (policy, protocol) in matrix::policies() {
+        let cell = format!("{} x {policy} (lossy)", workload.name);
+        let reference = workload.run(matrix::matrix_cluster(
+            protocol.clone(),
+            FabricMode::Threaded,
+        ));
+
+        let sim = |seed: u64| {
+            workload.run(matrix::matrix_cluster(
+                protocol.clone(),
+                FabricMode::Sim(SimConfig::lossy(seed)),
+            ))
+        };
+        let run_a = sim(seed_a);
+        let replay_a = sim(seed_a);
+        let run_b = sim(seed_b);
+
+        for (seed, run) in [(seed_a, &run_a), (seed_a, &replay_a), (seed_b, &run_b)] {
+            assert_eq!(
+                run.fingerprint, reference.fingerprint,
+                "{cell}: seed {seed:#x} changed the application result under loss"
+            );
+            let violations = matrix::check_invariants(&run.report);
+            assert!(
+                violations.is_empty(),
+                "{cell}: seed {seed:#x}: {violations:?}"
+            );
+        }
+
+        // Same seed ⇒ bit-identical delivery trace, drops included.
+        let trace_a = run_a.report.delivery_trace.as_ref().unwrap();
+        let trace_replay = replay_a.report.delivery_trace.as_ref().unwrap();
+        assert_eq!(
+            trace_a,
+            trace_replay,
+            "{cell}: seed {seed_a:#x} did not replay bit-identically under loss \
+             (checksums {:#x} vs {:#x})",
+            trace_a.checksum(),
+            trace_replay.checksum()
+        );
+
+        let trace_b = run_b.report.delivery_trace.as_ref().unwrap();
+        injected_drops += trace_a.drops.len() + trace_b.drops.len();
+    }
+    // The sweep is only meaningful if the fault injection actually bit:
+    // across a whole workload's cells and two seeds, something must drop.
+    assert!(
+        injected_drops > 0,
+        "{}: no message was ever dropped across the lossy sweep — \
+         the fault injection did not engage",
+        workload.name
+    );
+}
+
+#[test]
+fn matrix_sor_conforms_under_lossy_faults() {
+    lossy_conformance_for(&matrix::workloads()[0]);
+}
+
+#[test]
+fn matrix_asp_conforms_under_lossy_faults() {
+    lossy_conformance_for(&matrix::workloads()[1]);
+}
+
+#[test]
+fn matrix_tsp_conforms_under_lossy_faults() {
+    lossy_conformance_for(&matrix::workloads()[2]);
+}
+
+#[test]
+fn matrix_nbody_conforms_under_lossy_faults() {
+    lossy_conformance_for(&matrix::workloads()[3]);
+}
+
+#[test]
+fn matrix_synthetic_conforms_under_lossy_faults() {
+    lossy_conformance_for(&matrix::workloads()[4]);
+}
+
+/// A home node goes dark mid-run (seeded node-pause injection) while
+/// another node needs its object: the stalled request times out, fails
+/// over to a deterministic home re-election at the object's arbiter, the
+/// election winner serves the access from its cached copy, the deposed
+/// home is fenced when it heals — and the workload completes with the
+/// right answer, bit-identically replayable from the seed.
+#[test]
+fn matrix_home_crash_triggers_reelection_and_workload_completes() {
+    const NODES: usize = 4;
+    // Node 1 (the object's creation home AND manager, so the arbiter
+    // falls over to node 2) goes dark for a 4 ms virtual-time window.
+    let pause = PauseSpec {
+        node: 1,
+        from: SimTime::from_micros(10_000.0),
+        until: SimTime::from_micros(14_000.0),
+    };
+    let run = |seed: u64| -> ExecutionReport {
+        let mut registry = ObjectRegistry::new();
+        let x: ArrayHandle<u64> = ArrayHandle::register(
+            &mut registry,
+            "matrix.crash",
+            0,
+            NODES,
+            NodeId(1),
+            HomeAssignment::CreationNode,
+        );
+        let lock = LockId::derive("matrix.crash.lock");
+        let gate = BarrierId(0x52);
+        // The ideal (1 µs start-up) network keeps the bootstrap phases in
+        // the tens of microseconds of virtual time, so the explicit
+        // `charge` below places the write phase inside the pause window
+        // with plenty of margin on both sides.
+        let config = Cluster::builder()
+            .nodes(NODES)
+            .protocol(ProtocolConfig::no_migration())
+            .compute(ComputeModel::free())
+            .network(NetworkParams::ideal())
+            .fabric(FabricMode::Sim(
+                SimConfig::perturbed(seed).with_pause(pause),
+            ))
+            .config();
+        Cluster::new(config, registry).run(move |ctx| {
+            let me = ctx.node_id().index();
+            // Bootstrap: the home seeds the value; node 3 caches a copy
+            // (it will be the only live node able to win the election).
+            if me == 1 {
+                ctx.synchronized(lock, || ctx.view_mut(&x)[0] = 42);
+            }
+            ctx.barrier(gate);
+            if me == 3 {
+                assert_eq!(ctx.view(&x)[0], 42);
+            }
+            ctx.barrier(gate);
+            // March every node except the victim into the pause window;
+            // node 1 parks at the next barrier *before* the window opens
+            // and goes dark for its duration.
+            if me != 1 {
+                ctx.charge(SimDuration::from_micros(10_500.0));
+            }
+            if me == 3 {
+                // The write faults in X from home node 1 — which is dark.
+                // The request times out, fails over to the arbiter (node
+                // 2), node 3 wins the election with its cached copy and
+                // serves its own access as the new home.
+                ctx.synchronized(lock, || ctx.view_mut(&x)[0] = 43);
+            }
+            ctx.barrier(gate);
+            // Everyone — including the healed, fenced node 1 — reads the
+            // post-crash value through the re-elected home.
+            assert_eq!(
+                ctx.view(&x)[0],
+                43,
+                "node {me} read a stale value after the home went dark"
+            );
+            ctx.barrier(gate);
+        })
+    };
+
+    let seed = seed_pair().0;
+    let report = run(seed);
+    let p = &report.protocol;
+    assert!(
+        p.elections >= 1,
+        "seed {seed:#x}: the dark home never triggered an election ({p:?})"
+    );
+    assert!(
+        p.homes_fenced >= 1,
+        "seed {seed:#x}: the deposed home was never fenced ({p:?})"
+    );
+    let trace = report.delivery_trace.as_ref().unwrap();
+    assert!(
+        !trace.drops.is_empty(),
+        "seed {seed:#x}: the pause window never dropped a message"
+    );
+    let violations = matrix::check_invariants(&report);
+    assert!(violations.is_empty(), "seed {seed:#x}: {violations:?}");
+
+    // The whole recovery story — timeout, election, fence, completion —
+    // replays bit-identically from the seed.
+    let replay = run(seed);
+    assert_eq!(
+        report.delivery_trace, replay.delivery_trace,
+        "seed {seed:#x}: the crash/re-election run did not replay bit-identically"
+    );
+    assert_eq!(p.elections, replay.protocol.elections);
+    assert_eq!(p.homes_fenced, replay.protocol.homes_fenced);
 }
 
 /// Single home per epoch, checked in-run under maximum migration churn:

@@ -129,11 +129,14 @@ fn wait_for(what: &str, deadline: Duration, mut check: impl FnMut() -> bool) {
 
 /// Heartbeat liveness transitions through the real protocol codec: a peer
 /// that stops heartbeating degrades alive → suspect → dead in the others'
-/// views, and recovers (with the recovery counted) once its heartbeats
-/// resume. Short `fast_liveness` timeouts keep the test fast; transitions
-/// are awaited by polling, never asserted after fixed sleeps.
+/// views — and death is sticky: once latched dead, resumed heartbeats on
+/// the old connection must *not* resurrect the peer (a dead peer may have
+/// been deposed in its absence; only an incarnation-fenced rejoin
+/// handshake readmits it). Short `fast_liveness` timeouts keep the test
+/// fast; transitions are awaited by polling, never asserted after fixed
+/// sleeps.
 #[test]
-fn liveness_degrades_and_recovers_in_the_membership_report() {
+fn liveness_degrades_and_death_is_sticky_in_the_membership_report() {
     let stats = StatsCollector::new();
     let fabric = TcpFabric::bind_local::<ProtocolCodec>(
         3,
@@ -171,21 +174,46 @@ fn liveness_degrades_and_recovers_in_the_membership_report() {
     }
     .all_alive());
 
+    let frames_before = endpoints[0]
+        .membership()
+        .peers
+        .iter()
+        .find(|p| p.node == quiet)
+        .expect("quiet peer tracked")
+        .frames;
     endpoints[2].pause_heartbeats(false);
+    // The resumed heartbeats flow (frames keep counting) but the peer
+    // stays latched dead in every observer's view.
     wait_for(
-        "recovery on resumed heartbeats",
+        "resumed heartbeats observed",
         Duration::from_secs(5),
-        || liveness_of(0) == PeerLiveness::Alive && liveness_of(1) == PeerLiveness::Alive,
+        || {
+            endpoints[0]
+                .membership()
+                .peers
+                .iter()
+                .find(|p| p.node == quiet)
+                .expect("quiet peer tracked")
+                .frames
+                > frames_before
+        },
     );
+    for observer in [0, 1] {
+        assert_eq!(
+            liveness_of(observer),
+            PeerLiveness::Dead,
+            "observer {observer}: a silently-resumed peer must stay latched dead"
+        );
+    }
     let view = endpoints[0].membership();
     let status = view
         .peers
         .iter()
         .find(|p| p.node == quiet)
         .expect("quiet peer tracked");
-    assert!(
-        status.recoveries >= 1,
-        "the dead→alive transition must be counted as a recovery: {status:?}"
+    assert_eq!(
+        status.recoveries, 0,
+        "a refused resurrection must not count as a recovery: {status:?}"
     );
 
     for ep in &endpoints {
