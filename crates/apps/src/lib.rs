@@ -20,11 +20,17 @@
 //! must equal the sequential one regardless of the migration policy, because
 //! home migration is a performance optimization that must never change
 //! program semantics.
+//!
+//! Beyond the paper's evaluation, [`kv`] is the serving-mode workload: a
+//! Zipfian key-value traffic generator with a shifting hot set, driven by
+//! the `dsm-bench` throughput harness for wall-clock ops/sec numbers and by
+//! the conformance matrix as the first non-HPC cell.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asp;
+pub mod kv;
 pub mod nbody;
 pub mod outcome;
 pub mod sor;

@@ -77,7 +77,19 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    std::fs::write(&options.output, gate::to_json(&rows))
+    // The throughput harness shares the output document; keep its section
+    // if the file already has one so the two gates can run in either order.
+    let throughput_rows = std::fs::read_to_string(&options.output)
+        .ok()
+        .and_then(|text| dsm_bench::throughput::parse_document(&text).ok())
+        .map(|(_, throughput)| throughput)
+        .unwrap_or_default();
+    let document = if throughput_rows.is_empty() {
+        gate::to_json(&rows)
+    } else {
+        dsm_bench::throughput::document_json(&rows, &throughput_rows)
+    };
+    std::fs::write(&options.output, document)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", options.output));
     println!("results written to {}", options.output);
 

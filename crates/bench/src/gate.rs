@@ -478,10 +478,7 @@ pub fn to_json(rows: &[GateRow]) -> String {
 /// order inside a workload object is free, unknown fields are rejected so
 /// schema drift is caught loudly).
 pub fn parse_json(text: &str) -> Result<Vec<GateRow>, String> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
+    let mut p = Parser::new(text);
     p.skip_ws();
     p.expect(b'{')?;
     let mut rows = Vec::new();
@@ -512,6 +509,11 @@ pub fn parse_json(text: &str) -> Result<Vec<GateRow>, String> {
                     }
                 }
             }
+            // The throughput harness appends its own section to the same
+            // document (see `crate::throughput::parse_document`); the
+            // workload-gate parser tolerates and skips it so both gates can
+            // read one `BENCH_PR.json`.
+            "throughput" => p.skip_value()?,
             other => return Err(format!("unknown top-level key {other:?}")),
         }
         p.skip_ws();
@@ -523,14 +525,24 @@ pub fn parse_json(text: &str) -> Result<Vec<GateRow>, String> {
     Ok(rows)
 }
 
-/// Minimal recursive-descent parser for the gate document.
-struct Parser<'a> {
+/// Minimal recursive-descent parser for the gate document. Shared with the
+/// throughput section's (de)serializer in `crate::throughput`.
+pub(crate) struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
+impl<'a> Parser<'a> {
+    pub(crate) fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+}
+
 impl Parser<'_> {
-    fn skip_ws(&mut self) {
+    pub(crate) fn skip_ws(&mut self) {
         while self
             .bytes
             .get(self.pos)
@@ -540,7 +552,7 @@ impl Parser<'_> {
         }
     }
 
-    fn eat(&mut self, byte: u8) -> bool {
+    pub(crate) fn eat(&mut self, byte: u8) -> bool {
         if self.bytes.get(self.pos) == Some(&byte) {
             self.pos += 1;
             true
@@ -549,7 +561,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
+    pub(crate) fn expect(&mut self, byte: u8) -> Result<(), String> {
         if self.eat(byte) {
             Ok(())
         } else {
@@ -562,7 +574,7 @@ impl Parser<'_> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    pub(crate) fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let start = self.pos;
         while let Some(&b) = self.bytes.get(self.pos) {
@@ -581,7 +593,7 @@ impl Parser<'_> {
         Err("unterminated string".to_string())
     }
 
-    fn number(&mut self) -> Result<f64, String> {
+    pub(crate) fn number(&mut self) -> Result<f64, String> {
         let start = self.pos;
         while self
             .bytes
@@ -596,7 +608,7 @@ impl Parser<'_> {
             .map_err(|e| format!("bad number at byte {start}: {e}"))
     }
 
-    fn boolean(&mut self) -> Result<bool, String> {
+    pub(crate) fn boolean(&mut self) -> Result<bool, String> {
         if self.bytes[self.pos..].starts_with(b"true") {
             self.pos += 4;
             Ok(true)
@@ -606,6 +618,50 @@ impl Parser<'_> {
         } else {
             Err(format!("expected boolean at byte {}", self.pos))
         }
+    }
+
+    /// Skip one JSON value of any shape — used to tolerate the *other*
+    /// gate's section when each gate parses the shared document.
+    pub(crate) fn skip_value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'"') => {
+                self.string()?;
+            }
+            Some(b'{') | Some(b'[') => {
+                let (open, close) = if self.bytes[self.pos] == b'{' {
+                    (b'{', b'}')
+                } else {
+                    (b'[', b']')
+                };
+                self.pos += 1;
+                self.skip_ws();
+                if self.eat(close) {
+                    return Ok(());
+                }
+                loop {
+                    if open == b'{' {
+                        self.string()?;
+                        self.skip_ws();
+                        self.expect(b':')?;
+                    }
+                    self.skip_value()?;
+                    self.skip_ws();
+                    if self.eat(close) {
+                        return Ok(());
+                    }
+                    self.expect(b',')?;
+                    self.skip_ws();
+                }
+            }
+            Some(b't') | Some(b'f') => {
+                self.boolean()?;
+            }
+            _ => {
+                self.number()?;
+            }
+        }
+        Ok(())
     }
 
     fn workload(&mut self) -> Result<GateRow, String> {

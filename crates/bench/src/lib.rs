@@ -4,8 +4,9 @@
 //! returning the rows/series the paper plots, plus report binaries
 //! (`fig2`, `fig3`, `fig5`, `ablation_notify`, `ablation_alpha`,
 //! `ablation_related`) that print the same data as aligned text tables and
-//! CSV. Criterion benches wrap the same entry points so `cargo bench`
-//! exercises every experiment end to end.
+//! CSV. The `benches/` targets are plain `harness = false` binaries built
+//! on [`time_bench`] — the offline build environment carries no criterion
+//! dependency.
 //!
 //! Paper workload sizes (1024-vertex ASP, 2048×2048 SOR, 16 nodes) take a
 //! while on a single development machine because the whole cluster is
@@ -13,6 +14,47 @@
 //! knob. `Scale::Small` keeps the shapes of the figures while running in
 //! seconds; `Scale::Paper` uses the paper's sizes. Binaries accept `--full`
 //! to select the paper scale.
+//!
+//! Besides the modeled figures, [`throughput`] measures **wall-clock**
+//! ops/sec and latency percentiles for the KV serving workload across the
+//! policy grid, and [`gate`] + [`throughput`] together write and check the
+//! two-section `BENCH_PR.json` regression document.
+//!
+//! ## Adding a workload
+//!
+//! A workload is a function `fn(ClusterConfig) -> (fingerprint, report)` —
+//! there is deliberately no trait to implement. The contract is the
+//! *fingerprint*: a `u64` (FNV fold, by convention) over the workload's
+//! deterministic result, where "deterministic" means *schedule-independent
+//! for a fixed `(seed, params, num_nodes)`* — identical across fabrics
+//! (threaded / sim / tcp), sim seeds, migration policies and replays. The
+//! standard way to get there is single-writer-per-object-per-phase with
+//! barriers between phases; values whose outcome depends on timing (e.g.
+//! racy reads) must stay out of the fingerprint. `dsm_apps::kv` is the
+//! worked example: writes are partitioned by a per-phase [`writer`]
+//! rotation so the final store contents fingerprint exactly, while the
+//! values *read* under contention are folded into a separate, unchecked
+//! `read_hash`.
+//!
+//! A new workload then joins one or both harnesses:
+//!
+//! * **Conformance matrix** — add a `MatrixWorkload` entry to
+//!   [`matrix::workloads`] with small parameters (the full policy × fabric
+//!   × seed sweep runs every cell many times; aim for well under a second
+//!   per cell). The sim matrix, the lossy fault matrix, the weekly extended
+//!   sweep and the TCP conformance suite all widen automatically.
+//! * **Throughput harness** — only if the workload is a *serving* loop
+//!   whose wall-clock rate is meaningful; wire it in
+//!   [`throughput::collect`] and extend the row invariants
+//!   ([`throughput::check_rows`]) with whatever per-policy behaviour the
+//!   workload pins down. Refresh `bench/throughput_baseline.json` with
+//!   `throughput --gate --write-baseline` in the same PR.
+//!
+//! Modeled workloads instead join the [`gate`] (add the name to
+//! [`gate::WORKLOADS`], run it in `run_workload`, refresh
+//! `bench/baseline.json` with `bench_gate --write-baseline`).
+//!
+//! [`writer`]: dsm_apps::kv::writer
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +66,7 @@ pub mod fig5;
 pub mod gate;
 pub mod matrix;
 pub mod table;
+pub mod throughput;
 
 use dsm_core::ProtocolConfig;
 use dsm_model::ComputeModel;

@@ -1,8 +1,9 @@
 //! The policy × workload conformance matrix.
 //!
-//! One place defines the grid every conformance sweep runs over: the five
-//! application workloads (SOR, ASP, TSP, N-body, synthetic) at small
-//! deterministic parameters, and the seven built-in home-migration policies
+//! One place defines the grid every conformance sweep runs over: the six
+//! application workloads (SOR, ASP, TSP, N-body, synthetic, and the KV
+//! serving workload) at small deterministic parameters, and the seven
+//! built-in home-migration policies
 //! (NM, FT2, AT, JUMP, LAZY, HYST, EWMA). The integration suite
 //! (`tests/tests/sim_matrix.rs`) and the `sim_matrix` binary both consume
 //! it, so adding a workload or policy here automatically widens every
@@ -21,7 +22,7 @@
 //!   with the network statistics and per-link FIFO order.
 
 use crate::table::Table;
-use dsm_apps::{asp, nbody, sor, synthetic, tsp};
+use dsm_apps::{asp, kv, nbody, sor, synthetic, tsp};
 use dsm_core::{EwmaWriteRatioPolicy, HysteresisPolicy, MigrationPolicy, ProtocolConfig};
 use dsm_model::ComputeModel;
 use dsm_runtime::{Cluster, ClusterConfig, ExecutionReport, FabricMode, SimConfig};
@@ -115,6 +116,18 @@ fn run_nbody(config: ClusterConfig) -> MatrixRun {
     }
 }
 
+fn run_kv(config: ClusterConfig) -> MatrixRun {
+    // The serving workload's first conformance cell: its fingerprint is the
+    // final store contents, schedule-independent by the single-writer
+    // phase discipline (see `dsm_apps::kv`), so the cell checks exactly
+    // like the HPC kernels — including under the lossy fault sweep.
+    let run = kv::run(config, &kv::KvParams::small());
+    MatrixRun {
+        fingerprint: run.fingerprint,
+        report: run.report,
+    }
+}
+
 fn run_synthetic(config: ClusterConfig) -> MatrixRun {
     let params = synthetic::SyntheticParams {
         repetition: 2,
@@ -150,6 +163,10 @@ pub fn workloads() -> Vec<MatrixWorkload> {
         MatrixWorkload {
             name: "synthetic",
             runner: run_synthetic,
+        },
+        MatrixWorkload {
+            name: "KV",
+            runner: run_kv,
         },
     ]
 }

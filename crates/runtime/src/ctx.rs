@@ -543,6 +543,17 @@ impl NodeCtx {
         self.shared.engine.migration_state(handle.id)
     }
 
+    /// A live snapshot of this node's protocol counters (merged across
+    /// engine shards). Counters recorded on the requester side — lock
+    /// acquires, barriers, `redirections_suffered` — only advance during
+    /// this node's own operations, so sampling them between operations
+    /// attributes activity to windows race-free; home-side counters
+    /// (`redirections_served`, migrations in/out) can move whenever a peer
+    /// makes progress.
+    pub fn protocol_stats(&self) -> dsm_core::ProtocolStats {
+        self.shared.engine.stats()
+    }
+
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------

@@ -13,15 +13,20 @@
 //!   guards; the substrate of the runtime's zero-copy object views.
 //! * [`SmallRng`] — a deterministic SplitMix64 generator for workload
 //!   generation and randomized property tests.
+//! * [`LatencyHistogram`] — a fixed-bucket log-linear histogram for
+//!   wall-clock latency percentiles (the piece `hdrhistogram` would
+//!   normally provide).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cell;
 pub mod channel;
+pub mod histogram;
 pub mod rng;
 pub mod sync;
 
 pub use cell::{RwCell, RwReadGuard, RwWriteGuard};
+pub use histogram::LatencyHistogram;
 pub use rng::{parse_seed, SmallRng};
 pub use sync::{Mutex, MutexGuard};

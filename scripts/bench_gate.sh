@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
-# Run the benchmark-regression gate locally — the same entry point CI's
-# bench-gate job uses. Builds the deterministic gate workloads in release
-# mode, writes BENCH_PR.json, and fails if modeled message counts or
-# modeled time regress >5% against bench/baseline.json.
+# Run both benchmark gates locally — the same entry points CI's bench-gate
+# and throughput-gate jobs use, sharing one BENCH_PR.json document:
 #
-#   scripts/bench_gate.sh                   # check against the baseline
-#   scripts/bench_gate.sh --write-baseline  # refresh bench/baseline.json
-#   scripts/bench_gate.sh --tolerance 10    # loosen the gate to 10%
+#   1. bench_gate — the deterministic modeled gate (fig2/fig3 SOR + ASP and
+#      the ablation's synthetic pattern, both flush-batching modes); fails
+#      if modeled message counts or modeled time regress >5% against
+#      bench/baseline.json.
+#   2. throughput --gate — the wall-clock KV serving gate (Zipfian skew,
+#      every migration policy); checks behavioural invariants, compares
+#      message counts and fingerprints against
+#      bench/throughput_baseline.json, and applies a generous ops/sec band.
+#
+#   scripts/bench_gate.sh                   # check both gates
+#   scripts/bench_gate.sh --tolerance 10    # loosen both gates to 10%
+#
+# To refresh a baseline, run the matching binary directly:
+#   cargo run -p dsm-bench --release --bin bench_gate  -- --write-baseline
+#   cargo run -p dsm-bench --release --bin throughput -- --gate --write-baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
-exec cargo run -p dsm-bench --release --bin bench_gate -- "$@"
+cargo run -p dsm-bench --release --bin bench_gate -- "$@"
+cargo run -p dsm-bench --release --bin throughput -- --gate "$@"

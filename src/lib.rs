@@ -10,7 +10,9 @@
 //!   access coefficient (Appendix A of the paper);
 //! * [`objspace`] — shared objects, twins, diffs, access states, home
 //!   assignment, and the [`prelude::DsmError`] taxonomy;
-//! * [`net`] — the simulated cluster fabric and message statistics;
+//! * [`net`] — the cluster fabrics (threaded loopback, deterministic
+//!   seeded simulation with fault injection, and real TCP sockets) and
+//!   message statistics;
 //! * [`protocol`] — the home-based LRC coherence engine and the pluggable
 //!   home-migration policy API: the [`prelude::HomeMigrationPolicy`] trait
 //!   with built-in impls for the paper's policies (`NoMigration`,
@@ -25,7 +27,8 @@
 //!   [`prelude::Matrix2dHandle`]) and the zero-copy
 //!   [`prelude::ReadView`]/[`prelude::WriteView`] guards;
 //! * [`apps`] — the paper's workloads (ASP, SOR, Barnes–Hut Nbody, TSP and
-//!   the synthetic single-writer benchmark).
+//!   the synthetic single-writer benchmark) plus the Zipfian KV serving
+//!   workload behind the wall-clock throughput harness.
 //!
 //! ## Quick start
 //!

@@ -116,11 +116,16 @@ fn matrix_synthetic_conforms_across_policies_and_seeds() {
 }
 
 #[test]
+fn matrix_kv_conforms_across_policies_and_seeds() {
+    conformance_for(&matrix::workloads()[5]);
+}
+
+#[test]
 fn matrix_workload_order_is_the_documented_one() {
     // The per-workload tests above index into the list; a re-ordering must
     // fail loudly here rather than silently swap the cells under test.
     let names: Vec<&str> = matrix::workloads().iter().map(|w| w.name).collect();
-    assert_eq!(names, ["SOR", "ASP", "TSP", "Nbody", "synthetic"]);
+    assert_eq!(names, ["SOR", "ASP", "TSP", "Nbody", "synthetic", "KV"]);
     let policies: Vec<String> = matrix::policies().into_iter().map(|(l, _)| l).collect();
     assert_eq!(
         policies,
@@ -213,6 +218,11 @@ fn matrix_nbody_conforms_under_lossy_faults() {
 #[test]
 fn matrix_synthetic_conforms_under_lossy_faults() {
     lossy_conformance_for(&matrix::workloads()[4]);
+}
+
+#[test]
+fn matrix_kv_conforms_under_lossy_faults() {
+    lossy_conformance_for(&matrix::workloads()[5]);
 }
 
 /// A home node goes dark mid-run (seeded node-pause injection) while

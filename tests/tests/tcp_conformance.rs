@@ -84,6 +84,11 @@ fn tsp_fingerprint_matches_loopback_over_tcp() {
     assert_tcp_conforms("TSP", ProtocolConfig::adaptive(), corpus_seed(2));
 }
 
+#[test]
+fn kv_fingerprint_matches_loopback_over_tcp() {
+    assert_tcp_conforms("KV", ProtocolConfig::adaptive(), corpus_seed(0));
+}
+
 /// Every built-in migration policy conforms on the synthetic workload —
 /// migration, redirection and batching traffic all cross real sockets.
 #[test]
