@@ -425,7 +425,9 @@ mod tests {
         let sampler = ZipfianSampler::new(64, 1.1);
         let draw = |seed| {
             let mut rng = SmallRng::seed_from_u64(seed);
-            (0..1000).map(|_| sampler.sample(&mut rng)).collect::<Vec<_>>()
+            (0..1000)
+                .map(|_| sampler.sample(&mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(draw(42), draw(42));
         assert_ne!(draw(42), draw(43));

@@ -87,7 +87,9 @@ fn main() -> ExitCode {
     let document = if throughput_rows.is_empty() {
         gate::to_json(&rows)
     } else {
-        dsm_bench::throughput::document_json(&rows, &throughput_rows)
+        // The report-only scheduler section is owned by the throughput
+        // harness, which always regenerates it; this gate writes none.
+        dsm_bench::throughput::document_json(&rows, &throughput_rows, &[])
     };
     std::fs::write(&options.output, document)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", options.output));

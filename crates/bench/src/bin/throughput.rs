@@ -149,7 +149,17 @@ fn main() -> ExitCode {
     println!("Throughput serving mode — wall-clock, Zipfian KV workload\n");
     println!("{}", throughput::render(&rows).render());
 
+    // The executor row: the same KV workload under the event-driven
+    // executor vs per-node polling threads, on identical seeds. The
+    // invariants (equal fingerprints, executor strictly quieter on idle
+    // wakeups) are machine-independent, so they gate in every mode; the
+    // wall-clock columns are report-only.
+    let sched_rows = throughput::collect_scheduler(&params, options.nodes, &fabric, options.seed);
+    println!("Server scheduling — executor vs polling, same workload and seed\n");
+    println!("{}", throughput::render_scheduler(&sched_rows).render());
+
     let mut failures = throughput::check_rows(&rows, &params);
+    failures.extend(throughput::check_scheduler(&sched_rows));
 
     if options.write_baseline {
         // Never commit a baseline that violates its own invariants.
@@ -160,8 +170,14 @@ fn main() -> ExitCode {
             }
             return ExitCode::FAILURE;
         }
-        std::fs::write(&options.baseline, throughput::document_json(&[], &rows))
-            .unwrap_or_else(|e| panic!("cannot write {}: {e}", options.baseline));
+        // Scheduler rows are report-only and deliberately excluded from
+        // the committed baseline: their wall-clock columns are the most
+        // machine-dependent numbers in the harness.
+        std::fs::write(
+            &options.baseline,
+            throughput::document_json(&[], &rows, &[]),
+        )
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", options.baseline));
         println!("baseline written to {}", options.baseline);
         return ExitCode::SUCCESS;
     }
@@ -175,7 +191,7 @@ fn main() -> ExitCode {
         .unwrap_or_default();
     std::fs::write(
         &options.output,
-        throughput::document_json(&workloads, &rows),
+        throughput::document_json(&workloads, &rows, &sched_rows),
     )
     .unwrap_or_else(|e| panic!("cannot write {}: {e}", options.output));
     println!("results merged into {}", options.output);

@@ -509,11 +509,11 @@ pub fn parse_json(text: &str) -> Result<Vec<GateRow>, String> {
                     }
                 }
             }
-            // The throughput harness appends its own section to the same
+            // The throughput harness appends its own sections to the same
             // document (see `crate::throughput::parse_document`); the
-            // workload-gate parser tolerates and skips it so both gates can
-            // read one `BENCH_PR.json`.
-            "throughput" => p.skip_value()?,
+            // workload-gate parser tolerates and skips them so both gates
+            // can read one `BENCH_PR.json`.
+            "throughput" | "scheduler" => p.skip_value()?,
             other => return Err(format!("unknown top-level key {other:?}")),
         }
         p.skip_ws();

@@ -34,7 +34,7 @@ use crate::gate::{GateRow, Parser};
 use crate::table::{fmt_f, Table};
 use dsm_apps::kv::{self, KvParams};
 use dsm_model::ComputeModel;
-use dsm_runtime::{Cluster, FabricMode};
+use dsm_runtime::{Cluster, FabricMode, ServerMode};
 use dsm_util::LatencyHistogram;
 use std::time::Duration;
 
@@ -142,7 +142,11 @@ fn measure(
         nodes,
         ops,
         wall_ms: wall_s * 1000.0,
-        ops_per_sec: if wall_s > 0.0 { ops as f64 / wall_s } else { 0.0 },
+        ops_per_sec: if wall_s > 0.0 {
+            ops as f64 / wall_s
+        } else {
+            0.0
+        },
         p50_us: latency.percentile(0.50) as f64 / 1000.0,
         p95_us: latency.percentile(0.95) as f64 / 1000.0,
         p99_us: latency.percentile(0.99) as f64 / 1000.0,
@@ -159,7 +163,12 @@ fn measure(
 /// Measure every built-in policy ([`crate::matrix::policies`], so a policy
 /// added to the conformance grid automatically joins the throughput sweep)
 /// under identical traffic.
-pub fn collect(params: &KvParams, nodes: usize, fabric: &FabricMode, seed: u64) -> Vec<ThroughputRow> {
+pub fn collect(
+    params: &KvParams,
+    nodes: usize,
+    fabric: &FabricMode,
+    seed: u64,
+) -> Vec<ThroughputRow> {
     crate::matrix::policies()
         .into_iter()
         .map(|(label, protocol)| measure(&label, protocol, params, nodes, fabric, seed))
@@ -187,6 +196,164 @@ pub fn render(rows: &[ThroughputRow]) -> Table {
         ]);
     }
     table
+}
+
+/// One server-scheduling mode's measurement of the same KV serving run —
+/// the bench gate's executor-vs-polling comparison. The adaptive-policy
+/// sweep above measures *migration* policies under the default scheduler;
+/// these rows pin the scheduler itself: the wake-on-send executor pool
+/// against one polling `recv_timeout` thread per node, same workload, same
+/// seed, no migration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerRow {
+    /// `"executor"` or `"polling"` (the [`dsm_runtime::SchedulerReport`]
+    /// mode label; the baseline-free gate is keyed on it).
+    pub mode: String,
+    /// Server threads used: pool size (executor) or one per node (polling).
+    pub workers: usize,
+    /// Total operations executed (all nodes).
+    pub ops: u64,
+    /// Wall-clock serving time of the slowest node, in milliseconds.
+    pub wall_ms: f64,
+    /// Total operations over the slowest node's serving time.
+    pub ops_per_sec: f64,
+    /// Idle server wakeups: empty handler steps (executor) or poll-tick
+    /// timeouts (polling) — the executor's headline idle-CPU win.
+    pub idle_wakeups: u64,
+    /// Wake-on-send notifications that marked a node runnable (executor
+    /// mode; 0 when polling).
+    pub wakeups: u64,
+    /// Handler steps executed (executor mode; 0 when polling).
+    pub steps: u64,
+    /// Deepest any node's inbound queue ever got during the run.
+    pub queue_depth_high_watermark: usize,
+    /// Total protocol messages.
+    pub messages: u64,
+    /// Deterministic fingerprint of the final store contents — must be
+    /// identical across scheduling modes (scheduling is performance, never
+    /// semantics).
+    pub fingerprint: u64,
+}
+
+/// Measure the KV workload once per server-scheduling mode (executor pool
+/// vs per-node polling threads) under the no-migration policy, so the two
+/// rows differ in scheduling alone.
+pub fn collect_scheduler(
+    params: &KvParams,
+    nodes: usize,
+    fabric: &FabricMode,
+    seed: u64,
+) -> Vec<SchedulerRow> {
+    [ServerMode::Executor, ServerMode::Polling]
+        .into_iter()
+        .map(|mode| {
+            let config = Cluster::builder()
+                .nodes(nodes)
+                .protocol(dsm_core::ProtocolConfig::no_migration())
+                .compute(ComputeModel::free())
+                .seed(seed)
+                .fast_poll()
+                .server_mode(mode)
+                .fabric(fabric.clone())
+                .config();
+            let run = kv::run(config, params);
+            let mut wall = Duration::ZERO;
+            let mut ops = 0u64;
+            for node in &run.nodes {
+                wall = wall.max(node.serving);
+                ops += node.ops;
+            }
+            let messages = run.report.total_messages();
+            let sched = run
+                .report
+                .scheduler
+                .expect("threaded/tcp runs surface a scheduler report");
+            let wall_s = wall.as_secs_f64();
+            SchedulerRow {
+                mode: sched.mode.to_string(),
+                workers: sched.workers,
+                ops,
+                wall_ms: wall_s * 1000.0,
+                ops_per_sec: if wall_s > 0.0 {
+                    ops as f64 / wall_s
+                } else {
+                    0.0
+                },
+                idle_wakeups: sched.idle_wakeups,
+                wakeups: sched.wakeups,
+                steps: sched.steps,
+                queue_depth_high_watermark: sched.queue_depth_high_watermark,
+                messages,
+                fingerprint: run.fingerprint,
+            }
+        })
+        .collect()
+}
+
+/// Render the scheduling-mode rows as a table.
+pub fn render_scheduler(rows: &[SchedulerRow]) -> Table {
+    let mut table = Table::new(&[
+        "scheduler",
+        "workers",
+        "ops/s",
+        "wall_ms",
+        "idle_wakes",
+        "wakes",
+        "steps",
+        "q_hwm",
+        "msgs",
+    ]);
+    for row in rows {
+        table.row(vec![
+            row.mode.clone(),
+            row.workers.to_string(),
+            fmt_f(row.ops_per_sec),
+            fmt_f(row.wall_ms),
+            row.idle_wakeups.to_string(),
+            row.wakeups.to_string(),
+            row.steps.to_string(),
+            row.queue_depth_high_watermark.to_string(),
+            row.messages.to_string(),
+        ]);
+    }
+    table
+}
+
+/// The machine-independent scheduling invariants; returns the violations
+/// (empty = pass). No committed baseline backs these rows — wall-clock
+/// scheduling numbers are the most machine-dependent in the whole gate —
+/// so everything checkable is checked structurally: same fingerprint, and
+/// the executor strictly quieter on idle wakeups than the per-node polling
+/// threads it replaced.
+pub fn check_scheduler(rows: &[SchedulerRow]) -> Vec<String> {
+    let mut errors = Vec::new();
+    let find = |mode: &str| rows.iter().find(|r| r.mode == mode);
+    let (Some(executor), Some(polling)) = (find("executor"), find("polling")) else {
+        return vec!["scheduler sweep must measure both executor and polling modes".into()];
+    };
+    for row in [executor, polling] {
+        if row.ops == 0 || row.wall_ms <= 0.0 {
+            errors.push(format!("{}: empty measurement", row.mode));
+        }
+    }
+    if executor.fingerprint != polling.fingerprint {
+        errors.push(format!(
+            "scheduler modes split the store fingerprint ({:#018x} executor vs {:#018x} \
+             polling) — scheduling changed the application result",
+            executor.fingerprint, polling.fingerprint
+        ));
+    }
+    if executor.idle_wakeups >= polling.idle_wakeups {
+        errors.push(format!(
+            "executor performed {} idle wakeups vs polling's {} — the wake-on-send pool \
+             must be strictly quieter than per-node poll timers",
+            executor.idle_wakeups, polling.idle_wakeups
+        ));
+    }
+    if executor.wakeups == 0 || executor.steps == 0 {
+        errors.push("executor measured no wakeups/steps — the wake path is dead".into());
+    }
+    errors
 }
 
 fn find<'a>(rows: &'a [ThroughputRow], policy: &str) -> Option<&'a ThroughputRow> {
@@ -264,9 +431,11 @@ pub fn check_rows(rows: &[ThroughputRow], params: &KvParams) -> Vec<String> {
     // once homes settle at the new writers, stale hints are used up.
     if let Some(at) = find(rows, "AT") {
         if at.redirects == 0 {
-            errors.push("AT: migrated homes without a single redirection — home hints are \
+            errors.push(
+                "AT: migrated homes without a single redirection — home hints are \
                  never stale, which cannot happen when homes move"
-                .into());
+                    .into(),
+            );
         }
         if params.windows_per_phase > 1 && at.shift_redirects < at.settle_redirects {
             errors.push(format!(
@@ -342,8 +511,16 @@ pub fn compare(
 
 /// Serialize the combined `BENCH_PR.json` document: the modeled gate's
 /// `workloads` section next to the wall-clock `throughput` section (either
-/// may be empty — the baseline files each carry only their own section).
-pub fn document_json(workloads: &[GateRow], rows: &[ThroughputRow]) -> String {
+/// may be empty — the baseline files each carry only their own section),
+/// plus an optional `scheduler` section with the executor-vs-polling
+/// comparison rows. The scheduler rows are report-only: no baseline file
+/// carries them (their wall-clock columns are the most machine-dependent
+/// numbers in the gate), so both parsers tolerate and skip the section.
+pub fn document_json(
+    workloads: &[GateRow],
+    rows: &[ThroughputRow],
+    scheduler: &[SchedulerRow],
+) -> String {
     let gate_doc = crate::gate::to_json(workloads);
     let body = gate_doc
         .trim_end()
@@ -376,7 +553,32 @@ pub fn document_json(workloads: &[GateRow], rows: &[ThroughputRow]) -> String {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if !scheduler.is_empty() {
+        out.push_str(",\n  \"scheduler\": [\n");
+        for (i, row) in scheduler.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"workers\": {}, \"ops\": {}, \"wall_ms\": {:.3}, \
+                 \"ops_per_sec\": {:.1}, \"idle_wakeups\": {}, \"wakeups\": {}, \
+                 \"steps\": {}, \"queue_depth_high_watermark\": {}, \"messages\": {}, \
+                 \"fingerprint\": \"{:#018x}\"}}{}\n",
+                row.mode,
+                row.workers,
+                row.ops,
+                row.wall_ms,
+                row.ops_per_sec,
+                row.idle_wakeups,
+                row.wakeups,
+                row.steps,
+                row.queue_depth_high_watermark,
+                row.messages,
+                row.fingerprint,
+                if i + 1 < scheduler.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -401,8 +603,10 @@ fn parse_throughput(text: &str) -> Result<Vec<ThroughputRow>, String> {
         p.skip_ws();
         match key.as_str() {
             // `gate::parse_json` already validated the schema and the
-            // workloads section; this pass only extracts its own.
-            "schema" | "workloads" => p.skip_value()?,
+            // workloads section; this pass only extracts its own. The
+            // report-only scheduler section has no baseline to compare
+            // against, so it is skipped here too.
+            "schema" | "workloads" | "scheduler" => p.skip_value()?,
             "throughput" => {
                 p.expect(b'[')?;
                 p.skip_ws();
@@ -473,8 +677,8 @@ fn throughput_row(p: &mut Parser<'_>) -> Result<ThroughputRow, String> {
             // numbers, so it travels as a hex string.
             "fingerprint" => {
                 let s = p.string()?;
-                row.fingerprint = dsm_util::parse_seed(&s)
-                    .map_err(|e| format!("bad fingerprint {s:?}: {e}"))?;
+                row.fingerprint =
+                    dsm_util::parse_seed(&s).map_err(|e| format!("bad fingerprint {s:?}: {e}"))?;
             }
             other => return Err(format!("unknown throughput key {other:?}")),
         }
@@ -526,10 +730,79 @@ mod tests {
         ]
     }
 
+    fn scheduler_rows() -> Vec<SchedulerRow> {
+        let executor = SchedulerRow {
+            mode: "executor".to_string(),
+            workers: 4,
+            ops: 96_000,
+            wall_ms: 110.0,
+            ops_per_sec: 870_000.0,
+            idle_wakeups: 12,
+            wakeups: 40_000,
+            steps: 41_000,
+            queue_depth_high_watermark: 9,
+            messages: 1000,
+            fingerprint: 0xdead_beef_cafe_f00d,
+        };
+        let polling = SchedulerRow {
+            mode: "polling".to_string(),
+            workers: 4,
+            ops: 96_000,
+            wall_ms: 120.0,
+            ops_per_sec: 800_000.0,
+            idle_wakeups: 4800,
+            wakeups: 0,
+            steps: 0,
+            queue_depth_high_watermark: 11,
+            messages: 1000,
+            fingerprint: 0xdead_beef_cafe_f00d,
+        };
+        vec![executor, polling]
+    }
+
+    #[test]
+    fn scheduler_invariants_pass_healthy_and_catch_each_violation() {
+        assert_eq!(check_scheduler(&scheduler_rows()), Vec::<String>::new());
+
+        // A missing mode fails structurally.
+        assert!(!check_scheduler(&scheduler_rows()[..1]).is_empty());
+
+        // The executor must be strictly quieter than polling.
+        let mut rows = scheduler_rows();
+        rows[0].idle_wakeups = rows[1].idle_wakeups;
+        assert!(check_scheduler(&rows)
+            .iter()
+            .any(|e| e.contains("strictly quieter")));
+
+        // Scheduling must never change the application result.
+        let mut rows = scheduler_rows();
+        rows[1].fingerprint ^= 1;
+        assert!(check_scheduler(&rows)
+            .iter()
+            .any(|e| e.contains("changed the application result")));
+
+        // A dead wake path is caught even when everything else looks fine.
+        let mut rows = scheduler_rows();
+        rows[0].wakeups = 0;
+        assert!(check_scheduler(&rows)
+            .iter()
+            .any(|e| e.contains("wake path is dead")));
+    }
+
+    #[test]
+    fn scheduler_section_is_tolerated_by_both_parsers() {
+        let text = document_json(&[], &healthy(), &scheduler_rows());
+        // Both section parsers skip the report-only scheduler rows.
+        assert!(crate::gate::parse_json(&text).unwrap().is_empty());
+        let (workloads, parsed) = parse_document(&text).unwrap();
+        assert!(workloads.is_empty());
+        assert_eq!(parsed, healthy());
+    }
+
     #[test]
     fn json_document_round_trips_and_gate_parser_skips_throughput() {
         let rows = healthy();
-        let text = document_json(&[], &rows);
+        let text = document_json(&[], &rows, &[]);
         // The modeled gate's parser tolerates the throughput section.
         assert!(crate::gate::parse_json(&text).unwrap().is_empty());
         let (workloads, parsed) = parse_document(&text).unwrap();
@@ -549,11 +822,9 @@ mod tests {
         assert!(parse_throughput("{\"schema\": 1, \"throughput\": [{\"bogus\": 1}]}").is_err());
         assert!(parse_throughput("{\"schema\": 1, \"nonsense\": []}").is_err());
         // A document without the section parses to an empty list.
-        assert!(
-            parse_throughput("{\"schema\": 1, \"workloads\": []}")
-                .unwrap()
-                .is_empty()
-        );
+        assert!(parse_throughput("{\"schema\": 1, \"workloads\": []}")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -603,20 +874,35 @@ mod tests {
     #[test]
     fn compare_flags_collapse_growth_and_drift() {
         let baseline = healthy();
-        assert!(compare(&baseline, &baseline, DEFAULT_WALL_BAND, DEFAULT_MESSAGE_TOLERANCE)
-            .is_empty());
+        assert!(compare(
+            &baseline,
+            &baseline,
+            DEFAULT_WALL_BAND,
+            DEFAULT_MESSAGE_TOLERANCE
+        )
+        .is_empty());
 
         // 4x slower passes the generous band; 6x fails.
         let mut slow = healthy();
         for r in &mut slow {
             r.ops_per_sec /= 4.0;
         }
-        assert!(compare(&slow, &baseline, DEFAULT_WALL_BAND, DEFAULT_MESSAGE_TOLERANCE)
-            .is_empty());
+        assert!(compare(
+            &slow,
+            &baseline,
+            DEFAULT_WALL_BAND,
+            DEFAULT_MESSAGE_TOLERANCE
+        )
+        .is_empty());
         for r in &mut slow {
             r.ops_per_sec /= 1.5;
         }
-        let errors = compare(&slow, &baseline, DEFAULT_WALL_BAND, DEFAULT_MESSAGE_TOLERANCE);
+        let errors = compare(
+            &slow,
+            &baseline,
+            DEFAULT_WALL_BAND,
+            DEFAULT_MESSAGE_TOLERANCE,
+        );
         assert_eq!(errors.len(), baseline.len(), "{errors:?}");
         assert!(errors[0].contains("throughput collapsed"));
 
@@ -624,17 +910,32 @@ mod tests {
         let mut bad = healthy();
         bad[0].messages = 1300;
         bad[1].fingerprint ^= 1;
-        let errors = compare(&bad, &baseline, DEFAULT_WALL_BAND, DEFAULT_MESSAGE_TOLERANCE);
+        let errors = compare(
+            &bad,
+            &baseline,
+            DEFAULT_WALL_BAND,
+            DEFAULT_MESSAGE_TOLERANCE,
+        );
         assert_eq!(errors.len(), 2, "{errors:?}");
         assert!(errors[0].contains("messages regressed"));
         assert!(errors[1].contains("fingerprint"));
 
         // Missing rows are flagged in both directions.
         let fewer: Vec<ThroughputRow> = healthy().into_iter().skip(1).collect();
-        let errors = compare(&fewer, &baseline, DEFAULT_WALL_BAND, DEFAULT_MESSAGE_TOLERANCE);
+        let errors = compare(
+            &fewer,
+            &baseline,
+            DEFAULT_WALL_BAND,
+            DEFAULT_MESSAGE_TOLERANCE,
+        );
         assert_eq!(errors.len(), 1);
         assert!(errors[0].contains("missing from current run"));
-        let errors = compare(&baseline, &fewer, DEFAULT_WALL_BAND, DEFAULT_MESSAGE_TOLERANCE);
+        let errors = compare(
+            &baseline,
+            &fewer,
+            DEFAULT_WALL_BAND,
+            DEFAULT_MESSAGE_TOLERANCE,
+        );
         assert_eq!(errors.len(), 1);
         assert!(errors[0].contains("no baseline entry"));
     }

@@ -12,12 +12,73 @@ use crate::stats::StatsCollector;
 use dsm_model::{NetworkParams, SimTime};
 use dsm_objspace::NodeId;
 use dsm_util::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// A hook the fabric fires after enqueuing a message: `wake(dst)` marks the
+/// destination node runnable so an event-driven server (the runtime's
+/// executor) can react to the arrival instead of polling for it.
+///
+/// Implementations must be cheap and non-blocking — the hook runs on the
+/// sender's thread, inside `send`, after the envelope is already queued.
+/// That ordering is the no-lost-wakeup contract: by the time `wake` fires,
+/// a drain of the destination's queue is guaranteed to see the message.
+pub trait WakeNotifier: Send + Sync {
+    /// Mark `node` as having (possibly) runnable protocol work.
+    fn wake(&self, node: NodeId);
+}
+
+/// Shared, late-bound slot for a [`WakeNotifier`].
+///
+/// The fabric is built before the executor that wants the notifications
+/// exists, so every endpoint carries a clone of this hub and the runtime
+/// installs the notifier once the executor is up. Wakes fired before
+/// installation are dropped — installers must schedule every node once
+/// after installing to cover that window.
+#[derive(Clone, Default)]
+pub struct WakeHub {
+    slot: Arc<OnceLock<Arc<dyn WakeNotifier>>>,
+}
+
+impl WakeHub {
+    /// Create an empty hub (wakes are no-ops until [`install`](Self::install)).
+    pub fn new() -> Self {
+        WakeHub::default()
+    }
+
+    /// Install the notifier. The first installation wins; later calls are
+    /// ignored (the hub is shared by every endpoint clone, and the runtime
+    /// installs exactly once per run).
+    pub fn install(&self, notifier: Arc<dyn WakeNotifier>) {
+        let _ = self.slot.set(notifier);
+    }
+
+    /// Fire the notifier for `node`, if one is installed.
+    pub fn wake(&self, node: NodeId) {
+        if let Some(notifier) = self.slot.get() {
+            notifier.wake(node);
+        }
+    }
+
+    /// Whether a notifier has been installed.
+    pub fn is_installed(&self) -> bool {
+        self.slot.get().is_some()
+    }
+}
+
+impl std::fmt::Debug for WakeHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WakeHub")
+            .field("installed", &self.is_installed())
+            .finish()
+    }
+}
 
 /// Factory for the endpoints of an `n`-node cluster.
 #[derive(Debug)]
 pub struct Fabric<M> {
     endpoints: Vec<Endpoint<M>>,
+    wake_hub: WakeHub,
 }
 
 /// One node's attachment to the fabric.
@@ -28,6 +89,7 @@ pub struct Endpoint<M> {
     senders: Vec<Sender<Envelope<M>>>,
     receiver: Receiver<Envelope<M>>,
     stats: StatsCollector,
+    wake_hub: WakeHub,
 }
 
 impl<M: Send> Fabric<M> {
@@ -45,6 +107,7 @@ impl<M: Send> Fabric<M> {
             senders.push(tx);
             receivers.push(rx);
         }
+        let wake_hub = WakeHub::new();
         let endpoints = receivers
             .into_iter()
             .enumerate()
@@ -54,14 +117,25 @@ impl<M: Send> Fabric<M> {
                 senders: senders.clone(),
                 receiver,
                 stats: stats.clone(),
+                wake_hub: wake_hub.clone(),
             })
             .collect();
-        Fabric { endpoints }
+        Fabric {
+            endpoints,
+            wake_hub,
+        }
     }
 
     /// Number of nodes in the fabric.
     pub fn num_nodes(&self) -> usize {
         self.endpoints.len()
+    }
+
+    /// The hub shared by every endpoint of this fabric. The runtime keeps a
+    /// clone across [`into_endpoints`](Self::into_endpoints) and installs
+    /// the executor's notifier into it.
+    pub fn wake_hub(&self) -> WakeHub {
+        self.wake_hub.clone()
     }
 
     /// Take ownership of all endpoints (one per node, in node order); called
@@ -128,6 +202,9 @@ impl<M: Send> Endpoint<M> {
             delivered,
             "destination endpoint dropped while cluster is running"
         );
+        // Enqueue-before-wake: the destination is marked runnable only once
+        // a drain of its queue is guaranteed to find the envelope.
+        self.wake_hub.wake(dst);
         arrival
     }
 
@@ -153,6 +230,16 @@ impl<M: Send> Endpoint<M> {
     /// Number of messages currently queued for this node.
     pub fn pending(&self) -> usize {
         self.receiver.len()
+    }
+
+    /// Deepest this node's inbound queue has ever been.
+    pub fn queue_high_watermark(&self) -> usize {
+        self.receiver.max_len()
+    }
+
+    /// The wake hub shared by every endpoint of the owning fabric.
+    pub fn wake_hub(&self) -> WakeHub {
+        self.wake_hub.clone()
     }
 }
 
@@ -246,6 +333,47 @@ mod tests {
         assert_eq!(ep1.pending(), 2);
         assert_eq!(ep1.try_recv().unwrap().payload, 1);
         assert_eq!(ep1.try_recv().unwrap().payload, 2);
+    }
+
+    #[test]
+    fn wake_hub_fires_destination_after_enqueue() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct Recorder {
+            wakes: AtomicUsize,
+            pending_at_wake: AtomicUsize,
+            ep1_pending: Arc<dyn Fn() -> usize + Send + Sync>,
+        }
+        impl WakeNotifier for Recorder {
+            fn wake(&self, node: NodeId) {
+                assert_eq!(node, NodeId(1));
+                self.wakes.fetch_add(1, Ordering::SeqCst);
+                self.pending_at_wake
+                    .fetch_max((self.ep1_pending)(), Ordering::SeqCst);
+            }
+        }
+
+        let fabric: Fabric<u8> = Fabric::new(2, NetworkParams::ideal(), StatsCollector::new());
+        let hub = fabric.wake_hub();
+        let eps: Vec<_> = fabric.into_endpoints().into_iter().map(Arc::new).collect();
+
+        // A wake before installation is silently dropped.
+        eps[0].send(NodeId(1), MsgCategory::Control, 0, SimTime::ZERO, 1);
+
+        let ep1 = Arc::clone(&eps[1]);
+        let recorder = Arc::new(Recorder {
+            wakes: AtomicUsize::new(0),
+            pending_at_wake: AtomicUsize::new(0),
+            ep1_pending: Arc::new(move || ep1.pending()),
+        });
+        hub.install(Arc::clone(&recorder) as Arc<dyn WakeNotifier>);
+        assert!(hub.is_installed());
+
+        eps[0].send(NodeId(1), MsgCategory::Control, 0, SimTime::ZERO, 2);
+        assert_eq!(recorder.wakes.load(Ordering::SeqCst), 1);
+        // Enqueue-before-wake: the message was visible when the hook ran.
+        assert!(recorder.pending_at_wake.load(Ordering::SeqCst) >= 2);
+        assert_eq!(eps[1].queue_high_watermark(), 2);
     }
 
     #[test]

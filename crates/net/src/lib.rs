@@ -14,8 +14,11 @@
 //!   arrival stamps computed with the Hockney model from `dsm-model`.
 //! * [`Fabric`] / [`Endpoint`] — a channel-based full mesh between
 //!   node threads. Sending is non-blocking; each node's protocol server
-//!   drains its endpoint. The fabric also offers a deterministic single-
-//!   threaded [`Loopback`] used by protocol unit tests.
+//!   drains its endpoint. Endpoints carry a [`WakeHub`] so an event-driven
+//!   server (the runtime's executor) can be notified of each enqueue via a
+//!   [`WakeNotifier`] instead of polling. The fabric also offers a
+//!   deterministic single-threaded [`Loopback`] used by protocol unit
+//!   tests.
 //! * [`SimFabric`] / [`SimEndpoint`] — the deterministic simulation fabric:
 //!   a seeded virtual-time scheduler that owns delivery itself, applies
 //!   pluggable [`LinkPerturbation`]s (latency jitter, bounded reordering,
@@ -68,7 +71,7 @@ pub mod wire;
 
 pub use category::MsgCategory;
 pub use envelope::{Envelope, MESSAGE_HEADER_BYTES};
-pub use fabric::{Endpoint, Fabric};
+pub use fabric::{Endpoint, Fabric, WakeHub, WakeNotifier};
 pub use loopback::Loopback;
 pub use membership::{LivenessTracker, MembershipReport, MembershipView, PeerLiveness, PeerStatus};
 pub use sim::{

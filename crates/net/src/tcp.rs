@@ -46,6 +46,7 @@
 
 use crate::category::MsgCategory;
 use crate::envelope::{Envelope, MESSAGE_HEADER_BYTES};
+use crate::fabric::WakeNotifier;
 use crate::membership::{LivenessTracker, MembershipView};
 use crate::stats::StatsCollector;
 use crate::wire::{
@@ -59,7 +60,7 @@ use dsm_util::sync::Mutex;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -181,11 +182,23 @@ struct LinkShared<M: Send + 'static> {
     hb_stop: AtomicBool,
     hb_paused: AtomicBool,
     inbound_tx: Sender<Envelope<M>>,
+    /// Late-bound wake hook: reader threads fire it towards the *owning*
+    /// node after enqueuing a payload (and on leave frames, so a drained
+    /// server re-evaluates its teardown condition) — the TCP analogue of
+    /// the in-process fabric's [`crate::fabric::WakeHub`].
+    notifier: OnceLock<Arc<dyn WakeNotifier>>,
 }
 
 impl<M: Send + 'static> LinkShared<M> {
     fn now_ms(&self) -> u64 {
         self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Mark the owning node runnable, if a notifier is installed.
+    fn wake_self(&self) {
+        if let Some(notifier) = self.notifier.get() {
+            notifier.wake(self.node);
+        }
     }
 }
 
@@ -277,6 +290,7 @@ impl<M: Send + 'static> TcpNodeBinding<M> {
             hb_stop: AtomicBool::new(false),
             hb_paused: AtomicBool::new(false),
             inbound_tx,
+            notifier: OnceLock::new(),
         });
 
         // Accept loop: collect exactly num_nodes - 1 hello'd incoming
@@ -483,6 +497,7 @@ impl<M: Send + 'static> TcpEndpoint<M> {
                 delivered,
                 "destination endpoint dropped while cluster is running"
             );
+            self.shared.wake_self();
             return arrival;
         }
         let frame = (self.encode_env)(&envelope);
@@ -522,6 +537,19 @@ impl<M: Send + 'static> TcpEndpoint<M> {
     /// Number of messages currently queued for this node.
     pub fn pending(&self) -> usize {
         self.inbound_rx.len()
+    }
+
+    /// Deepest this node's inbound queue has ever been.
+    pub fn queue_high_watermark(&self) -> usize {
+        self.inbound_rx.max_len()
+    }
+
+    /// Install the wake hook fired by this endpoint's reader threads after
+    /// each payload enqueue (and on leave frames). The first installation
+    /// wins; wakes before installation are dropped, so installers must
+    /// schedule this node once afterwards to cover the window.
+    pub fn install_notifier(&self, notifier: Arc<dyn WakeNotifier>) {
+        let _ = self.shared.notifier.set(notifier);
     }
 
     /// Announce an orderly departure: enqueue a leave frame as the final
@@ -842,6 +870,10 @@ fn spawn_reader<M: Send + 'static>(
             FrameKind::Leave => {
                 shared.peer_left[peer.index()].store(true, Ordering::SeqCst);
                 shared.leaves_received.fetch_add(1, Ordering::SeqCst);
+                // A leave can complete the teardown condition of an already
+                // drained node — wake it so an event-driven server re-checks
+                // `all_peers_left` instead of waiting on a poll tick.
+                shared.wake_self();
             }
             FrameKind::Hello => {
                 // Duplicate hello after the handshake: ignore.
@@ -859,6 +891,8 @@ fn spawn_reader<M: Send + 'static>(
                     if shared.inbound_tx.send(envelope).is_err() {
                         return;
                     }
+                    // Enqueue-before-wake, as on the in-process fabric.
+                    shared.wake_self();
                 }
                 Err(e) => {
                     eprintln!(

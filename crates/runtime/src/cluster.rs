@@ -8,10 +8,11 @@
 //! produces, which workload entry points accept directly.
 
 use crate::ctx::NodeCtx;
+use crate::exec::Executor;
 use crate::fault::{FaultConfig, FaultState};
 use crate::handle::{ArrayHandle, Matrix2dHandle, ScalarHandle};
 use crate::node::{server_loop, NodeLink, NodeShared};
-use crate::report::ExecutionReport;
+use crate::report::{ExecutionReport, SchedulerReport};
 use crate::sim::{sim_server_loop, AppAgent};
 use crate::tcp::tcp_server_loop;
 use dsm_core::{
@@ -52,8 +53,30 @@ pub enum FabricMode {
     Tcp(TcpConfig),
 }
 
-/// Default protocol-server poll interval: how long a server thread waits
-/// for a message before retrying deferred work and checking for shutdown.
+/// How the protocol servers of the threaded and TCP fabrics are driven.
+/// (The sim fabric has its own virtual-time scheduler and ignores this.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerMode {
+    /// The event-driven executor (the default): a bounded worker pool
+    /// multiplexes the server-side protocol handling of all nodes, driven
+    /// by wake-on-send notifications from the fabric. Idle workers park on
+    /// a condvar — a quiet cluster performs zero timer wakeups — and the
+    /// pool size decouples cluster size from thread count, so 256+-node
+    /// clusters run on one machine. Tune the pool with
+    /// [`ClusterBuilder::executor_workers`].
+    #[default]
+    Executor,
+    /// One polling `recv_timeout` server thread per node (the pre-executor
+    /// behaviour), kept behind this flag for A/B comparisons against the
+    /// executor. Retry cadence and idle cost are governed by
+    /// [`ClusterBuilder::poll_interval`] / [`ClusterBuilder::fast_poll`].
+    Polling,
+}
+
+/// Default protocol-server poll interval: how long a polling-mode server
+/// thread waits for a message before retrying deferred work and checking
+/// for shutdown ([`ServerMode::Polling`] only; the executor is
+/// event-driven).
 pub const DEFAULT_POLL_INTERVAL: Duration = Duration::from_millis(2);
 
 /// The short poll interval selected by [`ClusterBuilder::fast_poll`]: stress
@@ -84,6 +107,12 @@ pub struct ClusterConfig {
     /// The fabric the cluster runs on (threaded by default; see
     /// [`ClusterBuilder::sim_fabric`] for the deterministic sim mode).
     pub fabric: FabricMode,
+    /// How the protocol servers are driven on the threaded and TCP fabrics
+    /// (event-driven executor by default; see [`ServerMode`]).
+    pub server_mode: ServerMode,
+    /// Executor worker-pool size; `0` (the default) sizes the pool to
+    /// `min(available cores, num_nodes)`. Ignored in polling and sim modes.
+    pub executor_workers: usize,
 }
 
 impl ClusterConfig {
@@ -100,7 +129,24 @@ impl ClusterConfig {
             poll_interval: DEFAULT_POLL_INTERVAL,
             flush_batching: true,
             fabric: FabricMode::Threaded,
+            server_mode: ServerMode::default(),
+            executor_workers: 0,
         }
+    }
+
+    /// Replace the server-scheduling mode (see [`ServerMode`]).
+    #[must_use]
+    pub fn with_server_mode(mut self, mode: ServerMode) -> Self {
+        self.server_mode = mode;
+        self
+    }
+
+    /// Replace the executor worker-pool size (`0` = auto; see
+    /// [`ClusterBuilder::executor_workers`]).
+    #[must_use]
+    pub fn with_executor_workers(mut self, workers: usize) -> Self {
+        self.executor_workers = workers;
+        self
     }
 
     /// Replace the computation cost model.
@@ -190,6 +236,8 @@ pub struct ClusterBuilder {
     poll_interval: Duration,
     flush_batching: bool,
     fabric: FabricMode,
+    server_mode: ServerMode,
+    executor_workers: usize,
     registry: ObjectRegistry,
 }
 
@@ -204,6 +252,8 @@ impl Default for ClusterBuilder {
             poll_interval: DEFAULT_POLL_INTERVAL,
             flush_batching: true,
             fabric: FabricMode::Threaded,
+            server_mode: ServerMode::default(),
+            executor_workers: 0,
             registry: ObjectRegistry::new(),
         }
     }
@@ -283,13 +333,39 @@ impl ClusterBuilder {
     }
 
     /// Set the protocol-server poll interval (real time): how quickly a
-    /// server thread retries deferred busy messages and notices shutdown.
+    /// *polling-mode* server thread retries deferred busy messages and
+    /// notices shutdown.
+    ///
+    /// **Deprecation note:** the default [`ServerMode::Executor`] is
+    /// event-driven and never consults this interval — deferred work is
+    /// re-armed by view-lease releases and servers wake on message
+    /// arrival. This knob only matters under
+    /// [`Self::server_mode`]`(`[`ServerMode::Polling`]`)` (kept for A/B
+    /// comparisons) and the executor knobs
+    /// ([`Self::executor_workers`]) are the ones to reach for.
     ///
     /// # Panics
     /// Panics if `interval` is zero (the server would spin).
     pub fn poll_interval(mut self, interval: Duration) -> Self {
         assert!(!interval.is_zero(), "poll interval must be non-zero");
         self.poll_interval = interval;
+        self
+    }
+
+    /// Choose how the protocol servers are driven on the threaded and TCP
+    /// fabrics: the event-driven [`ServerMode::Executor`] pool (default) or
+    /// the legacy one-polling-thread-per-node [`ServerMode::Polling`].
+    pub fn server_mode(mut self, mode: ServerMode) -> Self {
+        self.server_mode = mode;
+        self
+    }
+
+    /// Size the executor's worker pool explicitly. `0` (the default) picks
+    /// `min(available cores, num_nodes)`; `1` serializes all server-side
+    /// protocol handling onto a single worker (useful for equivalence
+    /// testing). Ignored in polling and sim modes.
+    pub fn executor_workers(mut self, workers: usize) -> Self {
+        self.executor_workers = workers;
         self
     }
 
@@ -308,8 +384,12 @@ impl ClusterBuilder {
 
     /// Use the short stress-suite poll interval ([`FAST_POLL_INTERVAL`]):
     /// deferred messages are retried every 100 µs instead of every 2 ms,
-    /// which keeps contention-heavy test runs fast at the price of busier
-    /// idle server threads.
+    /// which keeps contention-heavy *polling-mode* runs fast at the price
+    /// of busier idle server threads.
+    ///
+    /// **Deprecation note:** under the default [`ServerMode::Executor`]
+    /// this is unnecessary — Busy deferrals re-arm on the releasing view's
+    /// drop, with no retry timer at all. See [`Self::poll_interval`].
     pub fn fast_poll(self) -> Self {
         self.poll_interval(FAST_POLL_INTERVAL)
     }
@@ -402,6 +482,8 @@ impl ClusterBuilder {
             poll_interval: self.poll_interval,
             flush_batching: self.flush_batching,
             fabric: self.fabric.clone(),
+            server_mode: self.server_mode,
+            executor_workers: self.executor_workers,
         }
     }
 
@@ -460,7 +542,9 @@ impl Cluster {
         }
     }
 
-    /// The threaded runner: per-node server threads, OS-scheduled delivery.
+    /// The threaded runner: OS-scheduled delivery over in-process channels,
+    /// served by the event-driven executor pool (default) or by one polling
+    /// server thread per node ([`ServerMode::Polling`]).
     fn run_threaded<F>(self, app: F) -> ExecutionReport
     where
         F: Fn(&NodeCtx) + Send + Sync,
@@ -471,6 +555,7 @@ impl Cluster {
         let stats = StatsCollector::new();
         let fabric: Fabric<ProtocolMsg> =
             Fabric::new(num_nodes, config.protocol.network, stats.clone());
+        let wake_hub = fabric.wake_hub();
 
         let shareds: Vec<Arc<NodeShared>> = fabric
             .into_endpoints()
@@ -495,37 +580,53 @@ impl Cluster {
             })
             .collect();
 
-        thread::scope(|scope| {
-            // Protocol server threads.
-            for shared in &shareds {
-                let shared = Arc::clone(shared);
-                scope.spawn(move || server_loop(&shared));
-            }
-            // Application threads.
-            let app = &app;
-            let mut handles = Vec::with_capacity(num_nodes);
-            for shared in &shareds {
-                let shared = Arc::clone(shared);
-                handles.push(scope.spawn(move || {
-                    let ctx = NodeCtx::new(shared);
-                    app(&ctx);
-                }));
-            }
-            // Join application threads, then stop the servers even if an
-            // application thread panicked (otherwise the scope would wait on
-            // server loops forever).
-            let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
-            for shared in &shareds {
-                shared.request_shutdown();
-            }
-            for result in results {
-                if let Err(payload) = result {
-                    std::panic::resume_unwind(payload);
+        let scheduler = match config.server_mode {
+            ServerMode::Executor => {
+                let workers = effective_workers(config.executor_workers, num_nodes);
+                let executor =
+                    Executor::new((0..num_nodes).map(|n| NodeId(n as u16)).collect(), workers);
+                wake_hub.install(executor.notifier());
+                for (slot, shared) in shareds.iter().enumerate() {
+                    shared.attach_rearm(executor.hook(slot));
                 }
+                run_apps_with_executor(&executor, &shareds, &app);
+                executor.report(queue_depth_high_watermark(&shareds))
             }
-        });
+            ServerMode::Polling => {
+                thread::scope(|scope| {
+                    // Protocol server threads.
+                    for shared in &shareds {
+                        let shared = Arc::clone(shared);
+                        scope.spawn(move || server_loop(&shared));
+                    }
+                    // Application threads.
+                    let app = &app;
+                    let mut handles = Vec::with_capacity(num_nodes);
+                    for shared in &shareds {
+                        let shared = Arc::clone(shared);
+                        handles.push(scope.spawn(move || {
+                            let ctx = NodeCtx::new(shared);
+                            app(&ctx);
+                        }));
+                    }
+                    // Join application threads, then stop the servers even
+                    // if an application thread panicked (otherwise the scope
+                    // would wait on server loops forever).
+                    let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+                    for shared in &shareds {
+                        shared.request_shutdown();
+                    }
+                    for result in results {
+                        if let Err(payload) = result {
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                });
+                polling_report(&shareds)
+            }
+        };
 
-        assemble_report(&config, &shareds, &stats, None, None)
+        assemble_report(&config, &shareds, &stats, None, None, Some(scheduler))
     }
 
     /// The TCP runner: every node binds a `127.0.0.1` listener, the mesh is
@@ -572,33 +673,52 @@ impl Cluster {
             })
             .collect();
 
-        thread::scope(|scope| {
-            for shared in &shareds {
-                let shared = Arc::clone(shared);
-                scope.spawn(move || tcp_server_loop(&shared));
-            }
-            let app = &app;
-            let mut handles = Vec::with_capacity(num_nodes);
-            for shared in &shareds {
-                let shared = Arc::clone(shared);
-                handles.push(scope.spawn(move || {
-                    let ctx = NodeCtx::new(shared);
-                    app(&ctx);
-                }));
-            }
-            // As in threaded mode: join applications first, then release the
-            // servers into the leave handshake even if an application thread
-            // panicked.
-            let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
-            for shared in &shareds {
-                shared.request_shutdown();
-            }
-            for result in results {
-                if let Err(payload) = result {
-                    std::panic::resume_unwind(payload);
+        let scheduler = match config.server_mode {
+            ServerMode::Executor => {
+                let workers = effective_workers(config.executor_workers, num_nodes);
+                let executor =
+                    Executor::new((0..num_nodes).map(|n| NodeId(n as u16)).collect(), workers);
+                for (slot, shared) in shareds.iter().enumerate() {
+                    let NodeLink::Tcp(ep) = &shared.link else {
+                        unreachable!("TCP runner built a non-TCP link");
+                    };
+                    ep.install_notifier(executor.notifier());
+                    shared.attach_rearm(executor.hook(slot));
                 }
+                run_apps_with_executor(&executor, &shareds, &app);
+                executor.report(queue_depth_high_watermark(&shareds))
             }
-        });
+            ServerMode::Polling => {
+                thread::scope(|scope| {
+                    for shared in &shareds {
+                        let shared = Arc::clone(shared);
+                        scope.spawn(move || tcp_server_loop(&shared));
+                    }
+                    let app = &app;
+                    let mut handles = Vec::with_capacity(num_nodes);
+                    for shared in &shareds {
+                        let shared = Arc::clone(shared);
+                        handles.push(scope.spawn(move || {
+                            let ctx = NodeCtx::new(shared);
+                            app(&ctx);
+                        }));
+                    }
+                    // As in threaded mode: join applications first, then
+                    // release the servers into the leave handshake even if
+                    // an application thread panicked.
+                    let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+                    for shared in &shareds {
+                        shared.request_shutdown();
+                    }
+                    for result in results {
+                        if let Err(payload) = result {
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                });
+                polling_report(&shareds)
+            }
+        };
 
         // Capture each node's liveness view before teardown stops the
         // heartbeat threads, then close the sockets.
@@ -645,7 +765,14 @@ impl Cluster {
             "wire-level modeled bytes and network statistics disagree"
         );
 
-        assemble_report(&config, &shareds, &stats, None, Some(membership))
+        assemble_report(
+            &config,
+            &shareds,
+            &stats,
+            None,
+            Some(membership),
+            Some(scheduler),
+        )
     }
 
     /// Run one node of a **multi-process** TCP cluster and return this
@@ -697,36 +824,62 @@ impl Cluster {
             None,
         );
 
-        thread::scope(|scope| {
-            let server = {
-                let shared = Arc::clone(&shared);
-                scope.spawn(move || tcp_server_loop(&shared))
-            };
-            let result = {
-                let shared = Arc::clone(&shared);
-                scope
-                    .spawn(move || {
-                        let ctx = NodeCtx::new(shared);
-                        app(&ctx);
-                    })
-                    .join()
-            };
-            shared.request_shutdown();
-            if let Err(payload) = result {
-                std::panic::resume_unwind(payload);
+        let shareds = [shared];
+        let scheduler = match config.server_mode {
+            ServerMode::Executor => {
+                // One hosted node: the pool defaults to a single worker,
+                // woken by this process's TCP readers (and self-sends).
+                let workers = effective_workers(config.executor_workers, 1);
+                let executor = Executor::new(vec![shareds[0].node], workers);
+                let NodeLink::Tcp(ep) = &shareds[0].link else {
+                    unreachable!("TCP worker built a non-TCP link");
+                };
+                ep.install_notifier(executor.notifier());
+                shareds[0].attach_rearm(executor.hook(0));
+                run_apps_with_executor(&executor, &shareds, &app);
+                executor.report(queue_depth_high_watermark(&shareds))
             }
-            let _ = server.join();
-        });
+            ServerMode::Polling => {
+                let shared = &shareds[0];
+                thread::scope(|scope| {
+                    let server = {
+                        let shared = Arc::clone(shared);
+                        scope.spawn(move || tcp_server_loop(&shared))
+                    };
+                    let result = {
+                        let shared = Arc::clone(shared);
+                        scope
+                            .spawn(move || {
+                                let ctx = NodeCtx::new(shared);
+                                app(&ctx);
+                            })
+                            .join()
+                    };
+                    shared.request_shutdown();
+                    if let Err(payload) = result {
+                        std::panic::resume_unwind(payload);
+                    }
+                    let _ = server.join();
+                });
+                polling_report(&shareds)
+            }
+        };
 
-        let NodeLink::Tcp(ep) = &shared.link else {
+        let NodeLink::Tcp(ep) = &shareds[0].link else {
             unreachable!("TCP worker built a non-TCP link");
         };
         let membership = MembershipReport {
             views: vec![ep.membership()],
         };
         ep.finish();
-        let shareds = [shared];
-        assemble_report(&config, &shareds, &stats, None, Some(membership))
+        assemble_report(
+            &config,
+            &shareds,
+            &stats,
+            None,
+            Some(membership),
+            Some(scheduler),
+        )
     }
 
     /// The sim runner: no server threads, no polling — the calling thread
@@ -843,7 +996,84 @@ impl Cluster {
             "delivery trace (deliveries + drops) and network statistics disagree on \
              message count"
         );
-        assemble_report(&config, &shareds, &stats, Some(trace), None)
+        assemble_report(&config, &shareds, &stats, Some(trace), None, None)
+    }
+}
+
+/// The executor pool size for a run: an explicit request wins; `0` (auto)
+/// sizes the pool to `min(available cores, num_nodes)`.
+fn effective_workers(requested: usize, num_nodes: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(num_nodes)
+        .max(1)
+}
+
+/// Spawn the executor's worker pool and the per-node application threads in
+/// one scope, join the applications, and drive the pool through teardown.
+/// Shared by the threaded, in-process-TCP and TCP-worker runners.
+fn run_apps_with_executor<F>(executor: &Executor, shareds: &[Arc<NodeShared>], app: &F)
+where
+    F: Fn(&NodeCtx) + Send + Sync,
+{
+    // Sweep every inbound queue once: wakes that fired before the notifier
+    // was installed were dropped (a TCP peer may already have sent).
+    executor.prime();
+    thread::scope(|scope| {
+        for _ in 0..executor.workers() {
+            scope.spawn(|| executor.run_worker(shareds));
+        }
+        let mut handles = Vec::with_capacity(shareds.len());
+        for shared in shareds {
+            let shared = Arc::clone(shared);
+            handles.push(scope.spawn(move || {
+                let ctx = NodeCtx::new(shared);
+                app(&ctx);
+            }));
+        }
+        // Join application threads first; then release the pool into its
+        // drain/termination protocol even if an application panicked — the
+        // workers must exit before the scope can close.
+        let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        for shared in shareds {
+            shared.request_shutdown();
+        }
+        executor.begin_shutdown();
+        for result in results {
+            if let Err(payload) = result {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+/// The deepest any node's inbound queue ever got across the run.
+fn queue_depth_high_watermark(shareds: &[Arc<NodeShared>]) -> usize {
+    shareds
+        .iter()
+        .filter_map(|shared| shared.link_queue_high_watermark())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Scheduler counters of a polling-mode run: one server thread per node,
+/// one idle wakeup per poll-tick timeout.
+fn polling_report(shareds: &[Arc<NodeShared>]) -> SchedulerReport {
+    SchedulerReport {
+        mode: "polling",
+        workers: shareds.len(),
+        steps: 0,
+        wakeups: 0,
+        idle_wakeups: shareds.iter().map(|s| s.idle_wakeup_count()).sum(),
+        renotifies: 0,
+        rearm_requeues: 0,
+        runnable_high_watermark: 0,
+        parked_high_watermark: 0,
+        queue_depth_high_watermark: queue_depth_high_watermark(shareds),
     }
 }
 
@@ -854,6 +1084,7 @@ fn assemble_report(
     stats: &StatsCollector,
     delivery_trace: Option<dsm_net::DeliveryTrace>,
     membership: Option<MembershipReport>,
+    scheduler: Option<SchedulerReport>,
 ) -> ExecutionReport {
     let node_times: Vec<_> = shareds.iter().map(|s| s.clock.now()).collect();
     let execution_time = node_times
@@ -875,5 +1106,6 @@ fn assemble_report(
         policy_label: config.protocol.migration.label().to_string(),
         delivery_trace,
         membership,
+        scheduler,
     }
 }

@@ -222,6 +222,14 @@ impl NodeCtx {
         }
     }
 
+    /// Called from the views' trailing drop signal once a payload lease has
+    /// truly been released (strictly after [`Self::release_view`] and after
+    /// the guard itself dropped): re-arms the executor's deferred server
+    /// work for this node. No-op outside executor mode.
+    pub(crate) fn lease_released(&self) {
+        self.shared.view_lease_released();
+    }
+
     /// Number of live write views in this context.
     fn live_write_views(&self) -> usize {
         self.active_views

@@ -1,10 +1,11 @@
 //! # dsm-runtime — the simulated cluster runtime
 //!
 //! This crate turns the transport-agnostic protocol engine of `dsm-core`
-//! into a running "cluster": one application thread and one protocol server
-//! thread per simulated node, connected by the `dsm-net` fabric, with
-//! per-node virtual clocks advanced by the Hockney network model and a
-//! configurable computation cost model.
+//! into a running "cluster": one application thread per simulated node,
+//! with all nodes' protocol servers multiplexed onto a bounded,
+//! event-driven worker pool (see *Execution model* below), connected by
+//! the `dsm-net` fabric, with per-node virtual clocks advanced by the
+//! Hockney network model and a configurable computation cost model.
 //!
 //! The programming model mirrors the paper's distributed JVM: the same
 //! application closure runs on every node (like a Java thread dispatched to
@@ -25,6 +26,45 @@
 //! [`ExecutionReport`] with the virtual execution time, the message/traffic
 //! statistics and the protocol counters that the benchmark harness turns
 //! into the paper's figures.
+//!
+//! ## Execution model
+//!
+//! Application code always gets one real OS thread per node — it blocks on
+//! locks, barriers and remote fetches, so it needs one. Server-side
+//! protocol handling does not: a protocol server is a non-blocking message
+//! pump (drain the inbound queue, run handlers, retry deferrals), idle
+//! whenever no message is in flight. The runtime therefore schedules the
+//! servers in one of two modes ([`ServerMode`],
+//! [`ClusterBuilder::server_mode`]):
+//!
+//! * **Executor** (the default on the threaded and TCP fabrics): all
+//!   nodes' servers are multiplexed onto a bounded worker pool
+//!   (`available_parallelism` workers by default,
+//!   [`ClusterBuilder::executor_workers`] to override) and run
+//!   **wake-on-send**: the act of sending into a node's inbound channel —
+//!   or, on TCP, the socket reader thread handing a frame to the inbound
+//!   queue — marks that node runnable and wakes a parked worker. A quiet
+//!   cluster is *silent*: no timer ticks, no idle polls, workers parked on
+//!   a condvar. This is what lets a 256-node cluster run on one machine
+//!   without paying 256 server threads' worth of stacks and timer wakeups.
+//!   A per-node atomic state machine (idle → queued → running, plus a
+//!   notified-while-running bit) guarantees no lost wakeups: a
+//!   notification that lands mid-step re-queues the node after its step
+//!   finishes, and a handler that defers a Busy message re-arms the node's
+//!   runnable bit so the deferral is retried without any timer.
+//! * **Polling** ([`ServerMode::Polling`]): the original one-server-thread
+//!   per-node layout, each blocking on its channel with a
+//!   [`ClusterBuilder::poll_interval`] timeout. Kept as the semantic
+//!   reference — scheduling is invisible to the protocol, and the test
+//!   suite holds the two modes to fingerprint-identical results — and as
+//!   the fallback if the executor is ever suspected.
+//!
+//! The sim fabric uses neither: its virtual-time scheduler delivers every
+//! message inline on one thread (no server threads, no inbound queues), so
+//! sim runs report no scheduler. Threaded and TCP runs surface the
+//! scheduling counters — steps, wakeups, idle wakeups, re-notifications,
+//! runnable/parked high-watermarks, queue-depth high-watermark — in
+//! [`ExecutionReport::scheduler`] ([`SchedulerReport`]).
 //!
 //! ## Locking architecture
 //!
@@ -99,10 +139,14 @@
 //!
 //! **Why deferral stays deadlock-free:** a server that finds a payload
 //! leased to an application view reports `Busy`; the runtime parks the
-//! message on a deferral queue and retries it on later messages and on
-//! every poll tick (see [`ClusterBuilder::poll_interval`] /
-//! [`ClusterBuilder::fast_poll`]) instead of blocking the server thread. A
-//! node blocked on the network therefore always has a responsive server.
+//! message on a deferral queue and retries it instead of blocking the
+//! server. Under the executor the retry is event-driven — a node with
+//! deferred work keeps its runnable bit armed (and the application dropping
+//! a view re-notifies it), so the deferral is re-attempted without any
+//! timer; under [`ServerMode::Polling`] it is retried on later messages and
+//! on every poll tick (see [`ClusterBuilder::poll_interval`] /
+//! [`ClusterBuilder::fast_poll`]). Either way a node blocked on the
+//! network always has a responsive server.
 //! The one remaining cycle — two nodes each waiting for the other's server
 //! while their own write leases keep that server deferring — is ruled out
 //! on the application side: a context refuses to issue a remote fault-in
@@ -119,11 +163,12 @@
 //! workload results — they differ in who schedules delivery and what the
 //! messages physically travel over:
 //!
-//! * **Loopback / threaded** (the default): in-process channels, one
-//!   protocol server thread per node, message interleaving decided by the
-//!   OS scheduler. Per-link FIFO holds because each link *is* one channel.
-//!   Fastest wall-clock on many cores; schedules are not reproducible run
-//!   to run.
+//! * **Loopback / threaded** (the default): in-process channels, all
+//!   nodes' protocol servers scheduled by the wake-on-send executor pool
+//!   (or per-node polling threads under [`ServerMode::Polling`]), message
+//!   interleaving decided by the OS scheduler. Per-link FIFO holds because
+//!   each link *is* one channel. Fastest wall-clock on many cores;
+//!   schedules are not reproducible run to run.
 //! * **Sim** ([`ClusterBuilder::sim_fabric`]`(seed)`): the deterministic
 //!   virtual-time scheduler. Per-link FIFO is enforced by a delivery-time
 //!   clamp even under seeded reordering perturbations. Bit-identical
@@ -230,6 +275,7 @@
 
 pub mod cluster;
 pub mod ctx;
+mod exec;
 mod fault;
 pub mod handle;
 pub mod node;
@@ -240,7 +286,8 @@ pub mod vclock;
 pub mod view;
 
 pub use cluster::{
-    Cluster, ClusterBuilder, ClusterConfig, FabricMode, DEFAULT_POLL_INTERVAL, FAST_POLL_INTERVAL,
+    Cluster, ClusterBuilder, ClusterConfig, FabricMode, ServerMode, DEFAULT_POLL_INTERVAL,
+    FAST_POLL_INTERVAL,
 };
 pub use ctx::NodeCtx;
 pub use dsm_net::{
@@ -249,6 +296,6 @@ pub use dsm_net::{
 };
 pub use dsm_objspace::{DsmError, DsmResult};
 pub use handle::{ArrayHandle, Matrix2dHandle, ScalarHandle};
-pub use report::ExecutionReport;
+pub use report::{ExecutionReport, SchedulerReport};
 pub use vclock::VirtualClock;
 pub use view::{ReadView, WriteView};

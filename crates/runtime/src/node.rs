@@ -1,26 +1,32 @@
-//! Per-node shared state and the protocol server loop.
+//! Per-node shared state and the protocol server.
 //!
-//! Every simulated node consists of two OS threads sharing a `NodeShared`:
+//! Every simulated node pairs an **application thread** — it runs the user
+//! closure through [`crate::NodeCtx`], issues blocking requests
+//! (fault-ins, diff flushes, lock acquires, barrier arrivals) and parks on
+//! a reply channel — with a **protocol server**: the message pump that
+//! drains the node's fabric endpoint, dispatches requests to the protocol
+//! engine, sends the produced replies and wakes local waiters. How the
+//! server gets CPU time is the cluster's choice (see the "Execution model"
+//! section of the crate docs): under the default
+//! [`crate::ServerMode::Executor`] all nodes' servers are stepped by the
+//! wake-on-send worker pool in `crate::exec`; under
+//! [`crate::ServerMode::Polling`] each node gets a dedicated server thread
+//! blocking on its channel with a poll timeout.
 //!
-//! * the **application thread** runs the user closure through
-//!   [`crate::NodeCtx`]; when it needs the network it issues blocking
-//!   requests (fault-ins, diff flushes, lock acquires, barrier arrivals) and
-//!   parks on a reply channel;
-//! * the **protocol server thread** drains the node's fabric endpoint,
-//!   dispatches requests to the protocol engine, sends the produced replies
-//!   and wakes local waiters.
-//!
-//! Both threads drive the engine directly through `&self` — there is **no
-//! node-global engine mutex**. The [`ProtocolEngine`] is internally
-//! lock-striped by `ObjectId`, so an object request being served here never
-//! contends with the application thread touching a different object, and
-//! the pending-reply table is striped by request id the same way (see the
-//! "Locking architecture" section of the crate docs).
+//! Application and server drive the engine directly through `&self` —
+//! there is **no node-global engine mutex**. The [`ProtocolEngine`] is
+//! internally lock-striped by `ObjectId`, so an object request being
+//! served here never contends with the application thread touching a
+//! different object, and the pending-reply table is striped by request id
+//! the same way (see the "Locking architecture" section of the crate
+//! docs).
 //!
 //! The server **never blocks on object payloads**: when the engine reports
 //! a `Busy` outcome (the application holds a zero-copy view of the copy a
 //! request needs), the message is parked on a local deferral queue and
-//! retried after subsequent messages and on every poll tick (the tick
+//! retried after subsequent messages — plus, under the executor, whenever
+//! the deferral re-arm wakes the node (the application dropping a view
+//! re-notifies it), or, under polling, on every poll tick (the tick
 //! defaults to 2 ms and is configurable through
 //! `ClusterBuilder::poll_interval` / `fast_poll`). Replies to the
 //! local application are always processed immediately, which is what makes
@@ -195,6 +201,14 @@ pub(crate) struct NodeShared {
     pending: Box<[PendingStripe]>,
     next_req: AtomicU64,
     shutdown: AtomicBool,
+    /// Idle server wakeups: poll-loop timeout ticks that found nothing to
+    /// do (polling mode), surfaced so the executor's zero-idle-wakeup claim
+    /// is assertable against the polling baseline.
+    idle_wakeups: AtomicU64,
+    /// The executor's re-arm hook (unset in polling and sim modes):
+    /// view-lease releases and teardown aborts re-schedule this node's
+    /// server steps through it.
+    rearm: OnceLock<crate::exec::RearmHook>,
 }
 
 impl NodeShared {
@@ -227,7 +241,80 @@ impl NodeShared {
                 .collect(),
             next_req: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            idle_wakeups: AtomicU64::new(0),
+            rearm: OnceLock::new(),
         })
+    }
+
+    /// Attach the executor's re-arm hook (first attach wins; polling and
+    /// sim runs never attach one).
+    pub(crate) fn attach_rearm(&self, hook: crate::exec::RearmHook) {
+        let _ = self.rearm.set(hook);
+    }
+
+    /// Called (indirectly, from the view guards' trailing drop signal)
+    /// after a view's payload lease has truly been released: re-arms the
+    /// executor's deferred work for this node. No-op outside executor mode.
+    pub(crate) fn view_lease_released(&self) {
+        if let Some(hook) = self.rearm.get() {
+            hook.lease_released();
+        }
+    }
+
+    /// Count one idle poll-loop wakeup (a timeout tick with nothing to do).
+    pub(crate) fn note_idle_tick(&self) {
+        self.idle_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Idle server wakeups recorded so far (polling mode).
+    pub(crate) fn idle_wakeup_count(&self) -> u64 {
+        self.idle_wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Non-blocking receive from this node's fabric endpoint (executor
+    /// steps; the sim fabric owns delivery itself and never lands here).
+    pub(crate) fn link_try_recv(&self) -> Option<dsm_net::Envelope<ProtocolMsg>> {
+        match &self.link {
+            NodeLink::Threaded(ep) => ep.try_recv(),
+            NodeLink::Tcp(ep) => ep.try_recv(),
+            NodeLink::Sim(_) => unreachable!("executor stepped a sim-fabric node"),
+        }
+    }
+
+    /// Messages currently queued on this node's inbound endpoint.
+    pub(crate) fn link_pending(&self) -> usize {
+        match &self.link {
+            NodeLink::Threaded(ep) => ep.pending(),
+            NodeLink::Tcp(ep) => ep.pending(),
+            NodeLink::Sim(_) => unreachable!("executor stepped a sim-fabric node"),
+        }
+    }
+
+    /// Whether the fabric side of this node is fully drained for teardown:
+    /// nothing queued, and (on TCP) every peer's leave received.
+    pub(crate) fn link_drained(&self) -> bool {
+        match &self.link {
+            NodeLink::Threaded(ep) => ep.pending() == 0,
+            NodeLink::Tcp(ep) => ep.pending() == 0 && ep.all_peers_left(),
+            NodeLink::Sim(_) => unreachable!("executor stepped a sim-fabric node"),
+        }
+    }
+
+    /// Announce the TCP leave frame (idempotent); no-op on other fabrics.
+    pub(crate) fn link_announce_leave(&self) {
+        if let NodeLink::Tcp(ep) = &self.link {
+            ep.announce_leave();
+        }
+    }
+
+    /// This node's inbound queue-depth high-watermark (`None` on the sim
+    /// fabric, which has no per-node inbound queue).
+    pub(crate) fn link_queue_high_watermark(&self) -> Option<usize> {
+        match &self.link {
+            NodeLink::Threaded(ep) => Some(ep.queue_high_watermark()),
+            NodeLink::Tcp(ep) => Some(ep.queue_high_watermark()),
+            NodeLink::Sim(_) => None,
+        }
     }
 
     /// The pending-table stripe for `req`.
@@ -370,6 +457,11 @@ impl NodeShared {
             cleared += stripe.len();
             stripe.clear();
         }
+        // In executor mode the abort must also wake parked workers so the
+        // pool re-runs its drain/termination check.
+        if let Some(hook) = self.rearm.get() {
+            hook.schedule();
+        }
         cleared
     }
 
@@ -429,6 +521,7 @@ pub(crate) fn server_loop(shared: &Arc<NodeShared>) {
                 retry_deferred(shared, &mut deferred, &mut partials);
             }
             Err(RecvTimeoutError::Timeout) => {
+                shared.note_idle_tick();
                 retry_deferred(shared, &mut deferred, &mut partials);
                 if shared.should_shutdown() && endpoint.pending() == 0 && deferred.is_empty() {
                     debug_assert!(

@@ -9,6 +9,45 @@ use dsm_core::{PolicyTelemetry, ProtocolStats};
 use dsm_model::{SimDuration, SimTime};
 use dsm_net::{DeliveryTrace, MembershipReport, MsgCategory, NetworkStats};
 
+/// Server-scheduling counters of one run: how the protocol servers were
+/// driven (event-driven executor pool vs. per-node polling threads) and
+/// what it cost. The idle-wakeup counter is the executor's headline number
+/// — a quiet cluster performs zero timer wakeups under the executor, while
+/// every polling server burns one wakeup per poll tick.
+#[derive(Debug, Clone)]
+pub struct SchedulerReport {
+    /// `"executor"` (wake-on-send worker pool) or `"polling"` (one
+    /// `recv_timeout` server thread per node).
+    pub mode: &'static str,
+    /// Server threads used: pool size in executor mode, one per node in
+    /// polling mode.
+    pub workers: usize,
+    /// Handler steps executed (executor mode; 0 when polling).
+    pub steps: u64,
+    /// Wake-on-send notifications that marked a node runnable (executor
+    /// mode; 0 when polling).
+    pub wakeups: u64,
+    /// Idle server wakeups: handler steps that found nothing to do
+    /// (executor) or poll-tick timeouts (polling). The executor's
+    /// fewer-idle-wakeups win over polling is asserted on this field.
+    pub idle_wakeups: u64,
+    /// Notifications that arrived while the node was mid-step (the
+    /// finishing worker re-queued it; executor mode).
+    pub renotifies: u64,
+    /// Busy-deferral re-arm races resolved by a worker-side re-queue: the
+    /// view lease was released between the final retry and the epoch check
+    /// (executor mode).
+    pub rearm_requeues: u64,
+    /// Deepest the runnable queue ever got (executor mode).
+    pub runnable_high_watermark: usize,
+    /// Most workers ever parked at once (executor mode).
+    pub parked_high_watermark: usize,
+    /// Deepest any node's inbound message queue ever got, across the
+    /// cluster — a scheduling stall (a node falling behind its arrivals)
+    /// shows up here.
+    pub queue_depth_high_watermark: usize,
+}
+
 /// Summary of one cluster run.
 #[derive(Debug, Clone)]
 pub struct ExecutionReport {
@@ -37,6 +76,10 @@ pub struct ExecutionReport {
     /// The liveness classification is observational for now: a suspect or
     /// dead peer is surfaced here, not acted upon.
     pub membership: Option<MembershipReport>,
+    /// Server-scheduling counters (executor or polling mode); `None` on the
+    /// sim fabric, whose virtual-time scheduler has neither server threads
+    /// nor inbound queues.
+    pub scheduler: Option<SchedulerReport>,
 }
 
 impl ExecutionReport {
@@ -141,6 +184,7 @@ mod tests {
             policy_label: "AT".to_string(),
             delivery_trace: None,
             membership: None,
+            scheduler: None,
         }
     }
 

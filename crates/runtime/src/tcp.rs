@@ -61,6 +61,7 @@ pub(crate) fn tcp_server_loop(shared: &Arc<NodeShared>) {
                 retry_deferred(shared, &mut deferred, &mut partials);
             }
             Err(RecvTimeoutError::Timeout) => {
+                shared.note_idle_tick();
                 retry_deferred(shared, &mut deferred, &mut partials);
                 if shared.should_shutdown() && endpoint.pending() == 0 && deferred.is_empty() {
                     if !leave_announced {

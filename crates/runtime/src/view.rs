@@ -32,12 +32,30 @@ use dsm_util::{RwReadGuard, RwWriteGuard};
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
 
+/// Trailing drop signal of a view: declared *after* the payload guard, so
+/// its `Drop` runs once the lease has truly been released (struct fields
+/// drop in declaration order, after the view's own `Drop` body). This is
+/// the point where the executor's Busy-deferral re-arm may fire — firing
+/// it any earlier (e.g. from the views' `Drop` bodies) would let a server
+/// retry race a lease that is still held.
+struct LeaseReleaseSignal<'ctx> {
+    ctx: &'ctx NodeCtx,
+}
+
+impl Drop for LeaseReleaseSignal<'_> {
+    fn drop(&mut self) {
+        self.ctx.lease_released();
+    }
+}
+
 /// A shared, read-only view of one object's elements, borrowed directly
 /// from the engine's storage.
 pub struct ReadView<'ctx, T: Element> {
     ctx: &'ctx NodeCtx,
     obj: ObjectId,
     guard: RwReadGuard<ObjectData>,
+    // Declared after `guard`: drops after the lease is released.
+    _rearm: LeaseReleaseSignal<'ctx>,
     _marker: PhantomData<fn() -> T>,
 }
 
@@ -47,6 +65,7 @@ impl<'ctx, T: Element> ReadView<'ctx, T> {
             ctx,
             obj,
             guard,
+            _rearm: LeaseReleaseSignal { ctx },
             _marker: PhantomData,
         }
     }
@@ -96,6 +115,8 @@ pub struct WriteView<'ctx, T: Element> {
     ctx: &'ctx NodeCtx,
     obj: ObjectId,
     guard: RwWriteGuard<ObjectData>,
+    // Declared after `guard`: drops after the lease is released.
+    _rearm: LeaseReleaseSignal<'ctx>,
     _marker: PhantomData<fn() -> T>,
 }
 
@@ -105,6 +126,7 @@ impl<'ctx, T: Element> WriteView<'ctx, T> {
             ctx,
             obj,
             guard,
+            _rearm: LeaseReleaseSignal { ctx },
             _marker: PhantomData,
         }
     }

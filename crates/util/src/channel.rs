@@ -44,6 +44,7 @@ impl<T> Clone for Tx<T> {
 pub struct Sender<T> {
     tx: Tx<T>,
     depth: Arc<AtomicUsize>,
+    high_watermark: Arc<AtomicUsize>,
 }
 
 impl<T> Clone for Sender<T> {
@@ -51,6 +52,7 @@ impl<T> Clone for Sender<T> {
         Sender {
             tx: self.tx.clone(),
             depth: Arc::clone(&self.depth),
+            high_watermark: Arc::clone(&self.high_watermark),
         }
     }
 }
@@ -65,7 +67,8 @@ impl<T> Sender<T> {
     /// Send a message; for a bounded channel this blocks while the channel
     /// is full. Fails only if the receiver has been dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        self.depth.fetch_add(1, Ordering::Relaxed);
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_watermark.fetch_max(depth, Ordering::Relaxed);
         let result = match &self.tx {
             Tx::Unbounded(tx) => tx.send(value).map_err(|e| e.0),
             Tx::Bounded(tx) => tx.send(value).map_err(|e| e.0),
@@ -82,6 +85,7 @@ impl<T> Sender<T> {
 pub struct Receiver<T> {
     rx: Mutex<mpsc::Receiver<T>>,
     depth: Arc<AtomicUsize>,
+    high_watermark: Arc<AtomicUsize>,
 }
 
 impl<T> std::fmt::Debug for Receiver<T> {
@@ -135,18 +139,29 @@ impl<T> Receiver<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Deepest the queue has ever been: the high-watermark of the depth
+    /// counter over the channel's lifetime. The runtime surfaces this per
+    /// inbound queue so scheduling stalls (a node falling behind its
+    /// arrivals) are observable after the run.
+    pub fn max_len(&self) -> usize {
+        self.high_watermark.load(Ordering::Relaxed)
+    }
 }
 
 fn wrap<T>(tx: Tx<T>, rx: mpsc::Receiver<T>) -> (Sender<T>, Receiver<T>) {
     let depth = Arc::new(AtomicUsize::new(0));
+    let high_watermark = Arc::new(AtomicUsize::new(0));
     (
         Sender {
             tx,
             depth: Arc::clone(&depth),
+            high_watermark: Arc::clone(&high_watermark),
         },
         Receiver {
             rx: Mutex::new(rx),
             depth,
+            high_watermark,
         },
     )
 }
@@ -178,6 +193,24 @@ mod tests {
         assert_eq!(rx.recv(), Some(2));
         assert!(rx.is_empty());
         assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak_depth() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.max_len(), 0);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        tx.send(3).unwrap();
+        assert_eq!(rx.max_len(), 3);
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.try_recv(), Some(2));
+        // Draining never lowers the watermark.
+        assert_eq!(rx.max_len(), 3);
+        tx.send(4).unwrap();
+        // Depth only reached 2 this time; the peak stays 3.
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.max_len(), 3);
     }
 
     #[test]

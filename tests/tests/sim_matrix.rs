@@ -333,6 +333,129 @@ fn matrix_home_crash_triggers_reelection_and_workload_completes() {
     assert_eq!(p.homes_fenced, replay.protocol.homes_fenced);
 }
 
+/// The `contention_errors.rs` Busy-deferral scenario, ported from its
+/// threaded-only real-time form (std `Barrier` rendezvous + sleeps) to a
+/// seeded sim sweep: node 1 takes a read lease on its locally-homed object
+/// and *keeps it live across a long fault-in sequence* — in sim mode an
+/// application parked in `wait_reply` still holds its leases, so the
+/// window is deterministic instead of sleep-timed. Node 0 meanwhile writes
+/// that object under a lock and releases; the diff flush arrives at node 1
+/// squarely inside the lease window, is deferred (`Busy`, observable via
+/// `busy_responses`), and applies once the lease drops.
+///
+/// Every corpus seed must (a) defer at least once, (b) produce the
+/// threaded reference fingerprint — deferral is a performance event, never
+/// a semantic one — and (c) replay a bit-identical delivery trace.
+#[test]
+fn matrix_busy_deferral_is_deterministic_and_conforms_across_seeds() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Remote objects node 1 faults in while holding its read lease: the
+    /// lease window spans ~K round trips of virtual time, while node 0's
+    /// diff lands after ~3 — deep inside the window under any corpus
+    /// perturbation.
+    const FILLERS: usize = 16;
+
+    fn fnv(hash: u64, value: u64) -> u64 {
+        (hash ^ value).wrapping_mul(0x0000_0100_0000_01b3)
+    }
+
+    let run = |fabric: FabricMode, seed: u64| -> (u64, ExecutionReport) {
+        let mut registry = ObjectRegistry::new();
+        let target: ArrayHandle<u64> = ArrayHandle::register(
+            &mut registry,
+            "busy.port.target",
+            0,
+            4,
+            NodeId(1),
+            HomeAssignment::CreationNode,
+        );
+        let fillers: Vec<ArrayHandle<u64>> = (0..FILLERS)
+            .map(|k| {
+                ArrayHandle::register(
+                    &mut registry,
+                    "busy.port.filler",
+                    k as u64,
+                    1,
+                    NodeId::MASTER,
+                    HomeAssignment::CreationNode,
+                )
+            })
+            .collect();
+        let lock = LockId::derive("busy.port.lock");
+        let gate = BarrierId(0x60);
+        let done = BarrierId(0x61);
+        let fingerprint = Arc::new(AtomicU64::new(0));
+        let result = Arc::clone(&fingerprint);
+
+        let config = Cluster::builder()
+            .nodes(2)
+            .protocol(ProtocolConfig::no_migration())
+            .compute(ComputeModel::free())
+            .seed(seed)
+            .fabric(fabric)
+            .config();
+        let report = Cluster::new(config, registry).run(move |ctx| {
+            if ctx.is_master() {
+                // Seed the fillers in place (home writes, no traffic), then
+                // write the remote-homed target under the lock: the release
+                // flushes the diff straight into node 1's live read lease.
+                for (k, filler) in fillers.iter().enumerate() {
+                    ctx.view_mut(filler)[0] = (k * k + 1) as u64;
+                }
+                ctx.barrier(gate);
+                ctx.synchronized(lock, || {
+                    ctx.view_mut(&target)[0] = 41;
+                });
+                ctx.barrier(done);
+            } else {
+                ctx.barrier(gate);
+                let mut hash = 0xcbf2_9ce4_8422_2325u64;
+                {
+                    // The lease window: held across FILLERS remote
+                    // fault-ins, each of which parks this application with
+                    // the lease still live.
+                    let held = ctx.view(&target);
+                    assert_eq!(held[0], 0, "the diff must not land mid-lease");
+                    for filler in &fillers {
+                        hash = fnv(hash, ctx.view(filler)[0]);
+                    }
+                }
+                ctx.barrier(done);
+                // The deferred diff applied once the lease dropped; node
+                // 0's release (and thus the `done` barrier) waited for it.
+                let settled = ctx.view(&target)[0];
+                assert_eq!(settled, 41, "the deferred diff was lost");
+                result.store(fnv(hash, settled), Ordering::SeqCst);
+            }
+        });
+        (fingerprint.load(Ordering::SeqCst), report)
+    };
+
+    let (reference, _) = run(FabricMode::Threaded, seed_pair().0);
+    assert_ne!(reference, 0, "node 1 never published a fingerprint");
+    for seed in dsm_integration_tests::seed_corpus() {
+        let (fp, report) = run(FabricMode::Sim(SimConfig::perturbed(seed)), seed);
+        assert_eq!(
+            fp, reference,
+            "seed {seed:#x}: Busy deferral changed the application result on sim"
+        );
+        assert!(
+            report.protocol.busy_responses >= 1,
+            "seed {seed:#x}: the diff never found the lease live \
+             (busy_responses = {})",
+            report.protocol.busy_responses
+        );
+        let (replay_fp, replay) = run(FabricMode::Sim(SimConfig::perturbed(seed)), seed);
+        assert_eq!(replay_fp, fp);
+        assert_eq!(
+            report.delivery_trace, replay.delivery_trace,
+            "seed {seed:#x}: the deferral schedule did not replay bit-identically"
+        );
+    }
+}
+
 /// Single home per epoch, checked in-run under maximum migration churn:
 /// rotating writers under JUMP migrate the watched objects continuously,
 /// and at every verification point exactly one node considers itself the
