@@ -27,11 +27,11 @@ use dsm_model::ComputeModel;
 use dsm_net::{StatsCollector, TcpConfig, TcpNodeBinding};
 use dsm_objspace::{BarrierId, LockId, NodeId};
 use dsm_runtime::{ArrayHandle, Cluster, ClusterBuilder, FabricMode, NodeCtx};
+use dsm_util::Mutex;
 use dsm_wire::ProtocolCodec;
 use std::io::{BufRead, BufReader, Write};
 use std::net::SocketAddr;
 use std::process::{Child, Command, Stdio};
-use std::sync::Mutex;
 
 const CELLS_PER_NODE: usize = 4;
 const REPETITIONS: u64 = 6;
@@ -75,7 +75,7 @@ fn run_workload(ctx: &NodeCtx, cells: &ArrayHandle<u64>, result: &Mutex<Option<u
         for value in ctx.read(cells) {
             hash = fnv(hash, value);
         }
-        *result.lock().unwrap() = Some(hash);
+        *result.lock() = Some(hash);
     }
 }
 
@@ -86,8 +86,11 @@ fn run_in_process(nodes: usize, fabric: FabricMode) -> u64 {
     builder
         .build()
         .run(|ctx| run_workload(ctx, &cells, &result));
-    let fingerprint = result.lock().unwrap().take();
-    fingerprint.expect("master published the workload fingerprint")
+    // The poison-ignoring lock keeps this readable even if a worker thread
+    // panicked mid-workload; a missing fingerprint then names that cause
+    // instead of dying on a `PoisonError`.
+    let fingerprint = result.lock().take();
+    fingerprint.expect("no workload fingerprint — the master worker panicked before publishing it")
 }
 
 fn value_of<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -135,7 +138,7 @@ fn worker(node: usize, nodes: usize) {
     let report = builder
         .build()
         .run_tcp_worker(endpoint, stats, |ctx| run_workload(ctx, &cells, &result));
-    if let Some(fingerprint) = result.lock().unwrap().take() {
+    if let Some(fingerprint) = result.lock().take() {
         println!("FINGERPRINT {fingerprint:#018x}");
     }
     let view = report

@@ -478,10 +478,30 @@ pub fn to_json(rows: &[GateRow]) -> String {
 /// order inside a workload object is free, unknown fields are rejected so
 /// schema drift is caught loudly).
 pub fn parse_json(text: &str) -> Result<Vec<GateRow>, String> {
+    let mut rows = Vec::new();
+    parse_into(text, &mut rows)?;
+    Ok(rows)
+}
+
+/// As [`parse_json`], but salvaging: returns every workload row that
+/// parsed *before* the first error, plus the error itself (`None` = clean
+/// parse). The bench binaries merge their sections into one shared
+/// `BENCH_PR.json`; when that file is truncated or corrupt (a killed CI
+/// step mid-write), a strict parse would make the next binary silently
+/// drop every section it does not own — salvage keeps whatever rows
+/// survive and surfaces the damage as a warning instead.
+pub fn salvage_json(text: &str) -> (Vec<GateRow>, Option<String>) {
+    let mut rows = Vec::new();
+    let error = parse_into(text, &mut rows).err();
+    (rows, error)
+}
+
+/// The shared parse loop: pushes each workload row into `rows` as it
+/// completes, so a truncation error loses only the row it interrupted.
+fn parse_into(text: &str, rows: &mut Vec<GateRow>) -> Result<(), String> {
     let mut p = Parser::new(text);
     p.skip_ws();
     p.expect(b'{')?;
-    let mut rows = Vec::new();
     loop {
         p.skip_ws();
         let key = p.string()?;
@@ -522,7 +542,7 @@ pub fn parse_json(text: &str) -> Result<Vec<GateRow>, String> {
         }
         p.expect(b',')?;
     }
-    Ok(rows)
+    Ok(())
 }
 
 /// Minimal recursive-descent parser for the gate document. Shared with the
@@ -748,6 +768,24 @@ mod tests {
         assert_eq!(parsed[0].migrate_backs, 3);
         assert!((parsed[0].checksum - 42.5).abs() < 1e-9);
         assert!(!parsed[1].batched);
+    }
+
+    #[test]
+    fn salvage_keeps_rows_parsed_before_a_truncation() {
+        let rows = vec![row("a", true, 1, 1.0), row("b", false, 7, 0.5)];
+        let text = to_json(&rows);
+        // A clean document salvages completely, with no error.
+        let (all, error) = salvage_json(&text);
+        assert_eq!(all, rows);
+        assert!(error.is_none());
+        // Chopped mid-way through the second row: the first survives and
+        // the damage is reported, where parse_json would drop everything.
+        let cut = text.rfind("\"b\"").expect("second row is present");
+        let (salvaged, error) = salvage_json(&text[..cut]);
+        assert_eq!(salvaged.len(), 1, "{salvaged:?}");
+        assert_eq!(salvaged[0], rows[0]);
+        assert!(error.is_some());
+        assert!(parse_json(&text[..cut]).is_err());
     }
 
     #[test]

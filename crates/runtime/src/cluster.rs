@@ -13,7 +13,7 @@ use crate::fault::{FaultConfig, FaultState};
 use crate::handle::{ArrayHandle, Matrix2dHandle, ScalarHandle};
 use crate::node::{server_loop, NodeLink, NodeShared};
 use crate::report::{ExecutionReport, SchedulerReport};
-use crate::sim::{sim_server_loop, AppAgent};
+use crate::sim::{sim_server_loop, sim_server_loop_parallel, AppAgent};
 use crate::tcp::tcp_server_loop;
 use dsm_core::{
     IntoMigrationPolicy, NotificationMechanism, ProtocolConfig, ProtocolEngine, ProtocolMsg,
@@ -926,6 +926,7 @@ impl Cluster {
 
         let panicked = AtomicBool::new(false);
         let first_panic = std::sync::atomic::AtomicUsize::new(crate::sim::NO_PANIC);
+        let mut parallel_stats = None;
         thread::scope(|scope| {
             let app = &app;
             let fabric = &fabric;
@@ -942,8 +943,19 @@ impl Cluster {
                     app(&ctx);
                 }));
             }
-            // The calling thread is the deterministic scheduler.
-            sim_server_loop(&shareds, fabric, panicked);
+            // The calling thread is the deterministic scheduler. Worker
+            // counts above one select the frontier scheduler; either way
+            // the same seed replays the same bit-identical trace.
+            if sim.workers > 1 {
+                parallel_stats = Some(sim_server_loop_parallel(
+                    &shareds,
+                    fabric,
+                    panicked,
+                    sim.workers,
+                ));
+            } else {
+                sim_server_loop(&shareds, fabric, panicked);
+            }
             if panicked.load(Ordering::SeqCst) {
                 // Unblock application threads parked on replies that will
                 // never come (their peer died); they observe a disconnect
@@ -996,7 +1008,25 @@ impl Cluster {
             "delivery trace (deliveries + drops) and network statistics disagree on \
              message count"
         );
-        assemble_report(&config, &shareds, &stats, Some(trace), None, None)
+        // Single-worker sim runs have no server threads or inbound queues,
+        // so they report no scheduler; the frontier scheduler reports its
+        // dispatch counters.
+        let scheduler = parallel_stats.map(|p: crate::sim::SimParallelStats| SchedulerReport {
+            mode: "sim-parallel",
+            workers: sim.workers,
+            steps: p.steps,
+            wakeups: p.dispatched,
+            idle_wakeups: 0,
+            renotifies: 0,
+            rearm_requeues: 0,
+            runnable_high_watermark: 0,
+            parked_high_watermark: 0,
+            queue_depth_high_watermark: 0,
+            frontiers: p.frontiers,
+            frontier_events: p.frontier_events,
+            frontier_high_watermark: p.frontier_high_watermark,
+        });
+        assemble_report(&config, &shareds, &stats, Some(trace), None, scheduler)
     }
 }
 
@@ -1074,6 +1104,9 @@ fn polling_report(shareds: &[Arc<NodeShared>]) -> SchedulerReport {
         runnable_high_watermark: 0,
         parked_high_watermark: 0,
         queue_depth_high_watermark: queue_depth_high_watermark(shareds),
+        frontiers: 0,
+        frontier_events: 0,
+        frontier_high_watermark: 0,
     }
 }
 

@@ -60,8 +60,12 @@
 //! on the network therefore always has a responsive (schedulable) server,
 //! which is the same argument the per-node-thread loops rely on.
 //!
-//! The sim fabric keeps its own virtual-time scheduler (`crate::sim`) and
-//! never touches this module.
+//! The sim fabric keeps its own virtual-time scheduler (`crate::sim`):
+//! its sequential reference loop never touches this module, and its
+//! parallel frontier loop borrows only the scoped [`pool::TaskPool`]
+//! below — the wake-on-send state machine stays executor-only.
+
+pub(crate) mod pool;
 
 use crate::node::{handle_request, retry_deferred, trace_enabled, BatchPartials, NodeShared};
 use crate::report::SchedulerReport;
@@ -472,6 +476,9 @@ impl Executor {
             runnable_high_watermark: q.runnable_hwm,
             parked_high_watermark: q.parked_hwm,
             queue_depth_high_watermark,
+            frontiers: 0,
+            frontier_events: 0,
+            frontier_high_watermark: 0,
         }
     }
 }

@@ -1,0 +1,208 @@
+//! A small scoped task pool for the parallel sim scheduler.
+//!
+//! The frontier scheduler (`crate::sim`) pops a conflict-free batch of
+//! deliveries at each quiescence point and needs the batch's handlers run
+//! on real threads — but the results merged back in a deterministic order.
+//! This pool does the minimum for that: `workers` scoped threads each own
+//! a private task channel (the scheduler deals a frontier's tasks round-
+//! robin), run `(index, task)` pairs through a fixed closure, and send
+//! `(index, result)` pairs back on one shared results channel. The *index*
+//! is the task's position in the frontier; the scheduler uses it to
+//! restore canonical order regardless of which worker finished first.
+//!
+//! Frontier tasks are short — often a few microseconds of protocol handler
+//! — so a blocking hand-off would spend more time in futex wakeups than in
+//! the handlers themselves. Both receive sides therefore **spin briefly
+//! before blocking**: a worker polls its task channel (and the scheduler
+//! polls the results channel) for [`SPIN_LIMIT`] pause-loop iterations
+//! before falling back to a blocking `recv`. During a flush storm the
+//! frontiers arrive back-to-back, the spin window covers the gap, and a
+//! dispatched task starts in nanoseconds; between storms the workers park
+//! in the kernel as before.
+//!
+//! Panics inside a task are caught (`catch_unwind`) and shipped back as
+//! the task's result, so one panicking protocol handler cannot wedge the
+//! barrier: the scheduler re-raises the first panic *in frontier order*
+//! on its own thread, which keeps even the panic deterministic.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::{Result as TaskResult, Scope};
+
+/// Pause-loop iterations a receive side polls before blocking, on hosts
+/// with real parallelism. At ~1-10 ns per `spin_loop` hint this bounds the
+/// busy wait to well under a millisecond while comfortably covering the
+/// inter-frontier gaps of a busy simulation.
+const SPIN_LIMIT: u32 = 20_000;
+
+/// The effective spin budget: [`SPIN_LIMIT`] when the host has more than
+/// one hardware thread, zero otherwise. On a single-core host a spinning
+/// worker *is* the reason the sender cannot run — polling there turns
+/// every hand-off into a scheduler-quantum stall, so the pool goes
+/// straight to the blocking receive.
+fn spin_limit() -> u32 {
+    use std::sync::OnceLock;
+    static LIMIT: OnceLock<u32> = OnceLock::new();
+    *LIMIT.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => SPIN_LIMIT,
+        _ => 0,
+    })
+}
+
+/// Poll `try_recv` with a bounded spin before falling back to a blocking
+/// `recv`. Returns `None` once the channel is disconnected and drained.
+fn spin_recv<T>(rx: &Receiver<T>) -> Option<T> {
+    for _ in 0..spin_limit() {
+        match rx.try_recv() {
+            Ok(value) => return Some(value),
+            Err(TryRecvError::Empty) => std::hint::spin_loop(),
+            Err(TryRecvError::Disconnected) => return None,
+        }
+    }
+    rx.recv().ok()
+}
+
+/// A pool of scoped worker threads running one fixed task closure.
+///
+/// Dropping the pool closes the per-worker task queues; the workers then
+/// drain what is left and exit, and the owning [`std::thread::Scope`]
+/// joins them.
+pub(crate) struct TaskPool<T, R> {
+    /// One private task channel per worker; `submit` deals round-robin.
+    inject: Vec<Sender<(usize, T)>>,
+    /// How many tasks `submit` has dealt (selects the next worker).
+    dealt: std::cell::Cell<usize>,
+    results: Receiver<(usize, TaskResult<R>)>,
+}
+
+impl<T: Send, R: Send> TaskPool<T, R> {
+    /// Spawn `workers` worker threads on `scope`, all running `run`.
+    pub(crate) fn new<'scope, 'env, F>(
+        scope: &'scope Scope<'scope, 'env>,
+        workers: usize,
+        run: F,
+    ) -> Self
+    where
+        F: Fn(T) -> R + Send + Sync + 'scope,
+        T: 'scope,
+        R: 'scope,
+    {
+        let (result_tx, results) = channel();
+        let run = Arc::new(run);
+        let mut inject = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (task_tx, tasks) = channel::<(usize, T)>();
+            inject.push(task_tx);
+            let run = Arc::clone(&run);
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                while let Some((index, task)) = spin_recv(&tasks) {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| run(task)));
+                    if result_tx.send((index, outcome)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        TaskPool {
+            inject,
+            dealt: std::cell::Cell::new(0),
+            results,
+        }
+    }
+
+    /// Queue one task; `index` is echoed back with its result. Tasks are
+    /// dealt round-robin across the workers' private queues, spreading one
+    /// frontier's tasks over distinct workers (a frontier wider than the
+    /// pool queues the excess behind the earliest deals, which is still
+    /// correct — just serialized per worker).
+    pub(crate) fn submit(&self, index: usize, task: T) {
+        let worker = self.dealt.get() % self.inject.len();
+        self.dealt.set(self.dealt.get() + 1);
+        self.inject[worker]
+            .send((index, task))
+            .expect("task pool workers exited early");
+    }
+
+    /// Collect `count` results in completion order (pair each with the
+    /// index it was submitted under; the caller restores canonical order).
+    pub(crate) fn collect(&self, count: usize) -> Vec<(usize, TaskResult<R>)> {
+        (0..count)
+            .map(|_| spin_recv(&self.results).expect("task pool workers exited early"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_carry_their_submission_index() {
+        std::thread::scope(|scope| {
+            let pool = TaskPool::new(scope, 3, |n: u64| n * 10);
+            for (i, n) in [7u64, 8, 9].into_iter().enumerate() {
+                pool.submit(i, n);
+            }
+            let mut results: Vec<(usize, u64)> = pool
+                .collect(3)
+                .into_iter()
+                .map(|(i, r)| (i, r.expect("no panics")))
+                .collect();
+            results.sort_unstable();
+            assert_eq!(results, vec![(0, 70), (1, 80), (2, 90)]);
+        });
+    }
+
+    #[test]
+    fn task_panics_are_shipped_back_not_propagated() {
+        std::thread::scope(|scope| {
+            let pool = TaskPool::new(scope, 2, |n: u64| {
+                assert!(n != 1, "boom on task {n}");
+                n
+            });
+            pool.submit(0, 0);
+            pool.submit(1, 1);
+            let mut results = pool.collect(2);
+            results.sort_by_key(|(i, _)| *i);
+            assert!(results[0].1.is_ok());
+            let payload = results[1].1.as_ref().expect_err("task 1 panicked");
+            let msg = payload
+                .downcast_ref::<String>()
+                .expect("panic payload is a String");
+            assert!(msg.contains("boom on task 1"), "got: {msg}");
+        });
+    }
+
+    #[test]
+    fn dropping_the_pool_shuts_workers_down() {
+        std::thread::scope(|scope| {
+            let pool = TaskPool::new(scope, 4, |n: u64| n);
+            pool.submit(0, 42);
+            assert_eq!(pool.collect(1)[0].0, 0);
+            drop(pool);
+            // The scope join below completes only if all workers exited.
+        });
+    }
+
+    #[test]
+    fn many_more_tasks_than_workers_all_complete() {
+        std::thread::scope(|scope| {
+            let pool = TaskPool::new(scope, 2, |n: u64| n + 1);
+            for i in 0..64usize {
+                pool.submit(i, i as u64);
+            }
+            let mut results: Vec<(usize, u64)> = pool
+                .collect(64)
+                .into_iter()
+                .map(|(i, r)| (i, r.expect("no panics")))
+                .collect();
+            results.sort_unstable();
+            for (i, (index, value)) in results.into_iter().enumerate() {
+                assert_eq!(index, i);
+                assert_eq!(value, i as u64 + 1);
+            }
+        });
+    }
+}

@@ -241,14 +241,51 @@ fn begin_election(shared: &NodeShared, req: ReqId, entry: &mut RetryEntry, obj: 
     entry.attempts = 0;
 }
 
+/// What provoked a retransmission round — it decides how the retrying
+/// nodes' clocks move.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RetryRound {
+    /// The fabric stalled with agents parked: nothing else can advance
+    /// virtual time, so each retrying node's clock advances by one retry
+    /// timeout (healable partitions eventually heal in virtual time).
+    Stalled,
+    /// A timed round: the scheduler's retry deadline came due while the
+    /// network was still busy. Clocks are left alone — retransmissions are
+    /// stamped at each owner's current clock, exactly as if that node had
+    /// re-sent on its own. Dragging a parked node's clock up to the busy
+    /// traffic's time would change which of its sends fall inside seeded
+    /// loss windows ([`dsm_net::PauseSpec`] decides drops by the *sender's*
+    /// `sent_at`), and with it the recovery ordering the windows were
+    /// placed to exercise — e.g. a deposed home's `HomeFence` must clear a
+    /// heal boundary before the barrier release that wakes the deposed
+    /// node's application can.
+    Due,
+}
+
 /// One retransmission round across every node, in node order then request
-/// id order — fired by the scheduler when the fabric stalled with agents
-/// parked. Each node with live entries advances its clock by one retry
-/// timeout (so healable partitions eventually heal in virtual time), then
-/// retransmits every non-exhausted entry. Returns whether anything was
-/// sent; `false` means every entry is exhausted (or none exists) and the
-/// stall is terminal.
-pub(crate) fn fire_retries(shareds: &[Arc<NodeShared>]) -> bool {
+/// id order — fired by the scheduler either when the fabric stalled with
+/// agents parked ([`RetryRound::Stalled`]) or when the retry deadline
+/// passed on a busy network ([`RetryRound::Due`]). The timed flavor is
+/// what makes the retry machinery a true timer: a lost reply must be
+/// retransmitted even while *other* nodes keep the event queue busy (a
+/// redirect chase chattering over a stale hint can otherwise starve the
+/// very retransmission that would resolve it). Each node with live
+/// entries moves its clock per the round flavor (stall rounds advance by
+/// one timeout, timed rounds not at all), then retransmits every
+/// non-exhausted entry. Returns whether anything was sent; `false` means
+/// every entry is exhausted (or none exists).
+///
+/// Only **stall** rounds count toward [`FaultConfig::failover_after`] and
+/// can escalate to a home re-election. A stalled fabric is true silence —
+/// an unanswered electable request really is aimed at something
+/// unreachable. On a busy network an unanswered request usually means a
+/// live home that is slow or `Busy`-deferring; electing it away would
+/// depose a healthy home mid-operation (its already-applied diffs then
+/// get re-applied at the new home — double-applied writes and wrong
+/// results). Timed rounds therefore retransmit without aging entries: a
+/// genuinely dark destination keeps dropping traffic until the run drains
+/// into a stall, and failover proceeds from there.
+pub(crate) fn fire_retries(shareds: &[Arc<NodeShared>], round: RetryRound) -> bool {
     let mut progressed = false;
     for shared in shareds {
         let Some(fault) = &shared.fault else { continue };
@@ -260,20 +297,25 @@ pub(crate) fn fire_retries(shareds: &[Arc<NodeShared>]) -> bool {
             continue;
         }
         // One timeout per round per node, not per entry: all of the node's
-        // outstanding timers burn down concurrently.
-        shared.clock.advance(fault.config.retry_timeout);
+        // outstanding timers burn down concurrently. Timed rounds leave
+        // clocks alone — see [`RetryRound::Due`].
+        if matches!(round, RetryRound::Stalled) {
+            shared.clock.advance(fault.config.retry_timeout);
+        }
         for (req, entry) in retries.iter_mut() {
             if entry.total >= fault.config.max_attempts {
                 continue;
             }
-            entry.attempts += 1;
             entry.total += 1;
-            if matches!(entry.phase, RetryPhase::Normal)
-                && entry.attempts >= fault.config.failover_after
-                && entry.dst != shared.node
-            {
-                if let Some(obj) = electable_obj(&entry.msg) {
-                    begin_election(shared, *req, entry, obj);
+            if matches!(round, RetryRound::Stalled) {
+                entry.attempts += 1;
+                if matches!(entry.phase, RetryPhase::Normal)
+                    && entry.attempts >= fault.config.failover_after
+                    && entry.dst != shared.node
+                {
+                    if let Some(obj) = electable_obj(&entry.msg) {
+                        begin_election(shared, *req, entry, obj);
+                    }
                 }
             }
             shared.send(entry.dst, entry.msg.clone());
@@ -297,48 +339,78 @@ pub(crate) fn handle_elect_reply(
     epoch: u32,
 ) {
     let Some(fault) = &shared.fault else { return };
-    let (original_dst, original_msg) = {
+    // Re-aim the suspended request if its election entry is still live.
+    // The entry may instead be gone (the request completed through another
+    // path — e.g. a late reply from the deposed home crossed the election)
+    // or back in a non-electing phase (duplicate of an older reply). A
+    // *refusal* is then simply stale. An **acceptance is not**: the
+    // arbiter's decision is sticky — it answers every later election for
+    // this object with the same `(home, epoch)` and already redirects
+    // traffic there — so the candidate must adopt it with or without the
+    // entry. A candidate that shrugs off its own acceptance becomes the
+    // cluster's lone dissenter: every other node can learn the new home
+    // from epoch-guarded hints, but the elected node itself rejects
+    // "the home is you" hints, keeps aiming traffic at the deposed home,
+    // and the two redirect at each other until the convergence bound
+    // trips.
+    let entry_aim = {
         let mut retries = fault.retries.lock();
-        // The entry may be gone (request completed through another path) or
-        // back in a non-electing phase (duplicate of an older reply);
-        // either way the reply is stale and ignored — elections are sticky,
-        // so a live election will get the same answer again.
-        let Some(entry) = retries.get_mut(&req) else {
-            return;
-        };
-        let RetryPhase::Electing {
-            original_dst,
-            original_msg,
-        } = entry.phase.clone()
-        else {
-            return;
-        };
-        if home == original_dst || epoch == 0 {
-            // Refusal: no reachable copy holder (or the arbiter thinks the
-            // suspect is fine). Fall back to retrying the original aim —
-            // if the silence was a partition, healing resolves it.
-            entry.dst = original_dst;
-            entry.msg = original_msg;
-            entry.phase = RetryPhase::Normal;
-            entry.attempts = 0;
-            return;
+        if let Some(entry) = retries.get_mut(&req) {
+            if let RetryPhase::Electing {
+                original_dst,
+                original_msg,
+            } = entry.phase.clone()
+            {
+                if home == original_dst || epoch == 0 {
+                    // Refusal: no reachable copy holder (or the arbiter
+                    // thinks the suspect is fine). Fall back to retrying
+                    // the original aim — if the silence was a partition,
+                    // healing resolves it.
+                    entry.dst = original_dst;
+                    entry.msg = original_msg;
+                    entry.phase = RetryPhase::Normal;
+                    entry.attempts = 0;
+                    return;
+                }
+                entry.dst = home;
+                entry.msg = original_msg.clone();
+                entry.phase = RetryPhase::Normal;
+                entry.attempts = 0;
+                entry.total += 1;
+                Some((original_dst, original_msg))
+            } else {
+                None
+            }
+        } else {
+            None
         }
-        entry.dst = home;
-        entry.msg = original_msg.clone();
-        entry.phase = RetryPhase::Normal;
-        entry.attempts = 0;
-        entry.total += 1;
-        (original_dst, original_msg)
     };
+    if epoch == 0 || (entry_aim.is_none() && shared.engine.home_epoch(obj) >= epoch) {
+        // A refusal with no live election, or an acceptance this node
+        // already adopted (duplicate reply): nothing new was decided.
+        return;
+    }
+    // The deposed home: the suspended request's original aim, or — entry
+    // gone — this node's own pre-install belief of the object's home.
+    let deposed = entry_aim
+        .as_ref()
+        .map(|(dst, _)| *dst)
+        .unwrap_or_else(|| shared.engine.home_hint(obj));
     // Adopt (or promote to) the elected home before resending, so our own
     // redirect handling and flush planning agree with the new aim.
     shared.engine.install_elected_home(obj, home, epoch);
+    if entry_aim.is_none() && (home != shared.node || deposed == shared.node || deposed == home) {
+        // Someone else's sticky decision (its candidate fenced and
+        // notified on install), or no distinct deposed home left to
+        // fence: adopting the hint was all there was to do.
+        return;
+    }
     // Spread the news. These are fire-and-forget and may themselves be
     // dropped; a node that misses one re-discovers the home through the
     // sticky arbiter when its own traffic to the dead home times out.
     for n in 0..shared.num_nodes as u16 {
         let n = NodeId(n);
-        if n != shared.node && n != original_dst && n != home {
+        if n != shared.node && n != deposed && n != home {
             shared.send(
                 n,
                 ProtocolMsg::HomeNotify {
@@ -359,11 +431,13 @@ pub(crate) fn handle_elect_reply(
         new_home: home,
         epoch,
     };
-    fault.track_phase(fence_req, original_dst, fence.clone(), RetryPhase::Fence);
-    shared.send(original_dst, fence);
+    fault.track_phase(fence_req, deposed, fence.clone(), RetryPhase::Fence);
+    shared.send(deposed, fence);
     // Resend the suspended request at its new home immediately (the entry
     // was already re-aimed above, so later retry rounds agree).
-    shared.send(home, original_msg);
+    if let Some((_, original_msg)) = entry_aim {
+        shared.send(home, original_msg);
+    }
 }
 
 /// Clear the retry entry an acknowledgement answers (`LockReleaseAck`,

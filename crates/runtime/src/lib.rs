@@ -59,12 +59,38 @@
 //!   suite holds the two modes to fingerprint-identical results — and as
 //!   the fallback if the executor is ever suspected.
 //!
-//! The sim fabric uses neither: its virtual-time scheduler delivers every
-//! message inline on one thread (no server threads, no inbound queues), so
-//! sim runs report no scheduler. Threaded and TCP runs surface the
-//! scheduling counters — steps, wakeups, idle wakeups, re-notifications,
-//! runnable/parked high-watermarks, queue-depth high-watermark — in
-//! [`ExecutionReport::scheduler`] ([`SchedulerReport`]).
+//! The sim fabric uses neither: by default its virtual-time scheduler
+//! delivers every message inline on one thread (no server threads, no
+//! inbound queues), so single-worker sim runs report no scheduler.
+//!
+//! * **Parallel frontier scheduling** ([`SimConfig::with_workers`] > 1):
+//!   the sim scheduler pops a **conflict-free frontier** from the event
+//!   heap at each quiescence point — the canonical prefix of events whose
+//!   destination nodes are pairwise distinct and whose delivery times fall
+//!   inside one minimum network latency of the earliest event — and runs
+//!   the handlers on a bounded worker pool, merging every handler's
+//!   outgoing sends back in the canonical event order `(deliver_at, src,
+//!   dst, link_seq)`. Determinism survives because (a) *distinct
+//!   destinations* mean the frontier's handlers touch disjoint node state,
+//!   (b) the *latency cutoff* means nothing a frontier handler sends can
+//!   be due before the frontier's own events — the popped prefix is final
+//!   — and (c) frontiers are only popped while **every node's deferral
+//!   queue is empty** (a deferred Busy message re-examines node state on
+//!   the next delivery, so those steps run as exact sequential singletons).
+//!   Within one frontier a node either gains a deferral or has its
+//!   application woken, never both, so the post-frontier merge order is
+//!   independent of which worker finished first. The single-worker
+//!   schedule is the byte-for-byte semantic reference: the test suite and
+//!   the `sim_matrix --sim-workers N` gate hold every parallel run to a
+//!   bit-identical [`DeliveryTrace`] against it, so worker count is an
+//!   execution knob, never a schedule change.
+//!
+//! Threaded and TCP runs surface the scheduling counters — steps, wakeups,
+//! idle wakeups, re-notifications, runnable/parked high-watermarks,
+//! queue-depth high-watermark — in [`ExecutionReport::scheduler`]
+//! ([`SchedulerReport`]); parallel sim runs report their frontier counters
+//! there too (mode `"sim-parallel"`: frontiers dispatched, events
+//! delivered through them, widest frontier).
 //!
 //! ## Locking architecture
 //!
@@ -203,6 +229,17 @@
 //! suite's seed corpus is centralized in the `dsm-integration-tests`
 //! helpers and can be overridden with `DSM_SEEDS=0x1,0x2,...` to sweep new
 //! schedules without touching code.
+//!
+//! **Worker count never changes the schedule:** the trace is a pure
+//! function of the seed *at any worker count* — `SimConfig::with_workers`
+//! parallelizes the handler execution, not the event order, so a seed
+//! reproduced at `--sim-workers 4` replays the exact trace the
+//! single-worker reference produces (the conformance matrix and CI's
+//! `sim-parallel` job assert this cell by cell). When debugging, drop to
+//! the single-worker scheduler first: it is the semantic reference, and a
+//! divergence that only appears with workers > 1 is by definition a
+//! frontier/merge bug in the parallel scheduler, not an application or
+//! protocol bug.
 //!
 //! **Lossy presets — testing the fault path:** [`SimConfig::lossy`]`(seed)`
 //! layers fault injection on top of the perturbed preset: 1% seeded

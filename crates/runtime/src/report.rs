@@ -46,6 +46,16 @@ pub struct SchedulerReport {
     /// cluster — a scheduling stall (a node falling behind its arrivals)
     /// shows up here.
     pub queue_depth_high_watermark: usize,
+    /// Conflict-free delivery frontiers dispatched (sim-parallel mode; 0
+    /// otherwise). Together with [`SchedulerReport::frontier_events`] this
+    /// gives the mean frontier width — the scheduler's effective
+    /// parallelism, bounded above by the worker count.
+    pub frontiers: u64,
+    /// Events delivered through frontiers (sim-parallel mode; equals
+    /// `steps` there).
+    pub frontier_events: u64,
+    /// Widest frontier ever dispatched (sim-parallel mode; 0 otherwise).
+    pub frontier_high_watermark: usize,
 }
 
 /// Summary of one cluster run.
@@ -76,9 +86,11 @@ pub struct ExecutionReport {
     /// The liveness classification is observational for now: a suspect or
     /// dead peer is surfaced here, not acted upon.
     pub membership: Option<MembershipReport>,
-    /// Server-scheduling counters (executor or polling mode); `None` on the
-    /// sim fabric, whose virtual-time scheduler has neither server threads
-    /// nor inbound queues.
+    /// Server-scheduling counters (executor, polling or sim-parallel
+    /// mode); `None` on single-worker sim runs, whose virtual-time
+    /// scheduler has neither server threads nor inbound queues. Parallel
+    /// sim runs (`SimConfig::with_workers` > 1) report their frontier
+    /// counters here under mode `"sim-parallel"`.
     pub scheduler: Option<SchedulerReport>,
 }
 

@@ -119,10 +119,19 @@ impl LatencyHistogram {
     /// The value at quantile `q` in `[0, 1]`: the floor of the bucket
     /// holding the `ceil(q·count)`-th smallest sample (so `percentile(1.0)`
     /// is the floored maximum and `percentile(0.0)` the minimum bucket).
-    /// Returns 0 on an empty histogram.
+    ///
+    /// Degenerate histograms have defined answers rather than bucket
+    /// artifacts: an **empty** histogram returns 0 for every quantile
+    /// (matching [`max`](Self::max) and [`mean`](Self::mean)), and a
+    /// **single-sample** histogram returns that sample *exactly* — every
+    /// quantile of a one-point distribution is the point itself, so the
+    /// ~6 % bucket flooring would only misreport it.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
+        }
+        if self.total == 1 {
+            return self.max;
         }
         let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0u64;
@@ -216,9 +225,30 @@ mod tests {
     fn empty_histogram_reports_zeros() {
         let h = LatencyHistogram::new();
         assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.0), 0);
         assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(0.95), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.percentile(1.0), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_the_sample_itself() {
+        // Pick a value whose bucket floor differs from the value, so a
+        // regression back to bucket flooring fails loudly.
+        let value = 1_000_003u64;
+        assert_ne!(bucket_floor(bucket_index(value)), value);
+        let mut h = LatencyHistogram::new();
+        h.record(value);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), value, "q = {q}");
+        }
+        assert_eq!(h.max(), value);
+        // A second sample returns percentiles to bucket resolution.
+        h.record(value);
+        assert_eq!(h.percentile(0.5), bucket_floor(bucket_index(value)));
     }
 
     #[test]

@@ -74,19 +74,38 @@ pub const DEFAULT_SEED_CORPUS: [u64; 3] = [0x51E5_ED01, 0x51E5_ED02, 0x51E5_ED03
 pub fn seed_corpus() -> Vec<u64> {
     match std::env::var("DSM_SEEDS") {
         Err(_) => DEFAULT_SEED_CORPUS.to_vec(),
-        Ok(raw) => {
-            let seeds: Vec<u64> = raw
-                .split([',', ' '])
-                .filter(|part| !part.trim().is_empty())
-                .map(|part| {
-                    dsm_util::parse_seed(part)
-                        .unwrap_or_else(|e| panic!("DSM_SEEDS entry {part:?} is invalid: {e}"))
-                })
-                .collect();
-            assert!(!seeds.is_empty(), "DSM_SEEDS override contains no seeds");
-            seeds
+        Ok(raw) => parse_seed_list(&raw)
+            .unwrap_or_else(|e| panic!("DSM_SEEDS override {raw:?} is invalid: {e}")),
+    }
+}
+
+/// Parse a comma/space-separated seed list (the `DSM_SEEDS` format).
+///
+/// Every malformed entry is an error naming the offending token — an
+/// empty list, a leading/trailing/doubled comma or a non-numeric token
+/// must never silently shrink the corpus to fewer seeds than the caller's
+/// assertions claim.
+pub fn parse_seed_list(raw: &str) -> Result<Vec<u64>, String> {
+    if raw.trim().is_empty() {
+        return Err("it contains no seeds".to_string());
+    }
+    let fields: Vec<&str> = raw.split(',').collect();
+    let last = fields.len() - 1;
+    let mut seeds = Vec::new();
+    for (i, field) in fields.iter().enumerate() {
+        if field.trim().is_empty() {
+            let hint = match i {
+                0 => "leading comma",
+                _ if i == last => "trailing comma",
+                _ => "doubled comma",
+            };
+            return Err(format!("comma-field {} is empty ({hint})", i + 1));
+        }
+        for token in field.split_whitespace() {
+            seeds.push(dsm_util::parse_seed(token).map_err(|e| format!("entry {token:?}: {e}"))?);
         }
     }
+    Ok(seeds)
 }
 
 /// The `index`-th corpus seed, wrapping around — lets a fixed set of named
@@ -113,6 +132,30 @@ pub fn seed_pair() -> (u64, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn seed_lists_parse_hex_decimal_and_mixed_separators() {
+        assert_eq!(parse_seed_list("7"), Ok(vec![7]));
+        assert_eq!(parse_seed_list("0x10,2"), Ok(vec![16, 2]));
+        assert_eq!(parse_seed_list("1, 2 3"), Ok(vec![1, 2, 3]));
+        assert_eq!(parse_seed_list(" 1 2 "), Ok(vec![1, 2]));
+    }
+
+    #[test]
+    fn malformed_seed_lists_fail_loudly_naming_the_token() {
+        let empty = parse_seed_list("").unwrap_err();
+        assert!(empty.contains("no seeds"), "got: {empty}");
+        let blank = parse_seed_list("  ").unwrap_err();
+        assert!(blank.contains("no seeds"), "got: {blank}");
+        let trailing = parse_seed_list("1,2,").unwrap_err();
+        assert!(trailing.contains("trailing comma"), "got: {trailing}");
+        let doubled = parse_seed_list("1,,2").unwrap_err();
+        assert!(doubled.contains("doubled comma"), "got: {doubled}");
+        let leading = parse_seed_list(",1").unwrap_err();
+        assert!(leading.contains("leading comma"), "got: {leading}");
+        let bad = parse_seed_list("1,banana,3").unwrap_err();
+        assert!(bad.contains("\"banana\""), "got: {bad}");
+    }
 
     #[test]
     fn default_corpus_is_used_without_override() {
